@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the functional crypto substrate.
+//!
+//! These measure host throughput of the from-scratch primitives over one
+//! 64-byte cache line — the unit of work every BMO performs. (Simulated
+//! hardware latencies are fixed by Table 3; these benches guard the
+//! simulator's own speed.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use janus_crypto::aes::Aes128;
+use janus_crypto::ctr::{encrypt_line, line_mac, otp_for_line};
+use janus_crypto::{crc32, md5, sha1};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let line = [0xA5u8; 64];
+    let key = Aes128::new([7; 16]);
+
+    c.bench_function("md5_line", |b| b.iter(|| md5(black_box(&line))));
+    c.bench_function("sha1_line", |b| b.iter(|| sha1(black_box(&line))));
+    c.bench_function("crc32_line", |b| b.iter(|| crc32(black_box(&line))));
+    c.bench_function("aes128_block", |b| {
+        b.iter(|| key.encrypt_block(black_box([1u8; 16])))
+    });
+    c.bench_function("otp_for_line", |b| {
+        b.iter(|| otp_for_line(black_box(&key), black_box(42), black_box(0x1000)))
+    });
+    c.bench_function("ctr_encrypt_line", |b| {
+        let otp = otp_for_line(&key, 42, 0x1000);
+        b.iter(|| encrypt_line(black_box(&line), black_box(&otp)))
+    });
+    c.bench_function("line_mac", |b| {
+        b.iter(|| line_mac(black_box(&line), black_box(9)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_crypto
+}
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! 1. **Partial reuse** — on stale pre-executed data, re-run only the
+//!    data-dependent sub-operations vs. invalidating everything (§4.3.1).
+//! 2. **Selective metadata atomicity** — block fences only on
+//!    commit-critical metadata persists vs. on every metadata line (§4.3.2).
+//! 3. **Write-queue coalescing** — merge same-line writes in the ADR queue
+//!    vs. issuing each to the device.
+//! 4. **Deferred (buffered) pre-execution** — buffered+coalesced requests
+//!    vs. immediate per-field requests (Table 2's `*_BUF` interface).
+
+use janus_bench::{arg_usize, banner, geomean, RunSpec, Variant};
+use janus_core::config::{JanusConfig, SystemMode};
+use janus_core::ir::ProgramBuilder;
+use janus_core::system::System;
+use janus_nvm::{addr::LineAddr, line::Line};
+use janus_workloads::Workload;
+
+fn run_with_report(
+    spec: RunSpec,
+    tweak: impl Fn(&mut JanusConfig),
+) -> janus_core::system::ExecutionReport {
+    // Re-run through the public harness but with a tweaked config: clone
+    // the harness logic inline (the harness's `run` builds the paper
+    // config; here we need modified ones).
+    use janus_workloads::{generate, Instrumentation, WorkloadConfig};
+    let mut config = JanusConfig::paper(spec.variant.mode(), spec.cores);
+    tweak(&mut config);
+    let out = generate(
+        spec.workload,
+        0,
+        &WorkloadConfig {
+            transactions: spec.transactions,
+            seed: spec.seed,
+            dedup_ratio: spec.dedup_ratio,
+            instrumentation: if spec.variant == Variant::JanusManual {
+                Instrumentation::Manual
+            } else {
+                Instrumentation::None
+            },
+            tx_size_bytes: spec.tx_size_bytes,
+            key_skew: spec.key_skew,
+            aux_tx_fraction: 0.0,
+        },
+    );
+    let mut sys = System::new(config);
+    sys.warm_caches(out.expected.iter().map(|(a, _)| a));
+    for (first, n) in &out.resident {
+        sys.warm_caches(first.span(*n));
+    }
+    let report = sys.run(vec![out.program]);
+    for (line, value) in out.expected.iter() {
+        assert_eq!(
+            &sys.read_value(line),
+            value,
+            "{}: ablation run diverged",
+            spec.workload
+        );
+    }
+    report
+}
+
+fn run_with(spec: RunSpec, tweak: impl Fn(&mut JanusConfig)) -> f64 {
+    run_with_report(spec, tweak).cycles.0 as f64
+}
+
+fn main() {
+    let tx = arg_usize("--tx", 120);
+    banner("Ablation study", &format!("1 core, {tx} tx per run"));
+
+    // 1. Partial reuse: a workload with frequent stale data — writes whose
+    // value changes after the pre-execution hint. Use a synthetic program.
+    {
+        let mk = |partial: bool| {
+            let mut b = ProgramBuilder::new();
+            for i in 0..200u64 {
+                let line = LineAddr(i % 16);
+                let hinted = Line::from_words(&[i, 1]);
+                let actual = Line::from_words(&[i, 2]); // always stale
+                let obj = b.pre_init();
+                b.pre_both(obj, line, vec![hinted]);
+                b.compute(4000);
+                b.store(line, actual);
+                b.clwb(line);
+                b.fence();
+            }
+            let mut cfg = JanusConfig::paper(SystemMode::Janus, 1);
+            cfg.partial_reuse = partial;
+            let mut sys = System::new(cfg);
+            sys.run(vec![b.build()])
+        };
+        let with = mk(true);
+        let without = mk(false);
+        println!(
+            "1. partial reuse (stale data): {:>11} vs {:>11} wasted unit-cycles,              cycles {:+.1}%",
+            with.counter("bmo_wasted_cycles"),
+            without.counter("bmo_wasted_cycles"),
+            (without.cycles.0 as f64 / with.cycles.0 as f64 - 1.0) * 100.0
+        );
+        println!(
+            "   -> stale-data latency is bounded by the data-dependent chain either
+                   way; partial reuse saves the re-execution *work* of E1/E2"
+        );
+    }
+
+    // 2. Selective metadata atomicity, under memory pressure (few banks,
+    // shallow write queue) where flushing every metadata line matters.
+    {
+        let pressure = |c: &mut JanusConfig| {
+            c.nvm.banks = 2;
+            c.wq_capacity = 8;
+        };
+        let avg = |selective: bool| {
+            let xs: Vec<f64> = Workload::all()
+                .into_iter()
+                .map(|w| {
+                    let mut s = RunSpec::new(w, Variant::JanusManual);
+                    s.transactions = tx;
+                    run_with(s, |c| {
+                        pressure(c);
+                        c.selective_atomicity = selective;
+                    })
+                })
+                .collect();
+            geomean(&xs)
+        };
+        let sel = avg(true);
+        let full = avg(false);
+        println!(
+            "2. selective atomicity:        {:>11.0} vs {:>11.0} cycles  ({:+.1}% with full atomicity)",
+            sel,
+            full,
+            (full / sel - 1.0) * 100.0
+        );
+    }
+
+    // 3. Write-queue coalescing: compare device write traffic and cycles
+    // under the same pressure.
+    {
+        let pressure = |c: &mut JanusConfig| {
+            c.nvm.banks = 2;
+            c.wq_capacity = 8;
+            c.selective_atomicity = false; // all metadata reaches the WQ
+        };
+        let avg = |coalesce: bool| {
+            let mut cycles = Vec::new();
+            let mut dev = 0u64;
+            for w in Workload::all() {
+                let mut s = RunSpec::new(w, Variant::JanusManual);
+                s.transactions = tx;
+                let r = run_with_report(s, |c| {
+                    pressure(c);
+                    c.wq_coalescing = coalesce;
+                });
+                cycles.push(r.cycles.0 as f64);
+                dev += r.counter("nvm_device_writes");
+            }
+            (geomean(&cycles), dev)
+        };
+        let (on, dev_on) = avg(true);
+        let (off, dev_off) = avg(false);
+        println!(
+            "3. WQ coalescing:              {:>11.0} vs {:>11.0} cycles  ({:+.1}% without);              device writes {} vs {}",
+            on,
+            off,
+            (off / on - 1.0) * 100.0,
+            dev_on,
+            dev_off
+        );
+    }
+
+    // 4. Buffered vs immediate pre-execution for scattered small fields.
+    {
+        let mk = |buffered: bool| {
+            let mut b = ProgramBuilder::new();
+            for i in 0..200u64 {
+                let base = LineAddr((i % 16) * 4);
+                let values: Vec<Line> = (0..4).map(|k| Line::from_words(&[i, k])).collect();
+                let obj = b.pre_init();
+                if buffered {
+                    for (k, v) in values.iter().enumerate() {
+                        b.pre_both_buf(obj, base.offset(k as u64), vec![*v]);
+                    }
+                    b.pre_start_buf(obj);
+                } else {
+                    for (k, v) in values.iter().enumerate() {
+                        b.pre_both(obj, base.offset(k as u64), vec![*v]);
+                    }
+                }
+                b.compute(5000);
+                for (k, v) in values.iter().enumerate() {
+                    b.store(base.offset(k as u64), *v);
+                    b.clwb(base.offset(k as u64));
+                }
+                b.fence();
+            }
+            let mut sys = System::new(JanusConfig::paper(SystemMode::Janus, 1));
+            sys.run(vec![b.build()]).cycles.0 as f64
+        };
+        let buffered = mk(true);
+        let immediate = mk(false);
+        println!(
+            "4. buffered vs immediate PRE:  {:>11.0} vs {:>11.0} cycles  ({:+.1}% immediate)",
+            buffered,
+            immediate,
+            (immediate / buffered - 1.0) * 100.0
+        );
+    }
+
+    // 5. Serialized-baseline interpretation: per-write overlap (ours) vs
+    // controller-global one-write-at-a-time. Under the global reading the
+    // baseline collapses on multi-line fence groups, producing the strong
+    // transaction-size sensitivity of Figure 13 (DESIGN.md §5a).
+    {
+        println!("5. serialized-baseline interpretation (ArraySwap, Janus speedup):");
+        println!(
+            "   {:>8} {:>14} {:>14}",
+            "bytes", "overlapping", "global-serial"
+        );
+        for size in [64usize, 512, 2048] {
+            let mut js = RunSpec::new(Workload::ArraySwap, Variant::JanusManual);
+            js.transactions = 48;
+            js.tx_size_bytes = size;
+            let janus = run_with(js, |_| {});
+            let mk_base = |global: bool| {
+                let mut s = RunSpec::new(Workload::ArraySwap, Variant::Serialized);
+                s.transactions = 48;
+                s.tx_size_bytes = size;
+                run_with(s, move |c| c.serialized_global = global)
+            };
+            println!(
+                "   {:>8} {:>13.2}x {:>13.2}x",
+                size,
+                mk_base(false) / janus,
+                mk_base(true) / janus
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 10: slowdown of the serialized baseline and of Janus over the
+//! ideal case where BMO latency is off the critical path (§5.2.2).
+//!
+//! Paper result: "the serialized baseline introduces almost 4.93× slowdown
+//! ... Janus improves the performance by 2.35× ... however, it still incurs
+//! a 2.09× slowdown compared to the ideal scenario", and "on average only
+//! 45.13% of BMOs have been completely pre-executed".
+
+use janus_bench::{arg_usize, banner, geomean, row, run, speedup, RunSpec, Variant};
+use janus_workloads::Workload;
+
+fn main() {
+    let tx = arg_usize("--tx", 150);
+    banner(
+        "Figure 10 — Slowdown over non-blocking writeback (ideal)",
+        &format!("1 core, {tx} tx; lower is better"),
+    );
+    let widths = [12, 12, 10, 16];
+    println!(
+        "{}",
+        row(
+            &[
+                "workload".into(),
+                "serialized".into(),
+                "janus".into(),
+                "fully pre-exec".into()
+            ],
+            &widths
+        )
+    );
+    let mut s_all = Vec::new();
+    let mut j_all = Vec::new();
+    let mut frac_all = Vec::new();
+    for w in Workload::all() {
+        let mk = |variant| {
+            let mut s = RunSpec::new(w, variant);
+            s.transactions = tx;
+            run(s)
+        };
+        let ideal = mk(Variant::Ideal);
+        let serialized = mk(Variant::Serialized);
+        let janus = mk(Variant::JanusManual);
+        let s_slow = speedup(&serialized, &ideal); // slowdown = cycles ratio
+        let j_slow = speedup(&janus, &ideal);
+        let frac = janus.report.fully_preexecuted_fraction;
+        s_all.push(s_slow);
+        j_all.push(j_slow);
+        frac_all.push(frac);
+        println!(
+            "{}",
+            row(
+                &[
+                    w.name().into(),
+                    format!("{s_slow:.2}x"),
+                    format!("{j_slow:.2}x"),
+                    format!("{:.1}%", frac * 100.0),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("{}", "-".repeat(56));
+    println!(
+        "{}",
+        row(
+            &[
+                "Avg".into(),
+                format!("{:.2}x", geomean(&s_all)),
+                format!("{:.2}x", geomean(&j_all)),
+                format!(
+                    "{:.1}%",
+                    frac_all.iter().sum::<f64>() / frac_all.len() as f64 * 100.0
+                ),
+            ],
+            &widths
+        )
+    );
+    println!("\npaper: serialized 4.93x, Janus 2.09x, 45.13% of BMOs fully pre-executed");
+}

@@ -1,0 +1,95 @@
+//! Figure 11: manual vs. automated instrumentation (§5.2.3).
+//!
+//! Paper result: 2.35× (manual) vs 2.00× (auto) average speedup over the
+//! serialized baseline; "the automated solution does not provide a
+//! significant performance benefit in RB-Tree and Queue" (loops and
+//! pointers); "on average, the automated solution is only 13.3% slower than
+//! our best-effort manual instrumentation".
+
+use janus_bench::{arg_usize, banner, geomean, row, run, speedup, RunSpec, Variant};
+use janus_instrument::instrument;
+use janus_workloads::{generate, Workload, WorkloadConfig};
+
+fn main() {
+    let tx = arg_usize("--tx", 150);
+    banner(
+        "Figure 11 — Speedup over Serialized: manual vs automated instrumentation",
+        &format!("1 core, {tx} tx"),
+    );
+    let widths = [12, 10, 10, 10, 16];
+    println!(
+        "{}",
+        row(
+            &[
+                "workload".into(),
+                "manual".into(),
+                "auto".into(),
+                "auto-PGO".into(),
+                "pass coverage".into()
+            ],
+            &widths
+        )
+    );
+    let mut manual_all = Vec::new();
+    let mut auto_all = Vec::new();
+    let mut pgo_all = Vec::new();
+    for w in Workload::all() {
+        let mk = |variant| {
+            let mut s = RunSpec::new(w, variant);
+            s.transactions = tx;
+            run(s)
+        };
+        let serialized = mk(Variant::Serialized);
+        let manual = speedup(&serialized, &mk(Variant::JanusManual));
+        let auto = speedup(&serialized, &mk(Variant::JanusAuto));
+        let pgo = speedup(&serialized, &mk(Variant::JanusAutoPgo));
+        // Instrumentation coverage report from the pass itself.
+        let plain = generate(
+            w,
+            0,
+            &WorkloadConfig {
+                transactions: 5,
+                ..WorkloadConfig::default()
+            },
+        );
+        let (_, rep) = instrument(&plain.program);
+        manual_all.push(manual);
+        auto_all.push(auto);
+        pgo_all.push(pgo);
+        println!(
+            "{}",
+            row(
+                &[
+                    w.name().into(),
+                    format!("{manual:.2}x"),
+                    format!("{auto:.2}x"),
+                    format!("{pgo:.2}x"),
+                    format!("{:.0}%", rep.coverage() * 100.0),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("{}", "-".repeat(66));
+    let m = geomean(&manual_all);
+    let a = geomean(&auto_all);
+    let p = geomean(&pgo_all);
+    println!(
+        "{}",
+        row(
+            &[
+                "Avg".into(),
+                format!("{m:.2}x"),
+                format!("{a:.2}x"),
+                format!("{p:.2}x"),
+                format!("gap {:.1}%", (m / a - 1.0) * 100.0),
+            ],
+            &widths
+        )
+    );
+    println!("\npaper: manual 2.35x, auto 2.00x, gap 13.3%; RB-Tree and Queue see");
+    println!("       little automated benefit (loops and pointers, §4.5.2).");
+    println!("auto-PGO is our implementation of the paper's §6 future work: profile-");
+    println!("guided placement recovers the loop/pointer workloads the static pass");
+    println!("cannot handle.");
+}

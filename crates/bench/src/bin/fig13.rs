@@ -1,0 +1,61 @@
+//! Figure 13: speedup vs. transaction size, 64 B – 8 KB (§5.2.5).
+//!
+//! Paper result: "the speedup from pre-execution increases with the size of
+//! transaction in the beginning, then it starts decreasing at a certain
+//! point in all workloads \[when\] the units and buffers for BMOs become
+//! full. In comparison, the speedup from parallelization keeps increasing
+//! but at a slow rate."
+
+use janus_bench::{arg_usize, banner, row, run, speedup, RunSpec, Variant};
+use janus_workloads::Workload;
+
+fn main() {
+    let base_tx = arg_usize("--tx", 96);
+    banner(
+        "Figure 13 — Speedup over Serialized vs transaction size",
+        &format!("1 core; tx count scales down with size (base {base_tx})"),
+    );
+    let sizes = [64usize, 128, 256, 512, 1024, 2048, 4096, 8192];
+    let widths = [12, 8, 16, 16];
+    println!(
+        "{}",
+        row(
+            &[
+                "workload".into(),
+                "bytes".into(),
+                "parallelization".into(),
+                "pre-execution".into()
+            ],
+            &widths
+        )
+    );
+    for w in Workload::scalable() {
+        for &size in &sizes {
+            // Keep total work roughly constant across the sweep.
+            let tx = (base_tx * 256 / (size / 64 + 16)).clamp(24, base_tx);
+            let mk = |variant| {
+                let mut s = RunSpec::new(w, variant);
+                s.transactions = tx;
+                s.tx_size_bytes = size;
+                run(s)
+            };
+            let serialized = mk(Variant::Serialized);
+            let par = speedup(&serialized, &mk(Variant::Parallelized));
+            let pre = speedup(&serialized, &mk(Variant::JanusManual));
+            println!(
+                "{}",
+                row(
+                    &[
+                        w.name().into(),
+                        size.to_string(),
+                        format!("{par:.2}x"),
+                        format!("{pre:.2}x"),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    println!("\npaper: pre-execution rises then falls once BMO units/buffers saturate;");
+    println!("       parallelization rises slowly and monotonically");
+}

@@ -1,0 +1,96 @@
+//! Figure 3: timeline of one undo-logging transaction under (a) serialized,
+//! (b) parallelized, and (c) pre-executed BMOs.
+//!
+//! Prints the three steps (backup / in-place update / commit) with the
+//! simulated instant each step's fence unblocked, and an ASCII timeline.
+
+use janus_bench::banner;
+use janus_core::config::{JanusConfig, SystemMode};
+use janus_core::ir::{Op, Program, ProgramBuilder};
+use janus_core::system::System;
+use janus_nvm::{addr::LineAddr, line::Line};
+
+/// One undo-log transaction: backup, update, commit — with pre-execution
+/// hints for the update and commit issued at transaction start (Figure 4).
+fn tx(pre: bool) -> Program {
+    let mut b = ProgramBuilder::new();
+    let target = LineAddr(1);
+    let log = LineAddr(100);
+    let commit = LineAddr(200);
+    let new_val = Line::splat(7);
+    let commit_val = Line::from_words(&[1, 0xC0FFEE]);
+    b.tx_begin();
+    if pre {
+        let o1 = b.pre_init();
+        b.pre_both(o1, target, vec![new_val]);
+        let o2 = b.pre_init();
+        b.pre_both(o2, commit, vec![commit_val]);
+    }
+    b.load(target);
+    // Step 1: backup.
+    b.store(log, Line::zero());
+    b.clwb(log);
+    b.fence();
+    // Step 2: in-place update.
+    b.store(target, new_val);
+    b.clwb(target);
+    b.fence();
+    // Step 3: commit.
+    b.store(commit, commit_val);
+    b.clwb(commit);
+    b.fence();
+    b.tx_commit();
+    b.build()
+}
+
+/// Instant of each fence completion: run the program, recording the time at
+/// which each op *after* a fence executes.
+fn fence_times(mode: SystemMode, pre: bool) -> Vec<u64> {
+    // Insert sentinels by splitting at fences and timing sub-programs.
+    let program = tx(pre);
+    let mut times = Vec::new();
+    let mut prefix = ProgramBuilder::new();
+    for op in &program.ops {
+        prefix.push(op.clone());
+        if matches!(op, Op::Fence) {
+            let mut sys = System::new(JanusConfig::paper(mode, 1));
+            let r = sys.run(vec![prefix.clone().build()]);
+            times.push(r.cycles.0);
+        }
+    }
+    times
+}
+
+fn bar(label: &str, steps: &[u64]) {
+    print!("{label:<14}");
+    let scale = 120.0; // cycles per char
+    let mut prev = 0u64;
+    for (i, &t) in steps.iter().enumerate() {
+        let width = ((t - prev) as f64 / scale).round().max(1.0) as usize;
+        let c = ["B", "U", "C"][i.min(2)];
+        print!("{}|", c.repeat(width));
+        prev = t;
+    }
+    println!("  ({} cycles total)", steps.last().unwrap());
+}
+
+fn main() {
+    banner(
+        "Figure 3 — timeline of an undo-log transaction",
+        "B = backup step, U = in-place update, C = commit (fence-to-fence)",
+    );
+    let serialized = fence_times(SystemMode::Serialized, false);
+    let parallel = fence_times(SystemMode::Parallelized, false);
+    let janus = fence_times(SystemMode::Janus, true);
+    bar("serialized", &serialized);
+    bar("parallelized", &parallel);
+    bar("pre-executed", &janus);
+    println!();
+    println!(
+        "pre-execution leaves only the backup step's BMOs on the critical path\n\
+         (its inputs are not known early); the update and commit fences complete\n\
+         in ~{} cycles instead of ~{}.",
+        janus[1] - janus[0],
+        serialized[1] - serialized[0],
+    );
+}

@@ -1,0 +1,83 @@
+//! Figure 9: speedup of Janus over the serialized design with different
+//! numbers of cores (1/2/4/8), separating the parallelization-only and full
+//! pre-execution design points.
+//!
+//! Paper result: "Janus provides on average 2.35 ∼ 1.87× speedup in 1∼8-core
+//! systems", with B-Tree/TATP/TPCC above Hash Table/RB-Tree, and
+//! parallelization alone delivering a lower speedup than pre-execution.
+
+use janus_bench::{arg_usize, banner, geomean, row, run, RunSpec, Variant};
+use janus_workloads::Workload;
+
+fn main() {
+    let tx = arg_usize("--tx", 150);
+    banner(
+        "Figure 9 — Speedup over Serialized vs. core count",
+        &format!("bars: Parallelization | Pre-execution (Janus, manual); {tx} tx/core"),
+    );
+    let cores_list = [1usize, 2, 4, 8];
+    let widths = [12, 6, 16, 16];
+    println!(
+        "{}",
+        row(
+            &[
+                "workload".into(),
+                "cores".into(),
+                "parallelization".into(),
+                "pre-execution".into()
+            ],
+            &widths
+        )
+    );
+
+    let mut avg_par: Vec<Vec<f64>> = vec![Vec::new(); cores_list.len()];
+    let mut avg_pre: Vec<Vec<f64>> = vec![Vec::new(); cores_list.len()];
+    for w in Workload::all() {
+        for (ci, &cores) in cores_list.iter().enumerate() {
+            let mk = |variant| {
+                let mut s = RunSpec::new(w, variant);
+                s.cores = cores;
+                s.transactions = tx;
+                run(s)
+            };
+            let serialized = mk(Variant::Serialized);
+            let par = speed(&serialized, &mk(Variant::Parallelized));
+            let pre = speed(&serialized, &mk(Variant::JanusManual));
+            avg_par[ci].push(par);
+            avg_pre[ci].push(pre);
+            println!(
+                "{}",
+                row(
+                    &[
+                        w.name().into(),
+                        cores.to_string(),
+                        format!("{par:.2}x"),
+                        format!("{pre:.2}x"),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    println!("{}", "-".repeat(56));
+    for (ci, &cores) in cores_list.iter().enumerate() {
+        println!(
+            "{}",
+            row(
+                &[
+                    "Avg".into(),
+                    cores.to_string(),
+                    format!("{:.2}x", geomean(&avg_par[ci])),
+                    format!("{:.2}x", geomean(&avg_pre[ci])),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\npaper: pre-execution avg 2.35x (1 core) declining to 1.87x (8 cores);");
+    println!("       parallelization below pre-execution; B-Tree/TATP/TPCC > Hash/RB-Tree");
+}
+
+fn speed(slow: &janus_bench::RunResult, fast: &janus_bench::RunResult) -> f64 {
+    janus_bench::speedup(slow, fast)
+}

@@ -1,0 +1,105 @@
+//! General-purpose experiment driver: run any workload on any system design
+//! with any knob, and dump machine-readable statistics.
+//!
+//! ```text
+//! cargo run --release -p janus-bench --bin janus-cli -- \
+//!     --workload btree --variant janus --cores 2 --tx 200 --dump
+//! ```
+//!
+//! Flags: `--workload <array|queue|hash|rbtree|btree|tatp|tpcc>`,
+//! `--variant <serialized|parallelized|janus|auto|pgo|ideal>`, `--cores N`,
+//! `--tx N`, `--size BYTES`, `--dedup RATIO`, `--seed N`, `--crc32`,
+//! `--scale <N|unlimited>`, `--skew THETA`, `--aux FRACTION`,
+//! `--dump` (gem5-style stats to stdout).
+
+use janus_bench::{run, RunSpec, Variant};
+use janus_workloads::Workload;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    let workload: Workload = match arg("--workload").as_deref().unwrap_or("tatp").parse() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let variant = match arg("--variant").as_deref().unwrap_or("janus") {
+        "serialized" => Variant::Serialized,
+        "parallelized" => Variant::Parallelized,
+        "janus" | "manual" => Variant::JanusManual,
+        "auto" | "compiler" => Variant::JanusAuto,
+        "pgo" | "profile" => Variant::JanusAutoPgo,
+        "ideal" => Variant::Ideal,
+        other => {
+            eprintln!("unknown variant {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut spec = RunSpec::new(workload, variant);
+    if let Some(v) = arg("--cores") {
+        spec.cores = v.parse().expect("--cores N");
+    }
+    if let Some(v) = arg("--tx") {
+        spec.transactions = v.parse().expect("--tx N");
+    }
+    if let Some(v) = arg("--size") {
+        spec.tx_size_bytes = v.parse().expect("--size BYTES");
+    }
+    if let Some(v) = arg("--dedup") {
+        spec.dedup_ratio = v.parse().expect("--dedup RATIO");
+    }
+    if let Some(v) = arg("--seed") {
+        spec.seed = v.parse().expect("--seed N");
+    }
+    if let Some(v) = arg("--skew") {
+        spec.key_skew = Some(v.parse().expect("--skew THETA"));
+    }
+    if let Some(v) = arg("--aux") {
+        spec.aux_tx_fraction = v.parse().expect("--aux FRACTION");
+    }
+    if flag("--crc32") {
+        spec.crc32 = true;
+    }
+    if let Some(v) = arg("--scale") {
+        spec.resource_scale = Some(if v == "unlimited" {
+            usize::MAX
+        } else {
+            v.parse().expect("--scale N|unlimited")
+        });
+    }
+
+    let result = run(spec.clone());
+    if flag("--dump") {
+        result
+            .report
+            .dump(&mut std::io::stdout())
+            .expect("write stats");
+    } else {
+        println!(
+            "{} [{}] cores={} tx={}: {} cycles, {:.2} tx/Mcycle, \
+             {:.0}% fully pre-executed, {} writes ({} dup)",
+            spec.workload,
+            spec.variant.label(),
+            spec.cores,
+            spec.transactions,
+            result.report.cycles,
+            result.report.tx_per_mcycle(),
+            result.report.fully_preexecuted_fraction * 100.0,
+            result.report.writes,
+            result.report.dup_writes,
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! §5.2.7: hardware storage and area overhead of Janus.
+
+use janus_bench::banner;
+use janus_core::config::{JanusConfig, SystemMode};
+use janus_core::overhead::overhead;
+
+fn main() {
+    banner(
+        "§5.2.7 — Hardware overhead analysis",
+        "queue/buffer storage and BMO-unit area",
+    );
+    let r = overhead(&JanusConfig::paper(SystemMode::Janus, 1));
+    println!(
+        "Pre-execution Request Queue:   {} entries x {} bits",
+        r.req_entries, r.req_entry_bits
+    );
+    println!(
+        "Pre-execution Operation Queue: {} entries x {} bits",
+        r.op_entries, r.op_entry_bits
+    );
+    println!(
+        "Intermediate Result Buffer:    {} entries x {} B",
+        r.irb_entries, r.irb_entry_bytes
+    );
+    println!(
+        "total storage: {:.2} KB ({:.2}% of the {} MB LLC)",
+        r.total_bytes as f64 / 1024.0,
+        r.pct_of_llc(),
+        r.llc_bytes >> 20,
+    );
+    println!(
+        "4-wide BMO units: ~{}k gates, ~{} mm2 at 14nm",
+        r.bmo_gates / 1000,
+        r.bmo_area_mm2
+    );
+    println!("\npaper: 9.25 KB total, 0.51% of LLC, 300k gates, 0.065 mm2");
+}

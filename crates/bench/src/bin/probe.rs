@@ -1,0 +1,51 @@
+//! Calibration probe (not a paper figure): raw cycle counts per variant.
+
+use janus_bench::{arg_usize, run, RunSpec, Variant};
+use janus_workloads::Workload;
+
+fn main() {
+    let tx = arg_usize("--tx", 60);
+    let size = arg_usize("--size", 64);
+    for w in [Workload::ArraySwap, Workload::Tatp] {
+        for cores in [1usize, 2, 4, 8] {
+            if cores > arg_usize("--maxcores", 8) {
+                continue;
+            }
+            for v in [
+                Variant::Serialized,
+                Variant::Parallelized,
+                Variant::JanusManual,
+                Variant::Ideal,
+            ] {
+                let mut s = RunSpec::new(w, v);
+                s.cores = cores;
+                s.transactions = tx;
+                s.tx_size_bytes = size;
+                let r = run(s);
+                println!(
+                    "{:<11} c{} {:<16} cycles={:>10} cyc/tx={:>8.0} full_pre={:.2} wq_stall={:>9} invd={} invm={}",
+                    w.name(),
+                    cores,
+                    v.label(),
+                    r.report.cycles.0,
+                    r.report.cycles.0 as f64 / tx as f64,
+                    r.report.fully_preexecuted_fraction,
+                    r.report.counter("writes"),
+                    r.report.counter("inval_data"),
+                    r.report.counter("inval_meta"),
+                );
+                println!(
+                    "             wlat={} rlat={} pre_full={} pre_part={} pre_miss={} irb={:?} opdrop={} reqdrop={}",
+                    r.report.mean_write_latency,
+                    r.report.mean_read_latency,
+                    r.report.counter("pre_full"),
+                    r.report.counter("pre_partial"),
+                    r.report.counter("pre_miss"),
+                    r.report.irb,
+                    r.report.counter("pre_op_dropped"),
+                    r.report.counter("pre_req_dropped"),
+                );
+            }
+        }
+    }
+}

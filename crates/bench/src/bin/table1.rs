@@ -1,0 +1,43 @@
+//! Table 1: the landscape of backend memory operations in NVM systems,
+//! with each operation's extra latency on writes.
+
+use janus_bench::banner;
+use janus_bmo::latency::{table1, BmoLatencies};
+
+fn main() {
+    banner(
+        "Table 1 — Backend memory operations in NVM systems",
+        "category, operation, and extra latency on writes",
+    );
+    println!(
+        "{:<12} {:<24} {:>16}  description",
+        "type", "backend operation", "extra latency"
+    );
+    println!("{}", "-".repeat(110));
+    for r in table1() {
+        let lat = if r.extra_latency_ns.0 == r.extra_latency_ns.1 {
+            format!("{} ns", r.extra_latency_ns.0)
+        } else {
+            format!("{}-{} ns", r.extra_latency_ns.0, r.extra_latency_ns.1)
+        };
+        println!(
+            "{:<12} {:<24} {:>16}  {}",
+            r.category, r.name, lat, r.description
+        );
+    }
+    let l = BmoLatencies::paper();
+    println!(
+        "\nevaluated BMO set (Table 3): AES-128 {} ns, SHA-1 {} ns, MD5 {} ns, \
+         {}-level Merkle tree ({} ns per write)",
+        l.aes.as_ns(),
+        l.sha1.as_ns(),
+        l.dedup_hash.as_ns(),
+        l.merkle_levels,
+        (l.sha1 * l.merkle_levels as u64).as_ns(),
+    );
+    println!(
+        "serialized total per write: {} ns ({}x the 15 ns cache writeback)",
+        l.serialized_total().as_ns(),
+        (l.serialized_total().as_ns() / 15.0).round(),
+    );
+}

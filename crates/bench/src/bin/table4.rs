@@ -1,0 +1,44 @@
+//! Table 4: the evaluated workloads, with trace statistics from our
+//! generators (writes and pre-execution calls per transaction).
+
+use janus_bench::banner;
+use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
+
+fn main() {
+    banner(
+        "Table 4 — Evaluated workloads",
+        "descriptions plus per-transaction trace statistics (100 tx sample)",
+    );
+    let descriptions = [
+        "Swap random items in an array",
+        "Randomly en/dequeue items to/from a queue",
+        "Insert random values to a hash table",
+        "Insert random values to a b-tree",
+        "Insert random values to a red-black tree",
+        "Update random records in the TATP benchmark",
+        "Add new orders from the TPCC benchmark",
+    ];
+    println!(
+        "{:<12} {:<46} {:>9} {:>9}",
+        "workload", "description", "writes/tx", "pre/tx"
+    );
+    println!("{}", "-".repeat(80));
+    for (w, desc) in Workload::all().into_iter().zip(descriptions) {
+        let out = generate(
+            w,
+            0,
+            &WorkloadConfig {
+                transactions: 100,
+                instrumentation: Instrumentation::Manual,
+                ..WorkloadConfig::default()
+            },
+        );
+        println!(
+            "{:<12} {:<46} {:>9.1} {:>9.1}",
+            w.name(),
+            desc,
+            out.program.write_count() as f64 / 100.0,
+            out.program.pre_op_count() as f64 / 100.0,
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! # janus-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md §5
+//! for the index). This library holds the shared runner: it builds the
+//! configured system, generates one workload instance per core, applies the
+//! requested instrumentation (manual, automated compiler pass, or none),
+//! runs the simulation, verifies functional correctness against the
+//! workload's oracle, and returns the execution report.
+
+use janus_core::config::{JanusConfig, SystemMode};
+use janus_core::ir::Program;
+use janus_core::system::{ExecutionReport, System};
+use janus_instrument::instrument;
+use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
+
+/// The five evaluated system variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Baseline: serialized BMOs.
+    Serialized,
+    /// Parallelized sub-operations, no pre-execution.
+    Parallelized,
+    /// Janus with hand-placed pre-execution calls.
+    JanusManual,
+    /// Janus with the automated compiler pass.
+    JanusAuto,
+    /// Janus with the profile-guided pass (the §6 future-work extension).
+    JanusAutoPgo,
+    /// Non-blocking-writeback ideal (§5.2.2).
+    Ideal,
+}
+
+impl Variant {
+    /// The simulator mode for this variant.
+    pub fn mode(self) -> SystemMode {
+        match self {
+            Variant::Serialized => SystemMode::Serialized,
+            Variant::Parallelized => SystemMode::Parallelized,
+            Variant::JanusManual | Variant::JanusAuto | Variant::JanusAutoPgo => SystemMode::Janus,
+            Variant::Ideal => SystemMode::Ideal,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Serialized => "Serialized",
+            Variant::Parallelized => "Parallelization",
+            Variant::JanusManual => "Janus (Manual)",
+            Variant::JanusAuto => "Janus (Auto)",
+            Variant::JanusAutoPgo => "Janus (PGO)",
+            Variant::Ideal => "Non-blocking",
+        }
+    }
+}
+
+/// A complete experiment specification.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// The workload.
+    pub workload: Workload,
+    /// The system variant.
+    pub variant: Variant,
+    /// Core count (one workload instance per core).
+    pub cores: usize,
+    /// Transactions per core.
+    pub transactions: usize,
+    /// Target dedup ratio.
+    pub dedup_ratio: f64,
+    /// Payload bytes per transaction step (Figure 13).
+    pub tx_size_bytes: usize,
+    /// Use CRC-32 instead of MD5 for dedup fingerprints (Figure 12).
+    pub crc32: bool,
+    /// Pre-execution resource scaling: `None` = paper default, `Some(k)` =
+    /// k×, `Some(usize::MAX)` = unlimited (Figure 14).
+    pub resource_scale: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional Zipfian key skew for the key-selecting workloads.
+    pub key_skew: Option<f64>,
+    /// Fraction of auxiliary transactions (TATP reads / TPC-C payments).
+    pub aux_tx_fraction: f64,
+}
+
+impl RunSpec {
+    /// The paper's default setup for a workload/variant pair.
+    pub fn new(workload: Workload, variant: Variant) -> Self {
+        RunSpec {
+            workload,
+            variant,
+            cores: 1,
+            transactions: 200,
+            dedup_ratio: 0.5,
+            tx_size_bytes: 64,
+            crc32: false,
+            resource_scale: None,
+            seed: 42,
+            key_skew: None,
+            aux_tx_fraction: 0.0,
+        }
+    }
+
+    fn config(&self) -> JanusConfig {
+        let mut c = JanusConfig::paper(self.variant.mode(), self.cores);
+        if self.crc32 {
+            c = c.with_crc32();
+        }
+        match self.resource_scale {
+            None => {}
+            Some(usize::MAX) => c = c.unlimited(),
+            Some(k) => c = c.scale_resources(k),
+        }
+        c
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn program_for_core(
+        &self,
+        core: usize,
+    ) -> (
+        Program,
+        janus_nvm::store::LineStore,
+        Vec<(janus_nvm::addr::LineAddr, u64)>,
+    ) {
+        let instrumentation = match self.variant {
+            Variant::JanusManual => Instrumentation::Manual,
+            _ => Instrumentation::None,
+        };
+        let cfg = WorkloadConfig {
+            transactions: self.transactions,
+            seed: self.seed,
+            dedup_ratio: self.dedup_ratio,
+            instrumentation,
+            tx_size_bytes: self.tx_size_bytes,
+            key_skew: self.key_skew,
+            aux_tx_fraction: self.aux_tx_fraction,
+        };
+        let out = generate(self.workload, core, &cfg);
+        let program = match self.variant {
+            Variant::JanusAuto => instrument(&out.program).0,
+            Variant::JanusAutoPgo => janus_instrument::dynamic::instrument_dynamic(&out.program).0,
+            _ => out.program,
+        };
+        (program, out.expected, out.resident)
+    }
+}
+
+/// Result of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The simulator's report.
+    pub report: ExecutionReport,
+    /// The spec that produced it.
+    pub spec: RunSpec,
+}
+
+impl RunResult {
+    /// Execution cycles (the metric every speedup is computed from).
+    pub fn cycles(&self) -> f64 {
+        self.report.cycles.0 as f64
+    }
+}
+
+/// Runs one experiment and verifies the functional oracle.
+///
+/// # Panics
+///
+/// Panics if the simulated NVM contents differ from the workload's expected
+/// final state — the harness refuses to report numbers from a broken run.
+pub fn run(spec: RunSpec) -> RunResult {
+    let mut sys = System::new(spec.config());
+    let mut programs = Vec::with_capacity(spec.cores);
+    let mut oracles = Vec::with_capacity(spec.cores);
+    for core in 0..spec.cores {
+        let (p, expected, resident) = spec.program_for_core(core);
+        programs.push(p);
+        // Steady-state measurement: the workload's written set and its
+        // declared resident structures start warm in the shared L2.
+        sys.warm_caches(expected.iter().map(|(a, _)| a));
+        for (first, n) in resident {
+            sys.warm_caches(first.span(n));
+        }
+        oracles.push(expected);
+    }
+    let report = sys.run(programs);
+    for (core, oracle) in oracles.iter().enumerate() {
+        for (line, value) in oracle.iter() {
+            assert_eq!(
+                &sys.read_value(line),
+                value,
+                "{} [{}] core {core}: line {line} diverged",
+                spec.workload,
+                spec.variant.label(),
+            );
+        }
+    }
+    RunResult { report, spec }
+}
+
+/// Speedup of `fast` over `slow` (cycles ratio).
+pub fn speedup(slow: &RunResult, fast: &RunResult) -> f64 {
+    slow.cycles() / fast.cycles()
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Formats a row of fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Reads `--name value` from the process arguments, with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a standard experiment header.
+pub fn banner(title: &str, detail: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{detail}");
+    println!("{}", "=".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_all_variants_agree_functionally() {
+        // The oracle assertions inside `run` are the real test.
+        for variant in [
+            Variant::Serialized,
+            Variant::Parallelized,
+            Variant::JanusManual,
+            Variant::JanusAuto,
+            Variant::Ideal,
+        ] {
+            let mut spec = RunSpec::new(Workload::ArraySwap, variant);
+            spec.transactions = 10;
+            let r = run(spec);
+            assert_eq!(r.report.transactions, 10);
+        }
+    }
+
+    #[test]
+    fn speedup_ordering_on_tatp() {
+        let mut s = RunSpec::new(Workload::Tatp, Variant::Serialized);
+        s.transactions = 30;
+        let mut p = s.clone();
+        p.variant = Variant::Parallelized;
+        let mut j = s.clone();
+        j.variant = Variant::JanusManual;
+        let (rs, rp, rj) = (run(s), run(p), run(j));
+        assert!(speedup(&rs, &rp) > 1.0);
+        assert!(speedup(&rs, &rj) > speedup(&rs, &rp));
+    }
+
+    #[test]
+    fn geomean_and_row_helpers() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

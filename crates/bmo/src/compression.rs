@@ -1,0 +1,381 @@
+//! Base-Delta-Immediate (BDI) cache-line compression.
+//!
+//! Table 1 lists inline compression among the bandwidth BMOs, citing
+//! Pekhimenko et al.'s BDI scheme (PACT 2012): a 64-byte line is encoded as
+//! one *base* value plus small per-word *deltas* when its values are close
+//! together — which real data very often is (pointers into one region,
+//! counters, zero padding).
+//!
+//! This module implements the classic scheme menu:
+//!
+//! | scheme | base | delta | compressed size |
+//! |---|---|---|---|
+//! | `Zeros` | — | — | 1 B |
+//! | `Repeat8` | 8 B | 0 | 9 B |
+//! | `B8D1` | 8 B | 1 B | 16 B |
+//! | `B8D2` | 8 B | 2 B | 24 B |
+//! | `B8D4` | 8 B | 4 B | 40 B |
+//! | `B4D1` | 4 B | 1 B | 20 B |
+//! | `B4D2` | 4 B | 2 B | 36 B |
+//! | `B2D1` | 2 B | 1 B | 34 B |
+//!
+//! The encoder picks the smallest applicable scheme; decode is exact. The
+//! extended-BMO pipeline uses it to shrink NVM write payloads (the C1
+//! sub-operation), and the harness reports achieved compression ratios.
+
+use janus_nvm::line::{Line, LINE_BYTES};
+
+/// The encoding chosen for a line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// All 64 bytes are zero.
+    Zeros,
+    /// Eight identical 8-byte words.
+    Repeat8,
+    /// 8-byte base + 1-byte deltas.
+    B8D1,
+    /// 8-byte base + 2-byte deltas.
+    B8D2,
+    /// 8-byte base + 4-byte deltas.
+    B8D4,
+    /// 4-byte base + 1-byte deltas.
+    B4D1,
+    /// 4-byte base + 2-byte deltas.
+    B4D2,
+    /// 2-byte base + 1-byte deltas.
+    B2D1,
+    /// Incompressible: stored raw.
+    Raw,
+}
+
+impl Scheme {
+    /// Compressed size in bytes (64 for `Raw`).
+    pub fn size(self) -> usize {
+        match self {
+            Scheme::Zeros => 1,
+            Scheme::Repeat8 => 9,
+            Scheme::B8D1 => 16,
+            Scheme::B8D2 => 24,
+            Scheme::B8D4 => 40,
+            Scheme::B4D1 => 20,
+            Scheme::B4D2 => 36,
+            Scheme::B2D1 => 34,
+            Scheme::Raw => LINE_BYTES,
+        }
+    }
+
+    /// Wire tag for persistence (fits one byte).
+    pub fn tag(self) -> u8 {
+        match self {
+            Scheme::Zeros => 0,
+            Scheme::Repeat8 => 1,
+            Scheme::B8D1 => 2,
+            Scheme::B8D2 => 3,
+            Scheme::B8D4 => 4,
+            Scheme::B4D1 => 5,
+            Scheme::B4D2 => 6,
+            Scheme::B2D1 => 7,
+            Scheme::Raw => 255,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Option<Scheme> {
+        Some(match tag {
+            0 => Scheme::Zeros,
+            1 => Scheme::Repeat8,
+            2 => Scheme::B8D1,
+            3 => Scheme::B8D2,
+            4 => Scheme::B8D4,
+            5 => Scheme::B4D1,
+            6 => Scheme::B4D2,
+            7 => Scheme::B2D1,
+            255 => Scheme::Raw,
+            _ => return None,
+        })
+    }
+}
+
+/// A compressed line: the scheme plus its payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Compressed {
+    /// Chosen scheme.
+    pub scheme: Scheme,
+    /// Encoded payload (`scheme.size()` bytes; for `Raw`, the line itself).
+    pub bytes: Vec<u8>,
+}
+
+impl Compressed {
+    /// Compression ratio (original / compressed).
+    pub fn ratio(&self) -> f64 {
+        LINE_BYTES as f64 / self.bytes.len() as f64
+    }
+}
+
+fn words<const W: usize>(line: &Line) -> Vec<u64> {
+    line.as_bytes()
+        .chunks_exact(W)
+        .map(|c| {
+            let mut v = 0u64;
+            for (i, b) in c.iter().enumerate() {
+                v |= (*b as u64) << (8 * i);
+            }
+            v
+        })
+        .collect()
+}
+
+/// Tries base-size `W`, delta-size `D`; returns the payload on success:
+/// base (W bytes) + one D-byte delta per word.
+fn try_base_delta<const W: usize, const D: usize>(line: &Line) -> Option<Vec<u8>> {
+    let ws = words::<W>(line);
+    let base = ws[0];
+    let limit = 1i128 << (8 * D - 1);
+    let mut out = Vec::with_capacity(W + ws.len() * D);
+    out.extend_from_slice(&base.to_le_bytes()[..W]);
+    for &w in &ws {
+        let delta = w as i128 - base as i128;
+        if delta < -limit || delta >= limit {
+            return None;
+        }
+        out.extend_from_slice(&(delta as i64).to_le_bytes()[..D]);
+    }
+    Some(out)
+}
+
+/// Compresses a line with the best applicable scheme.
+pub fn compress(line: &Line) -> Compressed {
+    if line.is_zero() {
+        return Compressed {
+            scheme: Scheme::Zeros,
+            bytes: vec![0],
+        };
+    }
+    let w8 = words::<8>(line);
+    if w8.iter().all(|&w| w == w8[0]) {
+        let mut bytes = vec![0u8; 9];
+        bytes[..8].copy_from_slice(&w8[0].to_le_bytes());
+        bytes[8] = 1;
+        return Compressed {
+            scheme: Scheme::Repeat8,
+            bytes,
+        };
+    }
+    // Try schemes from smallest compressed size upward.
+    type Encoder = fn(&Line) -> Option<Vec<u8>>;
+    let candidates: [(Scheme, Encoder); 6] = [
+        (Scheme::B8D1, try_base_delta::<8, 1>),
+        (Scheme::B4D1, try_base_delta::<4, 1>),
+        (Scheme::B8D2, try_base_delta::<8, 2>),
+        (Scheme::B2D1, try_base_delta::<2, 1>),
+        (Scheme::B4D2, try_base_delta::<4, 2>),
+        (Scheme::B8D4, try_base_delta::<8, 4>),
+    ];
+    for (scheme, f) in candidates {
+        if let Some(bytes) = f(line) {
+            debug_assert_eq!(bytes.len(), scheme.size());
+            return Compressed { scheme, bytes };
+        }
+    }
+    Compressed {
+        scheme: Scheme::Raw,
+        bytes: line.as_bytes().to_vec(),
+    }
+}
+
+/// Decompresses a payload produced by [`compress`].
+///
+/// # Panics
+///
+/// Panics if the payload length does not match the scheme.
+pub fn decompress(c: &Compressed) -> Line {
+    assert_eq!(c.bytes.len(), c.scheme.size(), "corrupt payload");
+    match c.scheme {
+        Scheme::Zeros => Line::zero(),
+        Scheme::Repeat8 => {
+            let w = u64::from_le_bytes(c.bytes[..8].try_into().expect("8 bytes"));
+            Line::from_words(&[w; 8])
+        }
+        Scheme::Raw => {
+            let bytes: [u8; LINE_BYTES] = c.bytes.as_slice().try_into().expect("64 bytes");
+            Line(bytes)
+        }
+        Scheme::B8D1 => un_base_delta::<8, 1>(&c.bytes),
+        Scheme::B8D2 => un_base_delta::<8, 2>(&c.bytes),
+        Scheme::B8D4 => un_base_delta::<8, 4>(&c.bytes),
+        Scheme::B4D1 => un_base_delta::<4, 1>(&c.bytes),
+        Scheme::B4D2 => un_base_delta::<4, 2>(&c.bytes),
+        Scheme::B2D1 => un_base_delta::<2, 1>(&c.bytes),
+    }
+}
+
+fn un_base_delta<const W: usize, const D: usize>(bytes: &[u8]) -> Line {
+    let mut base_bytes = [0u8; 8];
+    base_bytes[..W].copy_from_slice(&bytes[..W]);
+    let base = u64::from_le_bytes(base_bytes);
+    let mask: u64 = if W == 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * W)) - 1
+    };
+    let mut out = [0u8; LINE_BYTES];
+    for (k, d) in bytes[W..].chunks_exact(D).enumerate() {
+        // Sign-extend the delta.
+        let mut db = [0u8; 8];
+        db[..D].copy_from_slice(d);
+        let mut delta = i64::from_le_bytes(db);
+        let shift = 64 - 8 * D as u32;
+        delta = (delta << shift) >> shift;
+        let w = (base as i128 + delta as i128) as u64 & mask;
+        out[k * W..(k + 1) * W].copy_from_slice(&w.to_le_bytes()[..W]);
+    }
+    Line(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_sim::rng::SimRng;
+
+    fn round_trip(line: Line) -> Scheme {
+        let c = compress(&line);
+        assert_eq!(decompress(&c), line, "scheme {:?}", c.scheme);
+        c.scheme
+    }
+
+    #[test]
+    fn zeros_compress_to_one_byte() {
+        assert_eq!(round_trip(Line::zero()), Scheme::Zeros);
+        assert_eq!(compress(&Line::zero()).bytes.len(), 1);
+    }
+
+    #[test]
+    fn repeated_word_compresses() {
+        let line = Line::from_words(&[0xDEAD_BEEF_CAFE; 8]);
+        assert_eq!(round_trip(line), Scheme::Repeat8);
+    }
+
+    #[test]
+    fn nearby_pointers_use_b8d1() {
+        // Eight pointers into one 256-byte region.
+        let base = 0x7FFF_AA00_1000u64;
+        let line = Line::from_words(&[
+            base,
+            base + 24,
+            base + 48,
+            base + 8,
+            base + 120,
+            base + 96,
+            base + 64,
+            base + 32,
+        ]);
+        assert_eq!(round_trip(line), Scheme::B8D1);
+    }
+
+    #[test]
+    fn wider_deltas_fall_through_schemes() {
+        let base = 1u64 << 40;
+        let line = Line::from_words(&[base, base + 1000, base, base, base, base, base, base]);
+        let s = round_trip(line);
+        assert_eq!(s, Scheme::B8D2);
+        let line4 = Line::from_words(&[base, base + 1_000_000, base, base, base, base, base, base]);
+        assert_eq!(round_trip(line4), Scheme::B8D4);
+    }
+
+    #[test]
+    fn small_values_use_narrow_bases() {
+        // 16 small u32 values with tiny spread → B4D1.
+        let mut bytes = [0u8; LINE_BYTES];
+        for k in 0..16 {
+            let v = 5000u32 + k as u32;
+            bytes[k * 4..k * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        let s = round_trip(Line(bytes));
+        assert!(matches!(s, Scheme::B4D1 | Scheme::B8D1), "{s:?}");
+    }
+
+    #[test]
+    fn random_data_is_raw() {
+        let mut rng = SimRng::new(1);
+        let mut bytes = [0u8; LINE_BYTES];
+        rng.fill_bytes(&mut bytes);
+        assert_eq!(round_trip(Line(bytes)), Scheme::Raw);
+    }
+
+    #[test]
+    fn negative_deltas_round_trip() {
+        let base = 1000u64;
+        let line = Line::from_words(&[
+            base,
+            base - 100,
+            base - 1,
+            base,
+            base - 50,
+            base,
+            base,
+            base,
+        ]);
+        let s = round_trip(line);
+        assert_eq!(s, Scheme::B8D1);
+    }
+
+    #[test]
+    fn exhaustive_round_trip_fuzz() {
+        let mut rng = SimRng::new(99);
+        for case in 0..2_000 {
+            let mut bytes = [0u8; LINE_BYTES];
+            match case % 5 {
+                0 => {
+                    // structured: base + small deltas
+                    let base = rng.next_u64() >> 8;
+                    for k in 0..8 {
+                        let w = base.wrapping_add(rng.gen_range(256));
+                        bytes[k * 8..k * 8 + 8].copy_from_slice(&w.to_le_bytes());
+                    }
+                }
+                1 => rng.fill_bytes(&mut bytes),
+                2 => {} // zeros
+                3 => {
+                    let w = rng.next_u64();
+                    for k in 0..8 {
+                        bytes[k * 8..k * 8 + 8].copy_from_slice(&w.to_le_bytes());
+                    }
+                }
+                _ => {
+                    let base = rng.gen_range(1 << 16) as u32;
+                    for k in 0..16 {
+                        let v = base.wrapping_add(rng.gen_range(100) as u32);
+                        bytes[k * 4..k * 4 + 4].copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            round_trip(Line(bytes));
+        }
+    }
+
+    #[test]
+    fn scheme_tags_round_trip() {
+        for s in [
+            Scheme::Zeros,
+            Scheme::Repeat8,
+            Scheme::B8D1,
+            Scheme::B8D2,
+            Scheme::B8D4,
+            Scheme::B4D1,
+            Scheme::B4D2,
+            Scheme::B2D1,
+            Scheme::Raw,
+        ] {
+            assert_eq!(Scheme::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(Scheme::from_tag(42), None);
+    }
+
+    #[test]
+    fn sizes_are_monotone_sane() {
+        assert!(Scheme::Zeros.size() < Scheme::Repeat8.size());
+        assert!(Scheme::B8D1.size() < Scheme::B8D2.size());
+        assert!(Scheme::B8D2.size() < Scheme::B8D4.size());
+        assert!(Scheme::Raw.size() == LINE_BYTES);
+    }
+}

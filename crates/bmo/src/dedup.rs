@@ -1,0 +1,343 @@
+//! The deduplication store: fingerprint table, slot allocation, and
+//! reference counting.
+//!
+//! "The hardware mechanism maintains a deduplication table that stores the
+//! hashes (fingerprints) of existing data blocks to detect duplicates, and
+//! an address mapping table to redirect the writes to the existing copy of
+//! data in memory." (§3.1)
+//!
+//! Sub-operations D1 (hash data) and D2 (table lookup) are realized by
+//! [`DedupStore::lookup`]; D3 (mapping update) by the caller recording the
+//! returned slot in the metadata store; D4 (encrypt + write back the mapping
+//! entry) by the encryption engine.
+//!
+//! Fingerprints may collide — realistically so for CRC-32 (§5.2.4). The
+//! store verifies candidate duplicates against the actual stored value (the
+//! hardware's read-and-compare) and falls back to a fresh slot on a
+//! collision, so deduplication never corrupts data.
+
+use std::collections::HashMap;
+
+use janus_crypto::FingerprintAlgo;
+use janus_nvm::line::Line;
+
+/// Outcome of a dedup lookup for a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// The value already exists in `slot`; the data write is cancelled.
+    Duplicate {
+        /// Slot holding the existing copy.
+        slot: u64,
+    },
+    /// New value: store it in freshly allocated `slot`.
+    Fresh {
+        /// Newly allocated slot.
+        slot: u64,
+    },
+}
+
+impl DedupOutcome {
+    /// The slot either way.
+    pub fn slot(self) -> u64 {
+        match self {
+            DedupOutcome::Duplicate { slot } | DedupOutcome::Fresh { slot } => slot,
+        }
+    }
+
+    /// Whether the write was a duplicate.
+    pub fn is_duplicate(self) -> bool {
+        matches!(self, DedupOutcome::Duplicate { .. })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SlotInfo {
+    value: Line,
+    refcount: u64,
+    fingerprint: u128,
+}
+
+/// The deduplication store.
+///
+/// # Example
+///
+/// ```
+/// use janus_bmo::dedup::DedupStore;
+/// use janus_crypto::FingerprintAlgo;
+/// use janus_nvm::line::Line;
+///
+/// let mut d = DedupStore::new(FingerprintAlgo::Md5);
+/// let a = d.lookup(&Line::splat(1));
+/// assert!(!a.is_duplicate());
+/// let b = d.lookup(&Line::splat(1));
+/// assert!(b.is_duplicate());
+/// assert_eq!(a.slot(), b.slot());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DedupStore {
+    algo: FingerprintAlgo,
+    /// fingerprint → slots with that fingerprint (collision chain).
+    table: HashMap<u128, Vec<u64>>,
+    slots: HashMap<u64, SlotInfo>,
+    free: Vec<u64>,
+    next_slot: u64,
+    hits: u64,
+    misses: u64,
+    collisions: u64,
+}
+
+impl DedupStore {
+    /// Creates an empty store using `algo` for fingerprints.
+    pub fn new(algo: FingerprintAlgo) -> Self {
+        DedupStore {
+            algo,
+            table: HashMap::new(),
+            slots: HashMap::new(),
+            free: Vec::new(),
+            next_slot: 0,
+            hits: 0,
+            misses: 0,
+            collisions: 0,
+        }
+    }
+
+    /// The fingerprint algorithm in use.
+    pub fn algo(&self) -> FingerprintAlgo {
+        self.algo
+    }
+
+    /// D1+D2: fingerprints `data` and either finds the existing copy
+    /// (incrementing its refcount) or allocates a fresh slot with
+    /// refcount 1. The caller is responsible for writing the data to a fresh
+    /// slot and recording the mapping (D3/D4).
+    pub fn lookup(&mut self, data: &Line) -> DedupOutcome {
+        let fp = self.algo.fingerprint(data.as_bytes());
+        if let Some(chain) = self.table.get(&fp) {
+            let mut collided = false;
+            for &slot in chain {
+                let info = self.slots.get(&slot).expect("table points at live slot");
+                if info.value == *data {
+                    self.hits += 1;
+                    self.slots.get_mut(&slot).expect("live").refcount += 1;
+                    return DedupOutcome::Duplicate { slot };
+                }
+                collided = true;
+            }
+            if collided {
+                self.collisions += 1;
+            }
+        }
+        self.misses += 1;
+        let slot = self.free.pop().unwrap_or_else(|| {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            s
+        });
+        self.slots.insert(
+            slot,
+            SlotInfo {
+                value: *data,
+                refcount: 1,
+                fingerprint: fp,
+            },
+        );
+        self.table.entry(fp).or_default().push(slot);
+        DedupOutcome::Fresh { slot }
+    }
+
+    /// Non-mutating duplicate check: the slot that `data` would dedup to,
+    /// if any. Used by Janus to *predict* the dedup outcome during
+    /// pre-execution without touching BMO metadata (requirement 1 of §3.2).
+    pub fn peek(&self, data: &Line) -> Option<u64> {
+        let fp = self.algo.fingerprint(data.as_bytes());
+        self.table.get(&fp).and_then(|chain| {
+            chain
+                .iter()
+                .copied()
+                .find(|slot| self.slots.get(slot).map(|i| &i.value) == Some(data))
+        })
+    }
+
+    /// Releases one reference to `slot` (a logical line was overwritten or
+    /// its pre-executed result discarded). Returns `true` if the slot was
+    /// freed (refcount hit zero) — its NVM line and metadata may be reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not live.
+    pub fn release(&mut self, slot: u64) -> bool {
+        let info = self.slots.get_mut(&slot).expect("release of dead slot");
+        info.refcount -= 1;
+        if info.refcount > 0 {
+            return false;
+        }
+        let info = self.slots.remove(&slot).expect("checked live");
+        let chain = self
+            .table
+            .get_mut(&info.fingerprint)
+            .expect("slot was indexed");
+        chain.retain(|&s| s != slot);
+        if chain.is_empty() {
+            self.table.remove(&info.fingerprint);
+        }
+        self.free.push(slot);
+        true
+    }
+
+    /// The plaintext value stored in a live slot.
+    pub fn slot_value(&self, slot: u64) -> Option<&Line> {
+        self.slots.get(&slot).map(|i| &i.value)
+    }
+
+    /// Current refcount of a slot (0 if dead).
+    pub fn refcount(&self, slot: u64) -> u64 {
+        self.slots.get(&slot).map_or(0, |i| i.refcount)
+    }
+
+    /// Whether a slot is live.
+    pub fn is_live(&self, slot: u64) -> bool {
+        self.slots.contains_key(&slot)
+    }
+
+    /// Number of live slots (distinct stored values).
+    pub fn live_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `(hits, misses, collisions)` — Figure 12's dedup-ratio accounting.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.collisions)
+    }
+
+    /// Observed dedup ratio so far (hits / lookups).
+    pub fn observed_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Registers a pre-existing slot during crash recovery.
+    pub fn recover_slot(&mut self, slot: u64, value: Line, refcount: u64) {
+        assert!(refcount > 0, "recovered slot must be referenced");
+        assert!(!self.slots.contains_key(&slot), "slot recovered twice");
+        let fp = self.algo.fingerprint(value.as_bytes());
+        self.slots.insert(
+            slot,
+            SlotInfo {
+                value,
+                refcount,
+                fingerprint: fp,
+            },
+        );
+        self.table.entry(fp).or_default().push(slot);
+        self.next_slot = self.next_slot.max(slot + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DedupStore {
+        DedupStore::new(FingerprintAlgo::Md5)
+    }
+
+    #[test]
+    fn fresh_then_duplicate() {
+        let mut d = store();
+        let a = d.lookup(&Line::splat(1));
+        let b = d.lookup(&Line::splat(1));
+        let c = d.lookup(&Line::splat(2));
+        assert_eq!(a, DedupOutcome::Fresh { slot: a.slot() });
+        assert!(b.is_duplicate());
+        assert_eq!(a.slot(), b.slot());
+        assert!(!c.is_duplicate());
+        assert_ne!(a.slot(), c.slot());
+        assert_eq!(d.refcount(a.slot()), 2);
+        assert_eq!(d.stats(), (1, 2, 0));
+    }
+
+    #[test]
+    fn release_frees_and_allows_reuse() {
+        let mut d = store();
+        let a = d.lookup(&Line::splat(1)).slot();
+        d.lookup(&Line::splat(1)); // refcount 2
+        assert!(!d.release(a));
+        assert!(d.release(a));
+        assert!(!d.is_live(a));
+        // A fresh value reuses the freed slot.
+        let b = d.lookup(&Line::splat(3)).slot();
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn freed_value_no_longer_dedups() {
+        let mut d = store();
+        let a = d.lookup(&Line::splat(1)).slot();
+        d.release(a);
+        let b = d.lookup(&Line::splat(1));
+        assert!(!b.is_duplicate(), "freed value must not dedup");
+    }
+
+    #[test]
+    fn observed_ratio() {
+        let mut d = store();
+        d.lookup(&Line::splat(1));
+        d.lookup(&Line::splat(1));
+        d.lookup(&Line::splat(1));
+        d.lookup(&Line::splat(2));
+        assert!((d.observed_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crc_collisions_fall_back_to_fresh() {
+        // Force a collision by using a contrived store with CRC and two
+        // lines engineered to collide is hard; instead verify the chain
+        // logic directly: two values sharing a fingerprint chain must not
+        // dedup to each other.
+        let mut d = DedupStore::new(FingerprintAlgo::Crc32);
+        let a = d.lookup(&Line::splat(1)).slot();
+        // Simulate a collision: manually register a second value under the
+        // same fingerprint chain via recover_slot with a forged value, then
+        // look up a third value that CRC-collides... Without real colliding
+        // inputs, assert the verify step: a *different* value never dedups.
+        let b = d.lookup(&Line::splat(2)).slot();
+        assert_ne!(a, b);
+        let (_, _, collisions) = d.stats();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn recover_rebuilds_table() {
+        let mut d = store();
+        d.recover_slot(5, Line::splat(9), 2);
+        let again = d.lookup(&Line::splat(9));
+        assert!(again.is_duplicate());
+        assert_eq!(again.slot(), 5);
+        assert_eq!(d.refcount(5), 3);
+        // Fresh slots allocate past recovered indices.
+        let fresh = d.lookup(&Line::splat(10)).slot();
+        assert!(fresh >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of dead slot")]
+    fn double_free_panics() {
+        let mut d = store();
+        let a = d.lookup(&Line::splat(1)).slot();
+        d.release(a);
+        d.release(a);
+    }
+
+    #[test]
+    fn live_slot_count() {
+        let mut d = store();
+        d.lookup(&Line::splat(1));
+        d.lookup(&Line::splat(1));
+        d.lookup(&Line::splat(2));
+        assert_eq!(d.live_slots(), 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! Bonsai-Merkle-Tree integrity verification (sparse, SHA-1, arity 8).
+//!
+//! "The leaf nodes of the tree are counters and the intermediate nodes are
+//! hashes of their child nodes. Therefore, the root hash is essentially the
+//! hash of all leaf nodes. Keeping the root hash in a secured non-volatile
+//! register ensures the integrity of the entire memory." (§4.2)
+//!
+//! The tree covers the co-located counter/remap metadata region. Since that
+//! region is almost entirely zero-initialized, the tree is stored sparsely:
+//! only nodes that differ from the "all-descendants-zero" default are
+//! materialized, with per-level default hashes precomputed. This makes a
+//! 2²⁴-leaf tree practical while remaining bit-for-bit well defined, so the
+//! root can be recomputed from persistent metadata during crash recovery and
+//! compared against the secure register.
+
+use std::collections::HashMap;
+
+use janus_crypto::sha1::{sha1, sha1_concat};
+use janus_nvm::line::Line;
+
+/// Fan-out of every internal node.
+pub const ARITY: usize = 8;
+
+/// A 160-bit SHA-1 node hash.
+pub type NodeHash = [u8; 20];
+
+/// The sparse Merkle tree.
+///
+/// Level 0 holds leaf hashes (one per metadata line); level `height` is the
+/// root.
+///
+/// # Example
+///
+/// ```
+/// use janus_bmo::integrity::MerkleTree;
+/// use janus_nvm::line::Line;
+///
+/// let mut t = MerkleTree::new(8);
+/// let empty_root = t.root();
+/// t.update_leaf(42, &Line::splat(9));
+/// assert_ne!(t.root(), empty_root);
+/// t.update_leaf(42, &Line::zero());
+/// assert_eq!(t.root(), empty_root, "zeroing restores the default root");
+/// ```
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    height: u32,
+    /// `(level, index) → hash` for nodes differing from the default.
+    nodes: HashMap<(u32, u64), NodeHash>,
+    /// `default[l]` = hash of a level-`l` node whose descendants are all
+    /// zero lines.
+    default: Vec<NodeHash>,
+    updates: u64,
+}
+
+impl MerkleTree {
+    /// Creates an empty tree of the given height (levels of hashing above
+    /// the leaves; capacity = `ARITY^height` leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is 0 or large enough to overflow leaf indexing.
+    pub fn new(height: u32) -> Self {
+        assert!((1..=20).contains(&height), "unreasonable tree height");
+        let mut default = Vec::with_capacity(height as usize + 1);
+        default.push(sha1(Line::zero().as_bytes()));
+        for l in 0..height as usize {
+            let child = default[l];
+            let concat: Vec<u8> = (0..ARITY).flat_map(|_| child).collect();
+            default.push(sha1(&concat));
+        }
+        MerkleTree {
+            height,
+            nodes: HashMap::new(),
+            default,
+            updates: 0,
+        }
+    }
+
+    /// Number of leaves the tree covers.
+    pub fn capacity(&self) -> u64 {
+        (ARITY as u64).pow(self.height)
+    }
+
+    /// Height (hash levels above the leaves).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn node(&self, level: u32, index: u64) -> NodeHash {
+        self.nodes
+            .get(&(level, index))
+            .copied()
+            .unwrap_or(self.default[level as usize])
+    }
+
+    fn set_node(&mut self, level: u32, index: u64, hash: NodeHash) {
+        if hash == self.default[level as usize] {
+            self.nodes.remove(&(level, index));
+        } else {
+            self.nodes.insert((level, index), hash);
+        }
+    }
+
+    /// Re-hashes leaf `index` from its new line content and updates the path
+    /// to the root (sub-operations I1–I3). Returns the new root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the tree capacity.
+    pub fn update_leaf(&mut self, index: u64, content: &Line) -> NodeHash {
+        assert!(index < self.capacity(), "leaf index out of range");
+        self.updates += 1;
+        self.set_node(0, index, sha1(content.as_bytes()));
+        let mut idx = index;
+        for level in 0..self.height {
+            idx /= ARITY as u64;
+            let first_child = idx * ARITY as u64;
+            let parts: Vec<NodeHash> = (0..ARITY as u64)
+                .map(|i| self.node(level, first_child + i))
+                .collect();
+            let refs: Vec<&[u8]> = parts.iter().map(|h| h.as_slice()).collect();
+            self.set_node(level + 1, idx, sha1_concat(&refs));
+        }
+        self.root()
+    }
+
+    /// The current root hash.
+    pub fn root(&self) -> NodeHash {
+        self.node(self.height, 0)
+    }
+
+    /// Verifies that leaf `index` currently hashes `content` and that its
+    /// path is consistent up to the root.
+    pub fn verify_leaf(&self, index: u64, content: &Line) -> bool {
+        if self.node(0, index) != sha1(content.as_bytes()) {
+            return false;
+        }
+        // Recompute the path bottom-up from stored children.
+        let mut idx = index;
+        for level in 0..self.height {
+            idx /= ARITY as u64;
+            let first_child = idx * ARITY as u64;
+            let parts: Vec<NodeHash> = (0..ARITY as u64)
+                .map(|i| self.node(level, first_child + i))
+                .collect();
+            let refs: Vec<&[u8]> = parts.iter().map(|h| h.as_slice()).collect();
+            if sha1_concat(&refs) != self.node(level + 1, idx) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Builds a tree from an iterator of `(leaf_index, line)` pairs — the
+    /// crash-recovery path that recomputes the root from persistent
+    /// metadata.
+    pub fn from_leaves<I: IntoIterator<Item = (u64, Line)>>(height: u32, leaves: I) -> Self {
+        let mut t = MerkleTree::new(height);
+        // Insert leaf hashes first, then hash each affected parent once per
+        // level (bulk build; equivalent to repeated update_leaf but O(n)).
+        let mut touched: Vec<u64> = Vec::new();
+        for (index, line) in leaves {
+            assert!(index < t.capacity(), "leaf index out of range");
+            t.set_node(0, index, sha1(line.as_bytes()));
+            touched.push(index);
+        }
+        for level in 0..height {
+            touched = {
+                let mut parents: Vec<u64> = touched.iter().map(|i| i / ARITY as u64).collect();
+                parents.sort_unstable();
+                parents.dedup();
+                parents
+            };
+            for &idx in &touched {
+                let first_child = idx * ARITY as u64;
+                let parts: Vec<NodeHash> = (0..ARITY as u64)
+                    .map(|i| t.node(level, first_child + i))
+                    .collect();
+                let refs: Vec<&[u8]> = parts.iter().map(|h| h.as_slice()).collect();
+                t.set_node(level + 1, idx, sha1_concat(&refs));
+            }
+        }
+        t
+    }
+
+    /// Total leaf updates performed (each costs the I1–I3 latency chain).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Number of materialized (non-default) nodes.
+    pub fn materialized_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_has_default_root() {
+        let a = MerkleTree::new(8);
+        let b = MerkleTree::new(8);
+        assert_eq!(a.root(), b.root());
+        assert_eq!(a.materialized_nodes(), 0);
+    }
+
+    #[test]
+    fn update_changes_root_deterministically() {
+        let mut a = MerkleTree::new(4);
+        let mut b = MerkleTree::new(4);
+        a.update_leaf(7, &Line::splat(1));
+        b.update_leaf(7, &Line::splat(1));
+        assert_eq!(a.root(), b.root());
+        b.update_leaf(8, &Line::splat(2));
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn order_of_updates_does_not_matter() {
+        let mut a = MerkleTree::new(4);
+        a.update_leaf(1, &Line::splat(1));
+        a.update_leaf(2, &Line::splat(2));
+        let mut b = MerkleTree::new(4);
+        b.update_leaf(2, &Line::splat(2));
+        b.update_leaf(1, &Line::splat(1));
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn verify_leaf_detects_tamper() {
+        let mut t = MerkleTree::new(4);
+        t.update_leaf(3, &Line::splat(5));
+        assert!(t.verify_leaf(3, &Line::splat(5)));
+        assert!(!t.verify_leaf(3, &Line::splat(6)));
+        // Unwritten leaf verifies as zero.
+        assert!(t.verify_leaf(9, &Line::zero()));
+        assert!(!t.verify_leaf(9, &Line::splat(1)));
+    }
+
+    #[test]
+    fn internal_tamper_detected() {
+        let mut t = MerkleTree::new(3);
+        t.update_leaf(0, &Line::splat(1));
+        // Corrupt an internal node directly.
+        t.nodes.insert((1, 0), [0xFF; 20]);
+        assert!(!t.verify_leaf(0, &Line::splat(1)));
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let leaves = vec![
+            (0u64, Line::splat(1)),
+            (63, Line::splat(2)),
+            (64, Line::splat(3)),
+            (4000, Line::splat(4)),
+        ];
+        let bulk = MerkleTree::from_leaves(4, leaves.clone());
+        let mut inc = MerkleTree::new(4);
+        for (i, l) in leaves {
+            inc.update_leaf(i, &l);
+        }
+        assert_eq!(bulk.root(), inc.root());
+    }
+
+    #[test]
+    fn zeroing_restores_default_and_prunes() {
+        let mut t = MerkleTree::new(5);
+        let root0 = t.root();
+        t.update_leaf(100, &Line::splat(7));
+        assert!(t.materialized_nodes() > 0);
+        t.update_leaf(100, &Line::zero());
+        assert_eq!(t.root(), root0);
+        assert_eq!(t.materialized_nodes(), 0, "default nodes are pruned");
+    }
+
+    #[test]
+    fn capacity_matches_height() {
+        assert_eq!(MerkleTree::new(2).capacity(), 64);
+        assert_eq!(MerkleTree::new(8).capacity(), 16_777_216);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_leaf_panics() {
+        MerkleTree::new(2).update_leaf(64, &Line::zero());
+    }
+
+    #[test]
+    fn update_counter() {
+        let mut t = MerkleTree::new(3);
+        t.update_leaf(0, &Line::splat(1));
+        t.update_leaf(1, &Line::splat(2));
+        assert_eq!(t.updates(), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! BMO latency parameters (Table 3) and the Table 1 inventory.
+
+use janus_crypto::FingerprintAlgo;
+use janus_sim::time::Cycles;
+
+/// Latency parameters for the evaluated BMO set.
+///
+/// Defaults follow Table 3: "AES-128 (Encryption): 40 ns, SHA-1 (Integrity):
+/// 40 ns, MD5 (Deduplication): 321 ns", with a 9-level Merkle tree for 4 GB
+/// NVM ("if we assume each intermediate node is the hash of eight
+/// lower-level nodes, then the height of the Merkle Tree is 9 in a system
+/// with only 4GB NVM, resulting in a 360 ns latency for each write", §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BmoLatencies {
+    /// E1: allocate/increment the line's encryption counter.
+    pub counter_gen: Cycles,
+    /// E2: AES-128 one-time-pad generation.
+    pub aes: Cycles,
+    /// E3: XOR of data with the pad.
+    pub xor: Cycles,
+    /// E4 & per-Merkle-node: SHA-1.
+    pub sha1: Cycles,
+    /// D1: fingerprint of the line (depends on [`Self::dedup_algo`]).
+    pub dedup_hash: Cycles,
+    /// D2: dedup table lookup.
+    pub dedup_lookup: Cycles,
+    /// D3: address-mapping table update.
+    pub map_update: Cycles,
+    /// Merkle tree height (number of hash levels including the leaf level).
+    pub merkle_levels: u32,
+    /// Which fingerprint algorithm `dedup_hash` corresponds to.
+    pub dedup_algo: FingerprintAlgo,
+}
+
+impl BmoLatencies {
+    /// The paper's default configuration (MD5 dedup, 9-level tree).
+    pub fn paper() -> Self {
+        BmoLatencies {
+            counter_gen: Cycles::from_ns(1),
+            aes: Cycles::from_ns(40),
+            xor: Cycles::from_ns(1),
+            sha1: Cycles::from_ns(40),
+            dedup_hash: Cycles::from_ns(321),
+            dedup_lookup: Cycles::from_ns(10),
+            map_update: Cycles::from_ns(5),
+            merkle_levels: 9,
+            dedup_algo: FingerprintAlgo::Md5,
+        }
+    }
+
+    /// The CRC-32 variant of §5.2.4 (Figure 12): "MD5 takes around 4× longer
+    /// than CRC-32".
+    pub fn with_crc32(mut self) -> Self {
+        self.dedup_hash = Cycles::from_ns(321 / 4);
+        self.dedup_algo = FingerprintAlgo::Crc32;
+        self
+    }
+
+    /// Serialized sum of every sub-operation — the extra write latency of a
+    /// system that treats BMOs as monolithic (§2.3).
+    pub fn serialized_total(&self) -> Cycles {
+        self.dedup_hash
+            + self.dedup_lookup
+            + self.map_update
+            + self.aes // D4: encrypt mapping entry
+            + self.counter_gen
+            + self.aes // E2
+            + self.xor
+            + self.sha1 // E4 MAC
+            + self.sha1 * self.merkle_levels as u64
+    }
+}
+
+impl Default for BmoLatencies {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One row of the paper's Table 1: the landscape of BMOs in NVM systems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BmoInventoryRow {
+    /// Category ("Security", "Bandwidth", "Durability").
+    pub category: &'static str,
+    /// Operation name.
+    pub name: &'static str,
+    /// What it does.
+    pub description: &'static str,
+    /// Extra latency on writes, in nanoseconds (min, max).
+    pub extra_latency_ns: (u64, u64),
+}
+
+/// The full Table 1 inventory.
+pub fn table1() -> Vec<BmoInventoryRow> {
+    vec![
+        BmoInventoryRow {
+            category: "Security",
+            name: "Encryption",
+            description: "Ensures data confidentiality; counter-mode encryption is typical in NVM",
+            extra_latency_ns: (40, 40),
+        },
+        BmoInventoryRow {
+            category: "Security",
+            name: "Integrity Verification",
+            description: "Prevents unauthorized modification; typically a Merkle (hash) tree",
+            extra_latency_ns: (360, 360),
+        },
+        BmoInventoryRow {
+            category: "Security",
+            name: "ORAM",
+            description: "Hides the memory access pattern by relocating data after every access",
+            extra_latency_ns: (1000, 1000),
+        },
+        BmoInventoryRow {
+            category: "Bandwidth",
+            name: "Deduplication",
+            description: "Cancels writes whose data already exists to save write bandwidth",
+            extra_latency_ns: (91, 321),
+        },
+        BmoInventoryRow {
+            category: "Bandwidth",
+            name: "Compression",
+            description: "Shrinks memory accesses to save bandwidth",
+            extra_latency_ns: (5, 30),
+        },
+        BmoInventoryRow {
+            category: "Durability",
+            name: "Error Correction",
+            description: "Corrects memory errors (ECC codes, error-correcting pointers)",
+            extra_latency_ns: (1, 3),
+        },
+        BmoInventoryRow {
+            category: "Durability",
+            name: "Wear-leveling",
+            description: "Spreads writes to even out cell wear-out",
+            extra_latency_ns: (1, 1),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_serialized_total_is_hundreds_of_ns() {
+        let total = BmoLatencies::paper().serialized_total();
+        // §2.3: BMOs "add extra hundreds of nanoseconds of latency" and the
+        // critical latency "increases by more than 10 times" over the 15 ns
+        // writeback.
+        assert!(total.as_ns() > 700.0 && total.as_ns() < 900.0, "{total}");
+        assert!(total.as_ns() > 10.0 * 15.0);
+    }
+
+    #[test]
+    fn crc_variant_is_about_4x_cheaper_hash() {
+        let md5 = BmoLatencies::paper();
+        let crc = BmoLatencies::paper().with_crc32();
+        let ratio = md5.dedup_hash.0 as f64 / crc.dedup_hash.0 as f64;
+        assert!((3.5..=4.5).contains(&ratio), "ratio={ratio}");
+        assert_eq!(crc.dedup_algo, FingerprintAlgo::Crc32);
+    }
+
+    #[test]
+    fn merkle_latency_matches_paper() {
+        let l = BmoLatencies::paper();
+        // 9 levels × 40 ns = 360 ns (Table 1 row for integrity).
+        assert_eq!((l.sha1 * l.merkle_levels as u64).as_ns(), 360.0);
+    }
+
+    #[test]
+    fn table1_has_all_seven_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.iter().filter(|r| r.category == "Security").count(), 3);
+        assert_eq!(t.iter().filter(|r| r.category == "Bandwidth").count(), 2);
+        assert_eq!(t.iter().filter(|r| r.category == "Durability").count(), 2);
+        for row in &t {
+            assert!(row.extra_latency_ns.0 <= row.extra_latency_ns.1);
+        }
+    }
+}

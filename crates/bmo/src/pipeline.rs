@@ -1,0 +1,609 @@
+//! The functional BMO pipeline: deduplication → encryption → integrity.
+//!
+//! [`BmoPipeline`] applies a write's backend operations *functionally* — the
+//! dedup lookup, slot (re)allocation, counter-mode encryption, MAC, metadata
+//! update, and Merkle-tree update — and returns the exact set of NVM line
+//! writes the memory controller must persist ([`WriteEffects`]). The timing
+//! of the same operations is modeled separately by [`crate::engine`]; keeping
+//! the two in lock-step lets integration tests assert that Janus's
+//! pre-execution never changes functional results, and lets crash-recovery
+//! tests rebuild the entire pipeline from the persistent domain alone
+//! ([`BmoPipeline::recover`]) and verify it against the secure-register root.
+
+use std::collections::HashMap;
+
+use janus_crypto::FingerprintAlgo;
+use janus_nvm::addr::LineAddr;
+use janus_nvm::line::Line;
+use janus_nvm::store::LineStore;
+
+use crate::dedup::{DedupOutcome, DedupStore};
+use crate::encryption::EncryptionEngine;
+use crate::integrity::{MerkleTree, NodeHash};
+use crate::metadata::{
+    leaf_index_of_meta_line, mac_addr_of_slot, meta_loc_of_logical, meta_loc_of_slot,
+    slot_data_addr, MetaEntry, MetadataStore, DATA_LINES, META_BASE, META_LINES,
+};
+
+/// Merkle-tree height covering the metadata region (8⁸ = 2²⁴ leaves =
+/// `META_LINES`).
+pub const TREE_HEIGHT: u32 = 8;
+
+/// Everything a single logical-line write changes in NVM.
+#[derive(Clone, Debug)]
+pub struct WriteEffects {
+    /// Whether the dedup BMO cancelled the data write.
+    pub dup: bool,
+    /// The slot now holding this line's value.
+    pub slot: u64,
+    /// A slot freed by dropping the line's previous value, if any.
+    pub freed_slot: Option<u64>,
+    /// The NVM lines to persist (ciphertext, metadata lines, MAC line).
+    /// These must persist atomically with the root update (metadata
+    /// atomicity, §4.3.2).
+    pub line_writes: Vec<(LineAddr, Line)>,
+    /// The Merkle root after this write (for the secure register).
+    pub new_root: NodeHash,
+}
+
+/// Why a verified read or recovery failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// Ciphertext/counter MAC mismatch.
+    MacMismatch {
+        /// Offending slot.
+        slot: u64,
+    },
+    /// A metadata line failed Merkle verification.
+    TamperedMetadata {
+        /// Offending metadata line.
+        line: LineAddr,
+    },
+    /// Metadata is structurally inconsistent (e.g. remap to a slot without
+    /// a counter).
+    MetadataCorrupt {
+        /// Human-readable description.
+        what: String,
+    },
+    /// Recomputed root does not match the secure register.
+    RootMismatch,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::MacMismatch { slot } => write!(f, "MAC mismatch on slot {slot}"),
+            IntegrityError::TamperedMetadata { line } => {
+                write!(f, "metadata line {line} failed Merkle verification")
+            }
+            IntegrityError::MetadataCorrupt { what } => write!(f, "corrupt metadata: {what}"),
+            IntegrityError::RootMismatch => write!(f, "merkle root does not match secure register"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+/// The functional pipeline. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use janus_bmo::pipeline::BmoPipeline;
+/// use janus_crypto::FingerprintAlgo;
+/// use janus_nvm::{addr::LineAddr, line::Line};
+///
+/// let mut p = BmoPipeline::new(FingerprintAlgo::Md5);
+/// let fx = p.write(LineAddr(1), Line::splat(7));
+/// assert!(!fx.dup);
+/// let fx2 = p.write(LineAddr(2), Line::splat(7));
+/// assert!(fx2.dup, "same value dedups");
+/// assert_eq!(p.read_verified(LineAddr(2)).unwrap(), Line::splat(7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BmoPipeline {
+    meta: MetadataStore,
+    tree: MerkleTree,
+    dedup: DedupStore,
+    enc: EncryptionEngine,
+    cipher: LineStore,
+    macs: HashMap<u64, [u8; 20]>,
+}
+
+const DEFAULT_KEY: [u8; 16] = *b"janus-memory-key";
+
+impl BmoPipeline {
+    /// Creates an empty pipeline with the default memory encryption key.
+    pub fn new(algo: FingerprintAlgo) -> Self {
+        Self::with_key(algo, DEFAULT_KEY)
+    }
+
+    /// Creates an empty pipeline with an explicit key.
+    pub fn with_key(algo: FingerprintAlgo, key: [u8; 16]) -> Self {
+        BmoPipeline {
+            meta: MetadataStore::new(),
+            tree: MerkleTree::new(TREE_HEIGHT),
+            dedup: DedupStore::new(algo),
+            enc: EncryptionEngine::new(key),
+            cipher: LineStore::new(),
+            macs: HashMap::new(),
+        }
+    }
+
+    /// Applies a logical-line write through all three BMOs and returns the
+    /// NVM effects to persist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is outside the data region.
+    pub fn write(&mut self, logical: LineAddr, data: Line) -> WriteEffects {
+        assert!(logical.0 < DATA_LINES, "write outside data region");
+        let mut line_writes: Vec<(LineAddr, Line)> = Vec::new();
+        let push = |writes: &mut Vec<(LineAddr, Line)>, addr: LineAddr, value: Line| {
+            if let Some(e) = writes.iter_mut().find(|(a, _)| *a == addr) {
+                e.1 = value;
+            } else {
+                writes.push((addr, value));
+            }
+        };
+
+        // Release the line's previous value (refcount drop; D3 prelude).
+        let mut freed_slot = None;
+        if let MetaEntry::Remap(old) = self.meta.logical(logical) {
+            if self.dedup.release(old) {
+                freed_slot = Some(old);
+                self.macs.remove(&old);
+                self.cipher.write(slot_data_addr(old), Line::zero());
+                push(&mut line_writes, slot_data_addr(old), Line::zero());
+                push(&mut line_writes, mac_addr_of_slot(old), Line::zero());
+                let (mline, mval) = self.meta.set_slot(old, MetaEntry::Empty);
+                self.tree.update_leaf(leaf_index_of_meta_line(mline), &mval);
+                push(&mut line_writes, mline, mval);
+            }
+        }
+
+        // D1 + D2: fingerprint and look up.
+        let outcome = self.dedup.lookup(&data);
+        let (dup, slot) = (outcome.is_duplicate(), outcome.slot());
+
+        if let DedupOutcome::Fresh { slot } = outcome {
+            // E1–E4: encrypt into the fresh slot.
+            let w = self.enc.encrypt_slot(slot, &data);
+            self.cipher.write(slot_data_addr(slot), w.cipher);
+            push(&mut line_writes, slot_data_addr(slot), w.cipher);
+            self.macs.insert(slot, w.mac);
+            let mut mac_line = Line::zero();
+            mac_line.write_bytes(0, &w.mac);
+            // SECDED check bytes for the ciphertext ride in the MAC line
+            // (bytes 20..28): the durability BMO of Table 1, letting
+            // recovery *correct* single-bit NVM faults rather than reject.
+            let checks = crate::ecc::encode_line(&w.cipher);
+            let check_bytes: Vec<u8> = checks.iter().map(|c| c.0).collect();
+            mac_line.write_bytes(20, &check_bytes);
+            push(&mut line_writes, mac_addr_of_slot(slot), mac_line);
+            // Slot counter metadata + I1–I3.
+            let (mline, mval) = self.meta.set_slot(slot, MetaEntry::Counter(w.counter));
+            self.tree.update_leaf(leaf_index_of_meta_line(mline), &mval);
+            push(&mut line_writes, mline, mval);
+        }
+
+        // D3 + D4: record the logical mapping; I1–I3 over the meta line.
+        let (mline, mval) = self.meta.set_logical(logical, MetaEntry::Remap(slot));
+        self.tree.update_leaf(leaf_index_of_meta_line(mline), &mval);
+        push(&mut line_writes, mline, mval);
+
+        WriteEffects {
+            dup,
+            slot,
+            freed_slot,
+            line_writes,
+            new_root: self.tree.root(),
+        }
+    }
+
+    /// Reads a logical line without integrity checks (fast path used by the
+    /// simulator's load handling; unwritten lines read zero).
+    pub fn read(&self, logical: LineAddr) -> Line {
+        match self.meta.logical(logical) {
+            MetaEntry::Empty => Line::zero(),
+            MetaEntry::Remap(slot) => match self.meta.slot(slot) {
+                MetaEntry::Counter(c) => {
+                    self.enc
+                        .decrypt_slot(slot, c, &self.cipher.read(slot_data_addr(slot)))
+                }
+                other => panic!("remap target {slot} has no counter: {other:?}"),
+            },
+            MetaEntry::Counter(_) => panic!("logical line {logical} holds a counter entry"),
+        }
+    }
+
+    /// Reads a logical line with full verification: Merkle check of both
+    /// metadata leaves, MAC check of the ciphertext, then decrypt.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IntegrityError`] describing the first check that failed.
+    pub fn read_verified(&self, logical: LineAddr) -> Result<Line, IntegrityError> {
+        let lloc = meta_loc_of_logical(logical);
+        if !self.tree.verify_leaf(
+            leaf_index_of_meta_line(lloc.line),
+            &self.meta.line(lloc.line),
+        ) {
+            return Err(IntegrityError::TamperedMetadata { line: lloc.line });
+        }
+        match self.meta.logical(logical) {
+            MetaEntry::Empty => Ok(Line::zero()),
+            MetaEntry::Counter(_) => Err(IntegrityError::MetadataCorrupt {
+                what: format!("logical line {logical} holds a counter entry"),
+            }),
+            MetaEntry::Remap(slot) => {
+                let sloc = meta_loc_of_slot(slot);
+                if !self.tree.verify_leaf(
+                    leaf_index_of_meta_line(sloc.line),
+                    &self.meta.line(sloc.line),
+                ) {
+                    return Err(IntegrityError::TamperedMetadata { line: sloc.line });
+                }
+                let counter = match self.meta.slot(slot) {
+                    MetaEntry::Counter(c) => c,
+                    other => {
+                        return Err(IntegrityError::MetadataCorrupt {
+                            what: format!("remap target {slot} holds {other:?}"),
+                        })
+                    }
+                };
+                let cipher = self.cipher.read(slot_data_addr(slot));
+                let mac = self.macs.get(&slot).copied().unwrap_or([0; 20]);
+                if !self.enc.verify_mac(&cipher, counter, &mac) {
+                    return Err(IntegrityError::MacMismatch { slot });
+                }
+                Ok(self.enc.decrypt_slot(slot, counter, &cipher))
+            }
+        }
+    }
+
+    /// The current Merkle root (what the secure register should hold).
+    pub fn root(&self) -> NodeHash {
+        self.tree.root()
+    }
+
+    /// The dedup store's statistics (hits, misses, collisions).
+    pub fn dedup_stats(&self) -> (u64, u64, u64) {
+        self.dedup.stats()
+    }
+
+    /// Non-mutating prediction of the dedup outcome for `data`: `Some(slot)`
+    /// when a write of this value would be detected as a duplicate of
+    /// `slot`. Used by pre-execution (which must not change memory state).
+    pub fn predict_dup(&self, data: &Line) -> Option<u64> {
+        self.dedup.peek(data)
+    }
+
+    /// The slot a logical line currently maps to, if any.
+    pub fn slot_of(&self, logical: LineAddr) -> Option<u64> {
+        match self.meta.logical(logical) {
+            MetaEntry::Remap(slot) => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds a pipeline from the persistent domain after a crash.
+    ///
+    /// Parses the metadata region, recomputes the Merkle root and compares
+    /// it against `secure_root`, verifies every live slot's MAC, rebuilds
+    /// the dedup fingerprint table and refcounts, and restores the counter
+    /// allocator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError::RootMismatch`] when the persisted metadata
+    /// does not match the secure register (torn metadata / tampering), or
+    /// the first MAC / structural error found.
+    pub fn recover(
+        persist: &LineStore,
+        algo: FingerprintAlgo,
+        key: [u8; 16],
+        secure_root: NodeHash,
+    ) -> Result<Self, IntegrityError> {
+        // Collect metadata-region lines.
+        let meta_lines: LineStore = persist
+            .iter()
+            .filter(|(a, _)| (META_BASE..META_BASE + META_LINES).contains(&a.0))
+            .map(|(a, l)| (a, *l))
+            .collect();
+        let meta = MetadataStore::from_lines(meta_lines);
+
+        // Recompute the tree and check the root.
+        let tree = MerkleTree::from_leaves(
+            TREE_HEIGHT,
+            meta.lines()
+                .iter()
+                .map(|(a, l)| (leaf_index_of_meta_line(a), *l)),
+        );
+        if tree.root() != secure_root {
+            return Err(IntegrityError::RootMismatch);
+        }
+
+        // Refcounts: how many logical lines point at each slot.
+        let mut refcounts: HashMap<u64, u64> = HashMap::new();
+        for (_, entry) in meta.iter_logical() {
+            match entry {
+                MetaEntry::Remap(slot) => *refcounts.entry(slot).or_insert(0) += 1,
+                other => {
+                    return Err(IntegrityError::MetadataCorrupt {
+                        what: format!("logical entry is {other:?}"),
+                    })
+                }
+            }
+        }
+
+        // Rebuild slots: decrypt, MAC-check, re-fingerprint.
+        let mut dedup = DedupStore::new(algo);
+        let mut enc = EncryptionEngine::new(key);
+        let mut cipher = LineStore::new();
+        let mut macs = HashMap::new();
+        let mut max_counter = 0u64;
+        for (slot, entry) in meta.iter_slots() {
+            let counter = match entry {
+                MetaEntry::Counter(c) => c,
+                other => {
+                    return Err(IntegrityError::MetadataCorrupt {
+                        what: format!("slot {slot} entry is {other:?}"),
+                    })
+                }
+            };
+            max_counter = max_counter.max(counter);
+            let raw_ct = persist.read(slot_data_addr(slot));
+            let mac_line = persist.read(mac_addr_of_slot(slot));
+            let mac: [u8; 20] = mac_line.as_bytes()[0..20].try_into().expect("20 bytes");
+            // Run the ciphertext through SECDED first: single-bit NVM
+            // faults are corrected transparently; multi-bit damage falls
+            // through to the MAC check (ECC never *hides* tampering — the
+            // MAC is still verified on whatever ECC reconstructs).
+            let mut checks = [crate::ecc::Check(0); 8];
+            for (k, c) in checks.iter_mut().enumerate() {
+                *c = crate::ecc::Check(mac_line.as_bytes()[20 + k]);
+            }
+            let ct = match crate::ecc::decode_line(&raw_ct, &checks) {
+                Some((fixed, _corrected)) => fixed,
+                None => raw_ct, // uncorrectable: let the MAC reject it
+            };
+            if !enc.verify_mac(&ct, counter, &mac) {
+                return Err(IntegrityError::MacMismatch { slot });
+            }
+            let plain = enc.decrypt_slot(slot, counter, &ct);
+            let refs = refcounts.get(&slot).copied().unwrap_or(0);
+            if refs == 0 {
+                // Leaked slot (possible only without metadata atomicity);
+                // drop it rather than resurrect garbage.
+                continue;
+            }
+            dedup.recover_slot(slot, plain, refs);
+            cipher.write(slot_data_addr(slot), ct);
+            macs.insert(slot, mac);
+        }
+        // Every referenced slot must exist.
+        for &slot in refcounts.keys() {
+            if !dedup.is_live(slot) {
+                return Err(IntegrityError::MetadataCorrupt {
+                    what: format!("logical lines reference missing slot {slot}"),
+                });
+            }
+        }
+        enc.bump_counter_floor(max_counter);
+
+        Ok(BmoPipeline {
+            meta,
+            tree,
+            dedup,
+            enc,
+            cipher,
+            macs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> BmoPipeline {
+        BmoPipeline::new(FingerprintAlgo::Md5)
+    }
+
+    /// Applies effects to a persistent store plus root register, as the MC
+    /// does at write-queue acceptance.
+    fn persist(fx: &WriteEffects, store: &mut LineStore, root: &mut NodeHash) {
+        for (a, l) in &fx.line_writes {
+            store.write(*a, *l);
+        }
+        *root = fx.new_root;
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut p = pipeline();
+        let data = Line::from_words(&[11, 22, 33]);
+        p.write(LineAddr(5), data);
+        assert_eq!(p.read(LineAddr(5)), data);
+        assert_eq!(p.read_verified(LineAddr(5)).unwrap(), data);
+    }
+
+    #[test]
+    fn unwritten_lines_read_zero() {
+        let p = pipeline();
+        assert_eq!(p.read(LineAddr(9)), Line::zero());
+        assert_eq!(p.read_verified(LineAddr(9)).unwrap(), Line::zero());
+    }
+
+    #[test]
+    fn duplicate_write_shares_slot_and_skips_data_write() {
+        let mut p = pipeline();
+        let fx1 = p.write(LineAddr(1), Line::splat(7));
+        let fx2 = p.write(LineAddr(2), Line::splat(7));
+        assert!(!fx1.dup);
+        assert!(fx2.dup);
+        assert_eq!(fx1.slot, fx2.slot);
+        // Duplicate write touches only its logical metadata line.
+        assert_eq!(fx2.line_writes.len(), 1);
+        assert!(fx1.line_writes.len() >= 3); // cipher + mac + 2 meta lines (may share)
+        assert_eq!(p.read(LineAddr(1)), p.read(LineAddr(2)));
+    }
+
+    #[test]
+    fn overwrite_releases_previous_value() {
+        let mut p = pipeline();
+        let fx1 = p.write(LineAddr(1), Line::splat(1));
+        let fx2 = p.write(LineAddr(1), Line::splat(2));
+        assert_eq!(fx2.freed_slot, Some(fx1.slot));
+        assert_eq!(p.read(LineAddr(1)), Line::splat(2));
+    }
+
+    #[test]
+    fn overwrite_of_shared_value_keeps_it_for_other_referrers() {
+        let mut p = pipeline();
+        p.write(LineAddr(1), Line::splat(1));
+        p.write(LineAddr(2), Line::splat(1)); // shares slot
+        let fx = p.write(LineAddr(1), Line::splat(2));
+        assert_eq!(fx.freed_slot, None, "slot still referenced by line 2");
+        assert_eq!(p.read(LineAddr(2)), Line::splat(1));
+        assert_eq!(p.read(LineAddr(1)), Line::splat(2));
+    }
+
+    #[test]
+    fn effects_fully_describe_persistence() {
+        // Replaying only `line_writes` into an empty store must allow full
+        // recovery with identical reads.
+        let mut p = pipeline();
+        let mut store = LineStore::new();
+        let mut root = p.root();
+        for i in 0..20u64 {
+            let fx = p.write(LineAddr(i % 7), Line::from_words(&[i % 3, i]));
+            persist(&fx, &mut store, &mut root);
+        }
+        let r = BmoPipeline::recover(&store, FingerprintAlgo::Md5, DEFAULT_KEY, root)
+            .expect("recovery succeeds");
+        for i in 0..7u64 {
+            assert_eq!(
+                r.read_verified(LineAddr(i)).unwrap(),
+                p.read(LineAddr(i)),
+                "line {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_detects_root_mismatch() {
+        let mut p = pipeline();
+        let mut store = LineStore::new();
+        let mut root = p.root();
+        let fx = p.write(LineAddr(1), Line::splat(3));
+        persist(&fx, &mut store, &mut root);
+        // Torn metadata: drop one persisted meta line.
+        let meta_line = fx
+            .line_writes
+            .iter()
+            .find(|(a, _)| (META_BASE..META_BASE + META_LINES).contains(&a.0))
+            .expect("write touched metadata")
+            .0;
+        store.write(meta_line, Line::zero());
+        let err = BmoPipeline::recover(&store, FingerprintAlgo::Md5, DEFAULT_KEY, root)
+            .expect_err("must detect");
+        assert_eq!(err, IntegrityError::RootMismatch);
+    }
+
+    #[test]
+    fn recovery_corrects_single_bit_nvm_faults() {
+        // A single stuck/flipped cell in the ciphertext is a *device*
+        // fault, not tampering: SECDED corrects it and recovery succeeds.
+        let mut p = pipeline();
+        let mut store = LineStore::new();
+        let mut root = p.root();
+        let fx = p.write(LineAddr(1), Line::splat(3));
+        persist(&fx, &mut store, &mut root);
+        let slot_addr = slot_data_addr(fx.slot);
+        let mut ct = store.read(slot_addr);
+        ct.0[5] ^= 1;
+        store.write(slot_addr, ct);
+        let r = BmoPipeline::recover(&store, FingerprintAlgo::Md5, DEFAULT_KEY, root)
+            .expect("ECC corrects a single-bit fault");
+        assert_eq!(r.read_verified(LineAddr(1)).unwrap(), Line::splat(3));
+    }
+
+    #[test]
+    fn recovery_detects_multibit_tampering() {
+        // Beyond SECDED's reach (bits in several words), the MAC rejects.
+        let mut p = pipeline();
+        let mut store = LineStore::new();
+        let mut root = p.root();
+        let fx = p.write(LineAddr(1), Line::splat(3));
+        persist(&fx, &mut store, &mut root);
+        let slot_addr = slot_data_addr(fx.slot);
+        let mut ct = store.read(slot_addr);
+        ct.0[5] ^= 0xFF;
+        ct.0[13] ^= 0xFF;
+        ct.0[47] ^= 0xFF;
+        store.write(slot_addr, ct);
+        let err = BmoPipeline::recover(&store, FingerprintAlgo::Md5, DEFAULT_KEY, root)
+            .expect_err("must detect");
+        assert_eq!(err, IntegrityError::MacMismatch { slot: fx.slot });
+    }
+
+    #[test]
+    fn verified_read_detects_in_memory_tamper() {
+        let mut p = pipeline();
+        let fx = p.write(LineAddr(1), Line::splat(3));
+        // Tamper with the volatile cipher mirror.
+        let addr = slot_data_addr(fx.slot);
+        let mut ct = p.cipher.read(addr);
+        ct.0[0] ^= 0xFF;
+        p.cipher.write(addr, ct);
+        assert!(matches!(
+            p.read_verified(LineAddr(1)),
+            Err(IntegrityError::MacMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dedup_ratio_visible_in_stats() {
+        let mut p = pipeline();
+        for i in 0..10 {
+            p.write(LineAddr(i), Line::splat(42)); // 1 fresh + 9 dups
+        }
+        let (hits, misses, _) = p.dedup_stats();
+        assert_eq!((hits, misses), (9, 1));
+    }
+
+    #[test]
+    fn crc32_pipeline_round_trips() {
+        let mut p = BmoPipeline::new(FingerprintAlgo::Crc32);
+        for i in 0..50u64 {
+            p.write(LineAddr(i), Line::from_words(&[i * 31, i]));
+        }
+        for i in 0..50u64 {
+            assert_eq!(
+                p.read_verified(LineAddr(i)).unwrap(),
+                Line::from_words(&[i * 31, i])
+            );
+        }
+    }
+
+    #[test]
+    fn root_changes_on_every_fresh_write() {
+        let mut p = pipeline();
+        let r0 = p.root();
+        let fx1 = p.write(LineAddr(1), Line::splat(1));
+        assert_ne!(fx1.new_root, r0);
+        let fx2 = p.write(LineAddr(2), Line::splat(2));
+        assert_ne!(fx2.new_root, fx1.new_root);
+    }
+
+    #[test]
+    fn recovery_of_empty_system() {
+        let store = LineStore::new();
+        let p = pipeline();
+        let r = BmoPipeline::recover(&store, FingerprintAlgo::Md5, DEFAULT_KEY, p.root())
+            .expect("empty recovery");
+        assert_eq!(r.read(LineAddr(0)), Line::zero());
+    }
+}

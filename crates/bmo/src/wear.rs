@@ -1,0 +1,205 @@
+//! Start-Gap wear-leveling (Table 1, "Durability / Wear-leveling").
+//!
+//! Qureshi et al.'s Start-Gap (MICRO 2009, the paper's citation \[70\]):
+//! a region of `n` lines is stored in `n + 1` physical frames; one frame is
+//! the *gap*. Every `GAP_MOVE_INTERVAL` writes, the line just above the gap
+//! moves into it and the gap shifts up by one (wrapping). After `n + 1`
+//! gap movements every line has shifted by one frame, so hot logical lines
+//! migrate across the whole physical region over time, evening out cell
+//! wear at the cost of one extra line copy per interval and ~1 ns of
+//! remapping arithmetic per access (two registers: `start` and `gap`).
+//!
+//! The mapping is pure arithmetic — exactly what makes it attractive in
+//! hardware:
+//!
+//! ```text
+//! frame(l) = (l + start) mod (n+1),  then +1 if frame >= gap
+//! ```
+
+/// A Start-Gap remapper over `n` logical lines (`n + 1` physical frames).
+///
+/// # Example
+///
+/// ```
+/// use janus_bmo::wear::StartGap;
+/// let mut sg = StartGap::new(8, 4);
+/// let before = sg.frame_of(3);
+/// for _ in 0..8 * 4 {
+///     sg.record_write(3); // hot line
+/// }
+/// // After enough gap movements the hot line lives somewhere else.
+/// assert_ne!(sg.frame_of(3), before);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StartGap {
+    n: u64,
+    /// Rotation offset; increments once per full gap cycle.
+    start: u64,
+    /// Current gap frame.
+    gap: u64,
+    /// Writes since the last gap movement.
+    since_move: u64,
+    /// Writes between gap movements (the paper uses 100).
+    interval: u64,
+    /// Total gap movements (each costs one line copy).
+    moves: u64,
+}
+
+impl StartGap {
+    /// Creates a remapper for `n` lines, moving the gap every `interval`
+    /// writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `interval` is zero.
+    pub fn new(n: u64, interval: u64) -> Self {
+        assert!(n > 0 && interval > 0, "degenerate start-gap parameters");
+        StartGap {
+            n,
+            start: 0,
+            gap: n, // gap starts at the spare frame
+            since_move: 0,
+            interval,
+            moves: 0,
+        }
+    }
+
+    /// Physical frame currently holding logical line `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= n`.
+    pub fn frame_of(&self, l: u64) -> u64 {
+        assert!(l < self.n, "logical line out of range");
+        let f = (l + self.start) % self.n;
+        if f >= self.gap {
+            f + 1
+        } else {
+            f
+        }
+    }
+
+    /// Records one write to logical line `l`; returns `Some((from, to))`
+    /// when this write triggers a gap movement (the hardware copies frame
+    /// `from` into frame `to`).
+    pub fn record_write(&mut self, l: u64) -> Option<(u64, u64)> {
+        assert!(l < self.n, "logical line out of range");
+        self.since_move += 1;
+        if self.since_move < self.interval {
+            return None;
+        }
+        self.since_move = 0;
+        self.moves += 1;
+        if self.gap == 0 {
+            // Wrap: the line circularly below frame 0 is frame n; copying
+            // it down completes one full rotation of the region.
+            self.gap = self.n;
+            self.start = (self.start + 1) % self.n;
+            Some((self.n, 0))
+        } else {
+            let (from, to) = (self.gap - 1, self.gap);
+            self.gap -= 1;
+            Some((from, to))
+        }
+    }
+
+    /// Total gap movements so far.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Write amplification from gap copies: extra writes / logical writes.
+    pub fn write_amplification(&self, logical_writes: u64) -> f64 {
+        if logical_writes == 0 {
+            0.0
+        } else {
+            self.moves as f64 / logical_writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// The mapping must always be a bijection of lines onto frames minus
+    /// the gap.
+    fn assert_bijection(sg: &StartGap, n: u64) {
+        let frames: HashSet<u64> = (0..n).map(|l| sg.frame_of(l)).collect();
+        assert_eq!(frames.len() as u64, n, "mapping collided");
+        for f in &frames {
+            assert!(*f <= n, "frame out of range");
+        }
+        assert!(!frames.contains(&sg.gap), "a line mapped onto the gap");
+    }
+
+    #[test]
+    fn initial_mapping_is_identity() {
+        let sg = StartGap::new(8, 4);
+        for l in 0..8 {
+            assert_eq!(sg.frame_of(l), l);
+        }
+    }
+
+    #[test]
+    fn mapping_stays_bijective_forever() {
+        let mut sg = StartGap::new(8, 1); // move on every write
+        for step in 0..200 {
+            sg.record_write(step % 8);
+            assert_bijection(&sg, 8);
+        }
+    }
+
+    #[test]
+    fn gap_moves_every_interval() {
+        let mut sg = StartGap::new(16, 4);
+        let mut moves = 0;
+        for i in 0..40 {
+            if sg.record_write(i % 16).is_some() {
+                moves += 1;
+            }
+        }
+        assert_eq!(moves, 10);
+        assert_eq!(sg.moves(), 10);
+    }
+
+    #[test]
+    fn hot_line_migrates_across_frames() {
+        let mut sg = StartGap::new(8, 1);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            seen.insert(sg.frame_of(0));
+            sg.record_write(0);
+        }
+        // Over time, line 0 should have occupied most frames.
+        assert!(seen.len() >= 8, "line 0 visited only {:?}", seen);
+    }
+
+    #[test]
+    fn gap_copy_endpoints_are_adjacent() {
+        let mut sg = StartGap::new(8, 1);
+        for i in 0..50 {
+            if let Some((from, to)) = sg.record_write(i % 8) {
+                // The copy source is one frame below the old gap (wrapping).
+                assert_eq!(from, if to == 0 { 8 } else { to - 1 });
+            }
+        }
+    }
+
+    #[test]
+    fn write_amplification_matches_interval() {
+        let mut sg = StartGap::new(64, 100);
+        for i in 0..10_000u64 {
+            sg.record_write(i % 64);
+        }
+        let wa = sg.write_amplification(10_000);
+        assert!((wa - 0.01).abs() < 0.001, "wa = {wa}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        StartGap::new(4, 1).frame_of(4);
+    }
+}

@@ -1,0 +1,289 @@
+//! System configuration (paper Table 3) and evaluated design points.
+
+use janus_bmo::latency::BmoLatencies;
+use janus_bmo::BmoMode;
+use janus_nvm::device::NvmTiming;
+use janus_sim::resource::UnitPool;
+use janus_sim::time::Cycles;
+
+/// The four system designs the evaluation compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SystemMode {
+    /// Baseline: BMOs executed serially on every write's critical path
+    /// (§5.1 "Serialized").
+    Serialized,
+    /// Sub-operations parallelized across BMOs, but no pre-execution
+    /// (the "Parallelization" bars of Figures 9/13).
+    Parallelized,
+    /// Full Janus: parallelization + pre-execution through the software
+    /// interface.
+    Janus,
+    /// The §5.2.2 ideal: write-backs do not block on BMOs at all (their
+    /// latency is entirely off the critical path).
+    Ideal,
+}
+
+impl SystemMode {
+    /// Whether this mode consumes the software interface's pre-execution
+    /// requests (other modes ignore them, charging only issue overhead).
+    pub fn uses_pre_execution(self) -> bool {
+        matches!(self, SystemMode::Janus)
+    }
+
+    /// The BMO scheduling discipline implied by the mode.
+    /// `serialized_global` selects the stricter baseline reading where the
+    /// controller processes one write's BMOs at a time (DESIGN.md §5a).
+    pub fn bmo_mode_with(self, serialized_global: bool) -> BmoMode {
+        match self {
+            SystemMode::Serialized if serialized_global => BmoMode::SerializedGlobal,
+            SystemMode::Serialized => BmoMode::Serialized,
+            _ => BmoMode::Parallelized,
+        }
+    }
+
+    /// The BMO scheduling discipline implied by the mode.
+    pub fn bmo_mode(self) -> BmoMode {
+        self.bmo_mode_with(false)
+    }
+}
+
+impl std::fmt::Display for SystemMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SystemMode::Serialized => "serialized",
+            SystemMode::Parallelized => "parallelized",
+            SystemMode::Janus => "janus",
+            SystemMode::Ideal => "ideal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fixed per-operation core-side costs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreTiming {
+    /// L1 hit latency.
+    pub l1_hit: Cycles,
+    /// Additional latency of an L2 hit.
+    pub l2_hit: Cycles,
+    /// Store into L1.
+    pub store: Cycles,
+    /// Issue cost of `clwb` (the writeback itself travels asynchronously).
+    pub clwb_issue: Cycles,
+    /// Issue cost of `sfence` (plus any blocking).
+    pub fence_issue: Cycles,
+    /// Issue cost of one Janus pre-execution function call.
+    pub pre_issue: Cycles,
+}
+
+impl Default for CoreTiming {
+    fn default() -> Self {
+        CoreTiming {
+            l1_hit: Cycles(4),
+            l2_hit: Cycles(30),
+            store: Cycles(4),
+            clwb_issue: Cycles(4),
+            fence_issue: Cycles(2),
+            pre_issue: Cycles(6),
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Clone, Debug)]
+pub struct JanusConfig {
+    /// Evaluated design point.
+    pub mode: SystemMode,
+    /// Number of cores (Figure 9 sweeps 1/2/4/8).
+    pub cores: usize,
+    /// BMO units per core ("4 units per core, shared").
+    pub bmo_units_per_core: usize,
+    /// IRB entries per core ("64 entries per core, shared").
+    pub irb_entries_per_core: usize,
+    /// Pre-execution Request Queue entries per core ("16 entries per core").
+    pub req_queue_per_core: usize,
+    /// Pre-execution Operation Queue entries per core ("64 entries per
+    /// core").
+    pub op_queue_per_core: usize,
+    /// When true, resource pools are unbounded (Figure 14 "Unlimited").
+    pub unlimited_resources: bool,
+    /// BMO latencies (dedup algorithm, Merkle height, …).
+    pub latencies: BmoLatencies,
+    /// NVM device timing.
+    pub nvm: NvmTiming,
+    /// ADR write-queue capacity.
+    pub wq_capacity: usize,
+    /// Cache writeback latency to the memory controller (15 ns, §2.3).
+    pub writeback: Cycles,
+    /// Core-side operation costs.
+    pub core: CoreTiming,
+    /// IRB entry maximum lifetime (§4.6 age register).
+    pub irb_max_age: Cycles,
+    /// Selective metadata atomicity (§4.3.2): only crash-status-mutating
+    /// writes block on their metadata persists; otherwise every write does.
+    pub selective_atomicity: bool,
+    /// Reuse address-dependent pre-execution results when the data turned
+    /// out stale (§4.3.1); disabling falls back to full invalidation
+    /// (ablation knob).
+    pub partial_reuse: bool,
+    /// Coalesce same-line writes in the ADR write queue (ablation knob).
+    pub wq_coalescing: bool,
+    /// Pre-execution admission is refused when the BMO units are booked
+    /// further than this into the future (demand writes must not starve
+    /// behind speculative work).
+    pub pre_admission_backlog: Cycles,
+    /// Stricter serialized-baseline interpretation: the controller
+    /// processes one write's BMOs at a time (ablation; DESIGN.md §5a).
+    pub serialized_global: bool,
+    /// Use the extended five-BMO set (encryption, integrity, dedup +
+    /// compression and wear-leveling) instead of the paper's evaluated
+    /// three — demonstrates the framework's extensibility (§4.4
+    /// requirement 3: programs need no changes when BMOs change).
+    pub extended_bmos: bool,
+}
+
+impl JanusConfig {
+    /// The paper's Table 3 configuration for a given mode and core count.
+    pub fn paper(mode: SystemMode, cores: usize) -> Self {
+        assert!(cores >= 1, "at least one core");
+        JanusConfig {
+            mode,
+            cores,
+            bmo_units_per_core: 4,
+            irb_entries_per_core: 64,
+            req_queue_per_core: 16,
+            op_queue_per_core: 64,
+            unlimited_resources: false,
+            latencies: BmoLatencies::paper(),
+            nvm: NvmTiming::pcm(),
+            wq_capacity: 64,
+            writeback: Cycles::from_ns(15),
+            core: CoreTiming::default(),
+            irb_max_age: Cycles::from_ns(1_000_000), // 1 ms
+            selective_atomicity: true,
+            partial_reuse: true,
+            wq_coalescing: true,
+            pre_admission_backlog: Cycles::from_ns(500),
+            serialized_global: false,
+            extended_bmos: false,
+        }
+    }
+
+    /// Scales the pre-execution resources (BMO units + buffers) by `factor`
+    /// — the Figure 14 sweep.
+    pub fn scale_resources(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "scale factor must be positive");
+        self.bmo_units_per_core *= factor;
+        self.irb_entries_per_core *= factor;
+        self.req_queue_per_core *= factor;
+        self.op_queue_per_core *= factor;
+        self
+    }
+
+    /// Makes every pre-execution resource unlimited (Figure 14 "Unlimited").
+    pub fn unlimited(mut self) -> Self {
+        self.unlimited_resources = true;
+        self
+    }
+
+    /// Switches the dedup fingerprint to CRC-32 (Figure 12).
+    pub fn with_crc32(mut self) -> Self {
+        self.latencies = self.latencies.with_crc32();
+        self
+    }
+
+    /// Total BMO units across the controller.
+    pub fn total_bmo_units(&self) -> usize {
+        if self.unlimited_resources {
+            UnitPool::UNLIMITED
+        } else {
+            self.bmo_units_per_core * self.cores
+        }
+    }
+
+    /// Total IRB entries.
+    pub fn total_irb_entries(&self) -> usize {
+        if self.unlimited_resources {
+            usize::MAX
+        } else {
+            self.irb_entries_per_core * self.cores
+        }
+    }
+
+    /// Total request-queue entries.
+    pub fn total_req_queue(&self) -> usize {
+        if self.unlimited_resources {
+            usize::MAX / 2
+        } else {
+            self.req_queue_per_core * self.cores
+        }
+    }
+
+    /// Total operation-queue entries.
+    pub fn total_op_queue(&self) -> usize {
+        if self.unlimited_resources {
+            usize::MAX / 2
+        } else {
+            self.op_queue_per_core * self.cores
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table3() {
+        let c = JanusConfig::paper(SystemMode::Janus, 1);
+        assert_eq!(c.bmo_units_per_core, 4);
+        assert_eq!(c.irb_entries_per_core, 64);
+        assert_eq!(c.req_queue_per_core, 16);
+        assert_eq!(c.op_queue_per_core, 64);
+        assert_eq!(c.wq_capacity, 64);
+        assert_eq!(c.writeback, Cycles::from_ns(15));
+    }
+
+    #[test]
+    fn totals_scale_with_cores() {
+        let c = JanusConfig::paper(SystemMode::Janus, 4);
+        assert_eq!(c.total_bmo_units(), 16);
+        assert_eq!(c.total_irb_entries(), 256);
+    }
+
+    #[test]
+    fn resource_scaling() {
+        let c = JanusConfig::paper(SystemMode::Janus, 1).scale_resources(4);
+        assert_eq!(c.bmo_units_per_core, 16);
+        assert_eq!(c.irb_entries_per_core, 256);
+    }
+
+    #[test]
+    fn unlimited_resources() {
+        let c = JanusConfig::paper(SystemMode::Janus, 1).unlimited();
+        assert_eq!(c.total_bmo_units(), UnitPool::UNLIMITED);
+        assert!(c.total_irb_entries() > 1 << 40);
+    }
+
+    #[test]
+    fn mode_properties() {
+        assert!(SystemMode::Janus.uses_pre_execution());
+        assert!(!SystemMode::Serialized.uses_pre_execution());
+        assert!(!SystemMode::Parallelized.uses_pre_execution());
+        assert!(!SystemMode::Ideal.uses_pre_execution());
+        assert_eq!(SystemMode::Serialized.bmo_mode(), BmoMode::Serialized);
+        assert_eq!(SystemMode::Janus.bmo_mode(), BmoMode::Parallelized);
+    }
+
+    #[test]
+    fn crc_switch() {
+        let c = JanusConfig::paper(SystemMode::Janus, 1).with_crc32();
+        assert_eq!(c.latencies.dedup_algo, janus_crypto::FingerprintAlgo::Crc32);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SystemMode::Janus.to_string(), "janus");
+        assert_eq!(SystemMode::Ideal.to_string(), "ideal");
+    }
+}

@@ -1,0 +1,844 @@
+//! The memory controller: where BMOs, Janus, the write queue, and the NVM
+//! device meet (Figure 7a).
+//!
+//! The controller owns:
+//!
+//! * the **functional** BMO pipeline ([`janus_bmo::pipeline::BmoPipeline`]) —
+//!   what each write actually does to NVM contents;
+//! * the **timing** BMO engine ([`janus_bmo::engine::BmoEngine`]) — when the
+//!   corresponding sub-operations complete on the shared BMO units;
+//! * the Janus front end: request queue + decoder ([`crate::queues`]),
+//!   Intermediate Result Buffer ([`crate::irb`]);
+//! * the persistence back end: ADR write queue, banked NVM device, the
+//!   persistent-domain functional contents, and the secure Merkle-root
+//!   register;
+//! * the counter cache and Merkle Tree cache used on the read path.
+//!
+//! Every write is processed functionally at arrival (so results never depend
+//! on the timing mode) and timed according to the configured
+//! [`SystemMode`]: serialized/parallelized writes run their sub-operations
+//! at arrival; Janus writes first consult the IRB and reuse, complete, or
+//! invalidate pre-executed results; ideal writes skip BMO latency entirely.
+
+use janus_bmo::engine::{BmoEngine, JobId};
+use janus_bmo::integrity::NodeHash;
+use janus_bmo::pipeline::{BmoPipeline, IntegrityError};
+use janus_bmo::subop::DepGraph;
+use janus_nvm::addr::LineAddr;
+use janus_nvm::cache::{CacheConfig, SetAssocCache};
+use janus_nvm::device::{AccessKind, NvmDevice};
+use janus_nvm::line::Line;
+use janus_nvm::store::LineStore;
+use janus_nvm::wq::{AdrWriteQueue, PersistentDomain};
+use janus_sim::stats::StatSet;
+use janus_sim::time::Cycles;
+
+use crate::config::{JanusConfig, SystemMode};
+use crate::irb::{Irb, IrbEntry, IrbKey};
+use crate::queues::{decode, LineOp, PreFunc, PreRequest, RequestQueue};
+
+/// Result of processing a write at the controller.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteOutcome {
+    /// When the write became persistent (accepted into the ADR write
+    /// queue) — what an `sfence` waits for.
+    pub persist_at: Cycles,
+    /// Whether deduplication cancelled the data write.
+    pub dup: bool,
+}
+
+/// The controller. See module docs.
+pub struct MemoryController {
+    config: JanusConfig,
+    engine: BmoEngine,
+    pipeline: BmoPipeline,
+    irb: Irb,
+    req_queue: RequestQueue,
+    wq: AdrWriteQueue,
+    device: NvmDevice,
+    persist: PersistentDomain,
+    secure_root: NodeHash,
+    counter_cache: SetAssocCache,
+    merkle_cache: SetAssocCache,
+    /// Completion times of in-flight pre-execution operations (bounded by
+    /// the Pre-execution Operation Queue capacity).
+    inflight_ops: Vec<Cycles>,
+    /// Values predicted *fresh* by in-flight pre-executions: a later
+    /// pre-execution of the same value predicts a duplicate (the hardware
+    /// chains in-flight dedup outcomes rather than re-reading stale
+    /// metadata).
+    pending_fresh: std::collections::HashMap<Line, u32>,
+    stats: StatSet,
+}
+
+impl MemoryController {
+    /// Builds the controller for a configuration.
+    pub fn new(config: JanusConfig) -> Self {
+        let graph = if config.extended_bmos {
+            DepGraph::extended(&config.latencies)
+        } else {
+            DepGraph::standard(&config.latencies)
+        };
+        let engine = BmoEngine::new(
+            graph,
+            config.mode.bmo_mode_with(config.serialized_global),
+            config.total_bmo_units(),
+        );
+        let pipeline = BmoPipeline::new(config.latencies.dedup_algo);
+        let secure_root = pipeline.root();
+        let mut wq = AdrWriteQueue::new(config.wq_capacity);
+        wq.set_coalescing(config.wq_coalescing);
+        MemoryController {
+            engine,
+            irb: Irb::new(config.total_irb_entries()),
+            req_queue: RequestQueue::new(config.total_req_queue()),
+            wq,
+            device: NvmDevice::new(config.nvm),
+            persist: PersistentDomain::new(),
+            secure_root,
+            counter_cache: SetAssocCache::new(CacheConfig::counter_cache()),
+            merkle_cache: SetAssocCache::new(CacheConfig::merkle_cache()),
+            inflight_ops: Vec::new(),
+            pending_fresh: std::collections::HashMap::new(),
+            stats: StatSet::new(),
+            pipeline,
+            config,
+        }
+    }
+
+    /// The functional pipeline (for reads and test assertions).
+    pub fn pipeline(&self) -> &BmoPipeline {
+        &self.pipeline
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Mutable statistics access (the system layer contributes core-side
+    /// counters).
+    pub fn stats_mut(&mut self) -> &mut StatSet {
+        &mut self.stats
+    }
+
+    /// IRB statistics (inserted, consumed, drops, expired, stale).
+    pub fn irb_stats(&self) -> (u64, u64, u64, u64, u64) {
+        self.irb.stats()
+    }
+
+    /// The secure non-volatile root register.
+    pub fn secure_root(&self) -> NodeHash {
+        self.secure_root
+    }
+
+    /// Write-queue stall cycles accumulated (multi-core contention metric).
+    pub fn wq_stalls(&self) -> Cycles {
+        self.wq.stall_cycles()
+    }
+
+    /// NVM device (reads, writes) issued so far.
+    pub fn device_stats(&self) -> (u64, u64) {
+        self.device.stats()
+    }
+
+    /// Same-line writes absorbed by write-queue coalescing.
+    pub fn wq_coalesced(&self) -> u64 {
+        self.wq.coalesced()
+    }
+
+    fn reap_inflight(&mut self, now: Cycles) {
+        self.inflight_ops.retain(|&t| t > now);
+    }
+
+    // ------------------------------------------------------------------
+    // Pre-execution request path
+    // ------------------------------------------------------------------
+
+    /// Handles an immediate pre-execution request arriving at `now`.
+    pub fn handle_pre_request(&mut self, now: Cycles, req: PreRequest) {
+        if !self.config.mode.uses_pre_execution() {
+            return; // other designs ignore the hints
+        }
+        self.irb.expire(now, self.config.irb_max_age);
+        if !self.req_queue.admit_immediate(&req) {
+            self.stats.counter("pre_req_dropped").incr();
+            return;
+        }
+        // Decode into cache-line-sized operations (one cycle each — small
+        // against BMO latencies, charged as part of the issue path).
+        for op in decode(&req) {
+            self.admit_line_op(now, op, req.func);
+        }
+    }
+
+    /// Buffers a deferred (`*_BUF`) request.
+    pub fn handle_pre_buffered(&mut self, _now: Cycles, req: PreRequest) {
+        if !self.config.mode.uses_pre_execution() {
+            return;
+        }
+        if self.req_queue.push_buffered(req).is_some() {
+            self.stats.counter("pre_req_dropped").incr();
+        }
+    }
+
+    /// Releases buffered requests for `key` (a `PRE_START_BUF`).
+    pub fn handle_pre_start(&mut self, now: Cycles, key: IrbKey) {
+        if !self.config.mode.uses_pre_execution() {
+            return;
+        }
+        for req in self.req_queue.start_buffered(key) {
+            let func = req.func;
+            for op in decode(&req) {
+                self.admit_line_op(now, op, func);
+            }
+        }
+    }
+
+    fn admit_line_op(&mut self, now: Cycles, op: LineOp, func: PreFunc) {
+        self.reap_inflight(now);
+        if self.inflight_ops.len() >= self.config.total_op_queue() {
+            self.stats.counter("pre_op_dropped").incr();
+            return;
+        }
+        // Congestion-aware admission: when the BMO units are booked far
+        // into the future, speculative pre-execution is dropped so demand
+        // writes are not starved (dropping is always safe).
+        if self.engine.backlog(now) > self.config.pre_admission_backlog {
+            self.stats.counter("pre_op_dropped").incr();
+            return;
+        }
+
+        // A later PRE_ADDR/PRE_DATA may complete an earlier partial request
+        // on the same pre_obj (Figure 8a's PRE_DATA-then-PRE_ADDR pattern).
+        match func {
+            PreFunc::Addr => {
+                // Bind queued data-only entries first.
+                let bound = self
+                    .irb
+                    .bind_addr(op.key, op.line.expect("addr request"), 1);
+                if bound > 0 {
+                    let jobs: Vec<JobId> = self
+                        .irb
+                        .entries_for(op.key)
+                        .filter(|e| e.line == op.line)
+                        .map(|e| e.job)
+                        .collect();
+                    for job in jobs {
+                        self.engine.provide_addr(job, now);
+                    }
+                    return;
+                }
+            }
+            PreFunc::Data => {
+                // Attach data to an existing addr-only entry of this obj.
+                let target: Option<(JobId, LineAddr)> = self
+                    .irb
+                    .entries_for(op.key)
+                    .find(|e| e.data.is_none() && e.line.is_some())
+                    .map(|e| (e.job, e.line.expect("checked")));
+                if let Some((job, _line)) = target {
+                    self.engine.provide_data(job, now);
+                    // (Entry data/prediction updates happen on consume; the
+                    // conservative path re-checks against the actual write.)
+                    return;
+                }
+            }
+            PreFunc::Both => {}
+        }
+
+        // Fresh entry + engine job. The duplicate prediction consults the
+        // live dedup metadata *and* values already predicted fresh by
+        // in-flight pre-executions (which the matching writes will have
+        // inserted by the time this write arrives).
+        let dup_slot = op.value.as_ref().and_then(|v| self.pipeline.predict_dup(v));
+        let predicted_dup = op
+            .value
+            .as_ref()
+            .map(|v| dup_slot.is_some() || self.pending_fresh.contains_key(v));
+        let job = self.engine.submit(
+            now,
+            op.line.map(|_| now),
+            op.value.map(|_| now),
+            predicted_dup.unwrap_or(false),
+        );
+        let entry = IrbEntry {
+            key: op.key,
+            tx_id: op.tx_id,
+            line: op.line,
+            data: op.value,
+            job,
+            created: now,
+            predicted_dup_slot: dup_slot,
+            predicted_dup,
+            stale: false,
+        };
+        if !self.irb.insert(entry) {
+            self.engine.retire(job);
+            return;
+        }
+        if let Some(v) = op.value {
+            if predicted_dup == Some(false) {
+                *self.pending_fresh.entry(v).or_insert(0) += 1;
+            }
+        }
+        self.inflight_ops.push(self.engine.partial_completion(job));
+        self.stats.counter("pre_ops_admitted").incr();
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Processes a write of `data` to logical `line` from `core`, arriving
+    /// at the controller at `now`. `commit_critical` marks writes that
+    /// immediately mutate crash-consistency status (metadata atomicity is
+    /// always enforced for them even under the selective policy).
+    pub fn handle_write(
+        &mut self,
+        now: Cycles,
+        core: usize,
+        line: LineAddr,
+        data: Line,
+        commit_critical: bool,
+    ) -> WriteOutcome {
+        self.stats.counter("writes").incr();
+
+        // Functional application (timing-mode independent).
+        let fx = self.pipeline.write(line, data);
+        if fx.dup {
+            self.stats.counter("writes_dup").incr();
+        }
+        // Metadata changed: invalidate dependent pre-execution results.
+        if let Some(freed) = fx.freed_slot {
+            let n = self.irb.invalidate_slot_refs(freed);
+            if n > 0 {
+                self.stats.counter("irb_meta_invalidations").add(n as u64);
+            }
+        }
+
+        // Timing.
+        let bmo_done = match self.config.mode {
+            SystemMode::Ideal => {
+                // BMO work still happens (bandwidth) but off the critical
+                // path.
+                let job = self.engine.submit(now, Some(now), Some(now), fx.dup);
+                self.engine.retire(job);
+                now
+            }
+            SystemMode::Serialized | SystemMode::Parallelized => {
+                let job = self.engine.submit(now, Some(now), Some(now), fx.dup);
+                let done = self
+                    .engine
+                    .completion(job)
+                    .expect("all inputs were supplied");
+                self.engine.retire(job);
+                done
+            }
+            SystemMode::Janus => self.janus_write_timing(now, core, line, data, &fx),
+        };
+
+        // Persistence. Data (slot) lines always drain through the ADR write
+        // queue to the device. Metadata lines (counters/remaps, Merkle
+        // nodes, MACs) are absorbed by the write-back counter/Merkle caches
+        // and reach the device only as dirty evictions — except for
+        // commit-critical writes (and every write when selective metadata
+        // atomicity is disabled), whose unreconstructable metadata is
+        // flushed with the data (§4.3.2). Functional persistence is atomic
+        // per write; crash points in tests sit at write boundaries.
+        let flush_meta = commit_critical || !self.config.selective_atomicity;
+        let mut first_accept = None;
+        let mut last_accept = bmo_done;
+        for (addr, value) in &fx.line_writes {
+            self.persist.persist(*addr, *value);
+            let is_meta = addr.0 >= janus_bmo::metadata::META_BASE;
+            if is_meta {
+                let acc = self.counter_cache.access(*addr, true);
+                self.merkle_cache.access(*addr, true);
+                // Dirty victim of the metadata cache drains in background.
+                if let janus_nvm::cache::Access::Miss { victim: Some(v) } = acc {
+                    if v.dirty {
+                        self.wq.accept(bmo_done, v.addr, &mut self.device);
+                        self.stats.counter("meta_evictions").incr();
+                    }
+                }
+                if !flush_meta {
+                    continue;
+                }
+            }
+            let t = self
+                .wq
+                .accept(last_accept.max(bmo_done), *addr, &mut self.device);
+            first_accept.get_or_insert(t);
+            last_accept = t;
+        }
+        self.secure_root = fx.new_root;
+
+        let persist_at = if self.config.selective_atomicity && !commit_critical {
+            first_accept.unwrap_or(bmo_done).max(bmo_done)
+        } else {
+            last_accept
+        };
+        self.stats
+            .histogram("write_critical_latency")
+            .record(persist_at.saturating_sub(now));
+        WriteOutcome {
+            persist_at,
+            dup: fx.dup,
+        }
+    }
+
+    /// Janus-mode timing for a write: consult the IRB and reuse, finish, or
+    /// invalidate pre-executed results.
+    fn janus_write_timing(
+        &mut self,
+        now: Cycles,
+        core: usize,
+        line: LineAddr,
+        data: Line,
+        fx: &janus_bmo::pipeline::WriteEffects,
+    ) -> Cycles {
+        const IRB_LOOKUP: Cycles = Cycles(8); // 2 ns CAM lookup
+
+        let Some(entry) = self.irb.consume(core, line) else {
+            self.stats.counter("pre_miss").incr();
+            let job = self.engine.submit(now, Some(now), Some(now), fx.dup);
+            let done = self.engine.completion(job).expect("inputs supplied");
+            self.engine.retire(job);
+            return done.max(now + IRB_LOOKUP);
+        };
+
+        // Release the in-flight fresh-value prediction.
+        if let Some(v) = entry.data {
+            if entry.predicted_dup == Some(false) {
+                if let Some(n) = self.pending_fresh.get_mut(&v) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.pending_fresh.remove(&v);
+                    }
+                }
+            }
+        }
+        let job = entry.job;
+        if entry.stale {
+            // Metadata under the pre-execution changed (§4.3.1 case 2).
+            self.stats.counter("inval_meta").incr();
+            self.engine.invalidate_all(job, now, fx.dup);
+        } else {
+            match entry.data {
+                Some(pre_data) if pre_data == data => {
+                    // Prediction of the dedup outcome must also still hold.
+                    // A chained prediction (duplicate of an in-flight value)
+                    // carries no slot; any duplicate outcome satisfies it.
+                    if entry.predicted_dup == Some(fx.dup)
+                        && (!fx.dup
+                            || entry.predicted_dup_slot.is_none()
+                            || entry.predicted_dup_slot == Some(fx.slot))
+                    {
+                        // Clean hit — nothing to re-run.
+                    } else {
+                        self.stats.counter("inval_meta").incr();
+                        self.engine.invalidate_all(job, now, fx.dup);
+                    }
+                }
+                Some(_) => {
+                    // Stale data (§4.3.1 case 1): re-run data-dependent
+                    // sub-operations, reusing address-dependent ones —
+                    // unless the partial-reuse optimization is ablated.
+                    self.stats.counter("inval_data").incr();
+                    if self.config.partial_reuse {
+                        self.engine.invalidate_data(job, now, fx.dup);
+                    } else {
+                        self.engine.invalidate_all(job, now, fx.dup);
+                    }
+                }
+                None => {
+                    // Address-only pre-execution: supply data now.
+                    self.engine.provide_data(job, now);
+                }
+            }
+        }
+        if entry.line.is_none() {
+            self.engine.provide_addr(job, now);
+        }
+
+        let done = self
+            .engine
+            .completion(job)
+            .expect("all inputs supplied by write arrival");
+        if done <= now {
+            self.stats.counter("pre_full").incr();
+        } else {
+            self.stats.counter("pre_partial").incr();
+        }
+        let wasted = self.engine.wasted(job);
+        if wasted > Cycles::ZERO {
+            self.stats.counter("bmo_wasted_cycles").add(wasted.0);
+        }
+        self.engine.retire(job);
+        done.max(now + IRB_LOOKUP)
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Times a demand read (L2 miss) of logical `line` arriving at `now`;
+    /// returns when the data is available to the core.
+    pub fn handle_read(&mut self, now: Cycles, line: LineAddr) -> Cycles {
+        self.stats.counter("nvm_reads").incr();
+        let lat = &self.config.latencies;
+
+        // Counter/metadata fetch: counter cache hit lets OTP generation
+        // overlap the data fetch.
+        let meta_line = janus_bmo::metadata::meta_loc_of_logical(line).line;
+        let counter_hit = self.counter_cache.access(meta_line, false).is_hit();
+        let meta_ready = if counter_hit {
+            now
+        } else {
+            self.device.schedule(now, meta_line, AccessKind::Read)
+        };
+
+        // Data fetch (from the mapped slot if any; cold lines read zero
+        // without a device access — they have no slot).
+        let data_ready = match self.pipeline.slot_of(line) {
+            Some(slot) => {
+                let addr = janus_bmo::metadata::slot_data_addr(slot);
+                self.device.schedule(meta_ready, addr, AccessKind::Read)
+            }
+            None => now,
+        };
+
+        // Decryption: OTP (AES) overlaps the data fetch when the counter
+        // was cached; otherwise it starts after the metadata arrives.
+        let otp_ready = meta_ready + lat.aes;
+        let decrypted = data_ready.max(otp_ready) + lat.xor;
+
+        // Integrity verification, truncated by the Merkle Tree cache.
+        let verified = if self.merkle_cache.access(meta_line, false).is_hit() {
+            decrypted + lat.sha1 // MAC check only
+        } else {
+            decrypted + lat.sha1 * lat.merkle_levels as u64
+        };
+        self.stats
+            .histogram("read_latency")
+            .record(verified.saturating_sub(now));
+        verified
+    }
+
+    /// Functional value of a logical line (volatile view).
+    pub fn read_value(&self, line: LineAddr) -> Line {
+        self.pipeline.read(line)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / recovery / maintenance
+    // ------------------------------------------------------------------
+
+    /// Simulates power loss: returns the persistent-domain contents and the
+    /// secure root register (everything else — caches, IRB, engine state —
+    /// is lost).
+    pub fn crash(&self) -> (LineStore, NodeHash) {
+        (self.persist.snapshot(), self.secure_root)
+    }
+
+    /// Rebuilds the functional pipeline from a persistent snapshot,
+    /// verifying integrity (recovery after power loss).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first integrity violation found.
+    pub fn recover(
+        snapshot: &LineStore,
+        config: JanusConfig,
+        secure_root: NodeHash,
+    ) -> Result<Self, IntegrityError> {
+        let pipeline = BmoPipeline::recover(
+            snapshot,
+            config.latencies.dedup_algo,
+            *b"janus-memory-key",
+            secure_root,
+        )?;
+        let mut mc = MemoryController::new(config);
+        mc.pipeline = pipeline;
+        mc.secure_root = secure_root;
+        // The persistent domain resumes from the snapshot.
+        for (a, l) in snapshot.iter() {
+            mc.persist.persist(a, *l);
+        }
+        Ok(mc)
+    }
+
+    /// A thread terminated: clear its IRB entries (§4.6).
+    pub fn thread_exited(&mut self, core: usize) {
+        self.irb.clear_thread(core);
+    }
+
+    /// The OS swapped out `[first, first+nlines)`: clear matching IRB
+    /// entries (§4.6).
+    pub fn range_swapped(&mut self, first: LineAddr, nlines: u64) {
+        self.irb.clear_range(first, nlines);
+    }
+
+    /// Fraction of Janus writes whose BMOs were completely pre-executed
+    /// (§5.2.2 reports 45.13% on average).
+    pub fn fully_preexecuted_fraction(&self) -> f64 {
+        let full = self.stats.counter_value("pre_full");
+        let total =
+            full + self.stats.counter_value("pre_partial") + self.stats.counter_value("pre_miss");
+        if total == 0 {
+            0.0
+        } else {
+            full as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("mode", &self.config.mode)
+            .field("irb", &self.irb.len())
+            .field("live_jobs", &self.engine.live_jobs())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc(mode: SystemMode) -> MemoryController {
+        MemoryController::new(JanusConfig::paper(mode, 1))
+    }
+
+    fn pre_both(mcx: &mut MemoryController, now: Cycles, obj: u32, line: u64, data: Line) {
+        mcx.handle_pre_request(
+            now,
+            PreRequest {
+                key: IrbKey {
+                    core: 0,
+                    obj: crate::ir::PreObjId(obj),
+                },
+                tx_id: 0,
+                func: PreFunc::Both,
+                line: Some(LineAddr(line)),
+                nlines: 1,
+                values: vec![data],
+            },
+        );
+    }
+
+    #[test]
+    fn serialized_write_latency_is_serial_sum() {
+        let mut m = mc(SystemMode::Serialized);
+        let out = m.handle_write(Cycles(0), 0, LineAddr(1), Line::splat(1), false);
+        let serial = m.config.latencies.serialized_total();
+        assert!(out.persist_at >= serial);
+        assert!(out.persist_at < serial + Cycles::from_ns(50));
+    }
+
+    #[test]
+    fn parallelized_is_faster_than_serialized() {
+        let mut s = mc(SystemMode::Serialized);
+        let mut p = mc(SystemMode::Parallelized);
+        let a = s.handle_write(Cycles(0), 0, LineAddr(1), Line::splat(1), false);
+        let b = p.handle_write(Cycles(0), 0, LineAddr(1), Line::splat(1), false);
+        assert!(b.persist_at < a.persist_at);
+    }
+
+    #[test]
+    fn ideal_write_persists_immediately() {
+        let mut m = mc(SystemMode::Ideal);
+        let out = m.handle_write(Cycles(100), 0, LineAddr(1), Line::splat(1), false);
+        assert_eq!(out.persist_at, Cycles(100));
+    }
+
+    #[test]
+    fn janus_pre_executed_write_is_fast() {
+        let mut m = mc(SystemMode::Janus);
+        pre_both(&mut m, Cycles(0), 1, 5, Line::splat(9));
+        // Write arrives long after pre-execution completes.
+        let out = m.handle_write(Cycles(20_000), 0, LineAddr(5), Line::splat(9), false);
+        assert!(
+            out.persist_at <= Cycles(20_000) + Cycles(16),
+            "persist_at = {:?}",
+            out.persist_at
+        );
+        assert_eq!(m.stats().counter_value("pre_full"), 1);
+        assert!((m.fully_preexecuted_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn janus_without_pre_request_pays_parallelized_latency() {
+        let mut m = mc(SystemMode::Janus);
+        let out = m.handle_write(Cycles(0), 0, LineAddr(5), Line::splat(9), false);
+        let cp = DepGraph::standard(&m.config.latencies).critical_path();
+        assert!(out.persist_at >= cp);
+        assert_eq!(m.stats().counter_value("pre_miss"), 1);
+    }
+
+    #[test]
+    fn stale_data_triggers_partial_rerun() {
+        let mut m = mc(SystemMode::Janus);
+        pre_both(&mut m, Cycles(0), 1, 5, Line::splat(1));
+        // Actual write has different data.
+        let out = m.handle_write(Cycles(20_000), 0, LineAddr(5), Line::splat(2), false);
+        assert_eq!(m.stats().counter_value("inval_data"), 1);
+        // Re-ran data-dependent chain (D1→…) from arrival.
+        assert!(out.persist_at > Cycles(20_000) + Cycles::from_ns(300));
+        // Functional result is the *write's* data, not the stale one.
+        assert_eq!(m.read_value(LineAddr(5)), Line::splat(2));
+    }
+
+    #[test]
+    fn freed_slot_invalidate_metadata_dependents() {
+        let mut m = mc(SystemMode::Janus);
+        // Line 1 holds value A (slot s).
+        m.handle_write(Cycles(0), 0, LineAddr(1), Line::splat(0xA), false);
+        // Pre-execute a write of value A to line 2 — predicted duplicate of
+        // slot s.
+        pre_both(&mut m, Cycles(10_000), 1, 2, Line::splat(0xA));
+        // Overwrite line 1 — frees slot s, invalidating the prediction.
+        m.handle_write(Cycles(20_000), 0, LineAddr(1), Line::splat(0xB), false);
+        assert_eq!(m.stats().counter_value("irb_meta_invalidations"), 1);
+        // The write to line 2 arrives; stale entry forces a full re-run but
+        // functional content stays correct.
+        let out = m.handle_write(Cycles(30_000), 0, LineAddr(2), Line::splat(0xA), false);
+        assert_eq!(m.stats().counter_value("inval_meta"), 1);
+        assert!(out.persist_at > Cycles(30_000));
+        assert_eq!(m.read_value(LineAddr(2)), Line::splat(0xA));
+    }
+
+    #[test]
+    fn functional_results_identical_across_modes() {
+        let writes: Vec<(u64, Line)> = (0..40)
+            .map(|i| (i % 11, Line::from_words(&[i % 5, i])))
+            .collect();
+        let mut reference: Option<Vec<Line>> = None;
+        for mode in [
+            SystemMode::Serialized,
+            SystemMode::Parallelized,
+            SystemMode::Janus,
+            SystemMode::Ideal,
+        ] {
+            let mut m = mc(mode);
+            let mut t = Cycles(0);
+            for (l, d) in &writes {
+                if mode == SystemMode::Janus {
+                    pre_both(&mut m, t, *l as u32 + 1000, *l, *d);
+                }
+                t += Cycles(5000);
+                m.handle_write(t, 0, LineAddr(*l), *d, false);
+            }
+            let values: Vec<Line> = (0..11).map(|i| m.read_value(LineAddr(i))).collect();
+            match &reference {
+                None => reference = Some(values),
+                Some(r) => assert_eq!(r, &values, "mode {mode} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_and_recover_round_trip() {
+        let mut m = mc(SystemMode::Janus);
+        for i in 0..10u64 {
+            m.handle_write(
+                Cycles(i * 10_000),
+                0,
+                LineAddr(i),
+                Line::from_words(&[i]),
+                true,
+            );
+        }
+        let (snapshot, root) = m.crash();
+        let r =
+            MemoryController::recover(&snapshot, JanusConfig::paper(SystemMode::Janus, 1), root)
+                .expect("recovery succeeds");
+        for i in 0..10u64 {
+            assert_eq!(r.read_value(LineAddr(i)), Line::from_words(&[i]));
+        }
+    }
+
+    #[test]
+    fn read_path_charges_device_latency_when_cold() {
+        let mut m = mc(SystemMode::Janus);
+        m.handle_write(Cycles(0), 0, LineAddr(1), Line::splat(1), false);
+        // Cold caches: a fresh controller reading the recovered state.
+        let (snapshot, root) = m.crash();
+        let mut r =
+            MemoryController::recover(&snapshot, JanusConfig::paper(SystemMode::Janus, 1), root)
+                .unwrap();
+        let t = r.handle_read(Cycles(1_000_000), LineAddr(1));
+        assert!(
+            t > Cycles(1_000_000) + Cycles::from_ns(63),
+            "device read charged"
+        );
+        // Warm second read is cheaper.
+        let t2 = r.handle_read(t, LineAddr(1));
+        assert!(t2 - t < t - Cycles(1_000_000));
+    }
+
+    #[test]
+    fn pre_requests_ignored_off_janus() {
+        let mut m = mc(SystemMode::Serialized);
+        pre_both(&mut m, Cycles(0), 1, 5, Line::splat(9));
+        let (inserted, _, _, _, _) = m.irb_stats();
+        assert_eq!(inserted, 0);
+    }
+
+    #[test]
+    fn dup_write_outcome_flag() {
+        let mut m = mc(SystemMode::Serialized);
+        m.handle_write(Cycles(0), 0, LineAddr(1), Line::splat(7), false);
+        let out = m.handle_write(Cycles(50_000), 0, LineAddr(2), Line::splat(7), false);
+        assert!(out.dup);
+        assert_eq!(m.stats().counter_value("writes_dup"), 1);
+    }
+
+    #[test]
+    fn addr_then_data_requests_merge() {
+        let mut m = mc(SystemMode::Janus);
+        let key = IrbKey {
+            core: 0,
+            obj: crate::ir::PreObjId(1),
+        };
+        m.handle_pre_request(
+            Cycles(0),
+            PreRequest {
+                key,
+                tx_id: 0,
+                func: PreFunc::Addr,
+                line: Some(LineAddr(5)),
+                nlines: 1,
+                values: vec![],
+            },
+        );
+        m.handle_pre_request(
+            Cycles(1_000),
+            PreRequest {
+                key,
+                tx_id: 0,
+                func: PreFunc::Data,
+                line: None,
+                nlines: 1,
+                values: vec![Line::splat(3)],
+            },
+        );
+        // One IRB entry, and the write consumes it.
+        let (inserted, _, _, _, _) = m.irb_stats();
+        assert_eq!(inserted, 1);
+        let out = m.handle_write(Cycles(30_000), 0, LineAddr(5), Line::splat(3), false);
+        assert!(out.persist_at <= Cycles(30_016));
+    }
+
+    #[test]
+    fn thread_exit_clears_entries() {
+        let mut m = mc(SystemMode::Janus);
+        pre_both(&mut m, Cycles(0), 1, 5, Line::splat(9));
+        m.thread_exited(0);
+        // Write misses the IRB now.
+        m.handle_write(Cycles(10_000), 0, LineAddr(5), Line::splat(9), false);
+        assert_eq!(m.stats().counter_value("pre_miss"), 1);
+    }
+}

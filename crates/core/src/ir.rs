@@ -1,0 +1,490 @@
+//! The program representation executed by the simulated cores.
+//!
+//! Workloads are expressed as explicit operation streams: computation,
+//! loads/stores, `clwb`/`sfence` persistence primitives, transaction
+//! markers, and the Janus software interface of Table 2 (`PRE_ADDR`,
+//! `PRE_DATA`, `PRE_BOTH`, the buffered `*_BUF` variants and
+//! `PRE_START_BUF`). Because the stream is concrete (a trace), pre-execution
+//! ops carry the actual address/line values the hardware request would.
+//!
+//! For the automated compiler pass (`janus-instrument`), programs also carry
+//! *provenance markers*: where an address was generated ([`Op::AddrGen`]),
+//! where a store's data was last defined ([`Op::DataGen`]), and the
+//! function/loop/conditional region structure the pass's placement rules
+//! depend on (§4.5).
+
+use janus_nvm::addr::LineAddr;
+use janus_nvm::line::Line;
+
+/// Identifier of a `pre_obj` (unique per dynamic use within a thread;
+/// combined with the thread id it matches the paper's PRE_ID ⊕ ThreadID ⊕
+/// TransactionID triple).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PreObjId(pub u32);
+
+/// One operation of the program trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Busy computation for the given number of cycles.
+    Compute(u32),
+    /// Load of a line (cache-modeled latency).
+    Load(LineAddr),
+    /// Store of a full line value into the cache.
+    Store {
+        /// Target line.
+        line: LineAddr,
+        /// New value.
+        value: Line,
+    },
+    /// `clwb`: initiate writeback of the line toward the memory controller.
+    Clwb(LineAddr),
+    /// `sfence`: block until every previously `clwb`'d line is persistent
+    /// (accepted into the ADR write queue).
+    Fence,
+    /// Transaction begin marker (statistics + TransactionID).
+    TxBegin,
+    /// Transaction commit marker.
+    TxCommit,
+
+    // ---- Janus software interface (Table 2) ----
+    /// `PRE_INIT(pre_obj*)`.
+    PreInit(PreObjId),
+    /// `PRE_ADDR(pre_obj*, addr, size)` — pre-execute address-dependent
+    /// sub-operations for `nlines` lines starting at `line`.
+    PreAddr {
+        /// The pre-execution object.
+        obj: PreObjId,
+        /// First target line.
+        line: LineAddr,
+        /// Number of lines.
+        nlines: u32,
+    },
+    /// `PRE_DATA(pre_obj*, data, size)` — pre-execute data-dependent
+    /// sub-operations with the given (captured) line values.
+    PreData {
+        /// The pre-execution object.
+        obj: PreObjId,
+        /// Captured data, one entry per line.
+        values: Vec<Line>,
+    },
+    /// `PRE_BOTH(pre_obj*, addr, data, size)` / `PRE_BOTH_VAL`.
+    PreBoth {
+        /// The pre-execution object.
+        obj: PreObjId,
+        /// First target line.
+        line: LineAddr,
+        /// Captured data, one entry per line.
+        values: Vec<Line>,
+    },
+    /// `PRE_ADDR_BUF` — buffered variant of `PRE_ADDR`.
+    PreAddrBuf {
+        /// The pre-execution object.
+        obj: PreObjId,
+        /// First target line.
+        line: LineAddr,
+        /// Number of lines.
+        nlines: u32,
+    },
+    /// `PRE_DATA_BUF` — buffered variant of `PRE_DATA`.
+    PreDataBuf {
+        /// The pre-execution object.
+        obj: PreObjId,
+        /// Captured data.
+        values: Vec<Line>,
+    },
+    /// `PRE_BOTH_BUF` — buffered variant of `PRE_BOTH`.
+    PreBothBuf {
+        /// The pre-execution object.
+        obj: PreObjId,
+        /// First target line.
+        line: LineAddr,
+        /// Captured data.
+        values: Vec<Line>,
+    },
+    /// `PRE_START_BUF(pre_obj*)` — release the buffered requests of `obj`.
+    PreStartBuf(PreObjId),
+
+    // ---- Provenance markers for the automated compiler pass ----
+    /// The address of a future write became architecturally known here.
+    AddrGen {
+        /// First line of the addressed object.
+        line: LineAddr,
+        /// Number of lines.
+        nlines: u32,
+    },
+    /// The data of a future write was last defined here.
+    DataGen {
+        /// Target line the data will eventually be stored to.
+        line: LineAddr,
+        /// The defined value(s), one per line.
+        values: Vec<Line>,
+    },
+    /// Start of a function body.
+    FuncBegin(&'static str),
+    /// End of a function body.
+    FuncEnd,
+    /// Start of a loop region (the static pass cannot hoist across it).
+    LoopBegin,
+    /// End of a loop region.
+    LoopEnd,
+    /// Start of a conditional region (insertions stay inside it).
+    CondBegin,
+    /// End of a conditional region.
+    CondEnd,
+}
+
+impl Op {
+    /// Whether this op is part of the Janus pre-execution interface.
+    pub fn is_pre(&self) -> bool {
+        matches!(
+            self,
+            Op::PreInit(_)
+                | Op::PreAddr { .. }
+                | Op::PreData { .. }
+                | Op::PreBoth { .. }
+                | Op::PreAddrBuf { .. }
+                | Op::PreDataBuf { .. }
+                | Op::PreBothBuf { .. }
+                | Op::PreStartBuf(_)
+        )
+    }
+
+    /// Whether this op is a pure marker (no execution cost).
+    pub fn is_marker(&self) -> bool {
+        matches!(
+            self,
+            Op::AddrGen { .. }
+                | Op::DataGen { .. }
+                | Op::FuncBegin(_)
+                | Op::FuncEnd
+                | Op::LoopBegin
+                | Op::LoopEnd
+                | Op::CondBegin
+                | Op::CondEnd
+        )
+    }
+}
+
+/// A complete single-threaded program trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The operation stream.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Counts persistent writes (`Clwb` ops).
+    pub fn write_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Clwb(_))).count()
+    }
+
+    /// Counts pre-execution interface calls.
+    pub fn pre_op_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_pre()).count()
+    }
+
+    /// Strips every Janus interface op (for running the same workload on
+    /// the serialized/ideal baselines without issue overhead).
+    pub fn without_pre_ops(&self) -> Program {
+        Program {
+            ops: self.ops.iter().filter(|o| !o.is_pre()).cloned().collect(),
+        }
+    }
+}
+
+/// Summary statistics of a program trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total operations.
+    pub ops: usize,
+    /// Persistent writes (`Clwb`).
+    pub writes: usize,
+    /// Ordering fences.
+    pub fences: usize,
+    /// Loads.
+    pub loads: usize,
+    /// Stores.
+    pub stores: usize,
+    /// Total busy-compute cycles.
+    pub compute_cycles: u64,
+    /// Janus interface calls.
+    pub pre_ops: usize,
+    /// Committed transactions.
+    pub transactions: usize,
+    /// Distinct lines written.
+    pub footprint_lines: usize,
+}
+
+impl Program {
+    /// Computes summary statistics over the trace.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats {
+            ops: self.ops.len(),
+            ..TraceStats::default()
+        };
+        let mut lines = std::collections::HashSet::new();
+        for op in &self.ops {
+            match op {
+                Op::Clwb(_) => s.writes += 1,
+                Op::Fence => s.fences += 1,
+                Op::Load(_) => s.loads += 1,
+                Op::Store { line, .. } => {
+                    s.stores += 1;
+                    lines.insert(*line);
+                }
+                Op::Compute(c) => s.compute_cycles += *c as u64,
+                Op::TxCommit => s.transactions += 1,
+                op if op.is_pre() => s.pre_ops += 1,
+                _ => {}
+            }
+        }
+        s.footprint_lines = lines.len();
+        s
+    }
+}
+
+/// Convenience builder for hand-written programs and workload generators.
+///
+/// # Example
+///
+/// ```
+/// use janus_core::ir::{Op, ProgramBuilder};
+/// use janus_nvm::{addr::LineAddr, line::Line};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.tx_begin();
+/// let obj = b.pre_init();
+/// b.pre_both(obj, LineAddr(4), vec![Line::splat(1)]);
+/// b.compute(500);
+/// b.persist_store(LineAddr(4), Line::splat(1));
+/// b.tx_commit();
+/// let p = b.build();
+/// assert_eq!(p.write_count(), 1);
+/// assert_eq!(p.pre_op_count(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    next_obj: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a raw op.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Busy computation.
+    pub fn compute(&mut self, cycles: u32) -> &mut Self {
+        self.push(Op::Compute(cycles))
+    }
+
+    /// Load.
+    pub fn load(&mut self, line: LineAddr) -> &mut Self {
+        self.push(Op::Load(line))
+    }
+
+    /// Store.
+    pub fn store(&mut self, line: LineAddr, value: Line) -> &mut Self {
+        self.push(Op::Store { line, value })
+    }
+
+    /// `clwb`.
+    pub fn clwb(&mut self, line: LineAddr) -> &mut Self {
+        self.push(Op::Clwb(line))
+    }
+
+    /// `sfence`.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Op::Fence)
+    }
+
+    /// Store + `clwb` + `sfence` — the canonical persist sequence.
+    pub fn persist_store(&mut self, line: LineAddr, value: Line) -> &mut Self {
+        self.store(line, value).clwb(line).fence()
+    }
+
+    /// Transaction begin.
+    pub fn tx_begin(&mut self) -> &mut Self {
+        self.push(Op::TxBegin)
+    }
+
+    /// Transaction commit.
+    pub fn tx_commit(&mut self) -> &mut Self {
+        self.push(Op::TxCommit)
+    }
+
+    /// Allocates and initializes a fresh `pre_obj`.
+    pub fn pre_init(&mut self) -> PreObjId {
+        let obj = PreObjId(self.next_obj);
+        self.next_obj += 1;
+        self.push(Op::PreInit(obj));
+        obj
+    }
+
+    /// `PRE_ADDR`.
+    pub fn pre_addr(&mut self, obj: PreObjId, line: LineAddr, nlines: u32) -> &mut Self {
+        self.push(Op::PreAddr { obj, line, nlines })
+    }
+
+    /// `PRE_DATA`.
+    pub fn pre_data(&mut self, obj: PreObjId, values: Vec<Line>) -> &mut Self {
+        self.push(Op::PreData { obj, values })
+    }
+
+    /// `PRE_BOTH`.
+    pub fn pre_both(&mut self, obj: PreObjId, line: LineAddr, values: Vec<Line>) -> &mut Self {
+        self.push(Op::PreBoth { obj, line, values })
+    }
+
+    /// `PRE_BOTH_BUF`.
+    pub fn pre_both_buf(&mut self, obj: PreObjId, line: LineAddr, values: Vec<Line>) -> &mut Self {
+        self.push(Op::PreBothBuf { obj, line, values })
+    }
+
+    /// `PRE_START_BUF`.
+    pub fn pre_start_buf(&mut self, obj: PreObjId) -> &mut Self {
+        self.push(Op::PreStartBuf(obj))
+    }
+
+    /// Provenance marker: address known.
+    pub fn addr_gen(&mut self, line: LineAddr, nlines: u32) -> &mut Self {
+        self.push(Op::AddrGen { line, nlines })
+    }
+
+    /// Provenance marker: data defined.
+    pub fn data_gen(&mut self, line: LineAddr, values: Vec<Line>) -> &mut Self {
+        self.push(Op::DataGen { line, values })
+    }
+
+    /// Wraps `body` in function markers.
+    pub fn func(&mut self, name: &'static str, body: impl FnOnce(&mut Self)) -> &mut Self {
+        self.push(Op::FuncBegin(name));
+        body(self);
+        self.push(Op::FuncEnd)
+    }
+
+    /// Wraps `body` in loop markers.
+    pub fn loop_region(&mut self, body: impl FnOnce(&mut Self)) -> &mut Self {
+        self.push(Op::LoopBegin);
+        body(self);
+        self.push(Op::LoopEnd)
+    }
+
+    /// Wraps `body` in conditional markers.
+    pub fn cond_region(&mut self, body: impl FnOnce(&mut Self)) -> &mut Self {
+        self.push(Op::CondBegin);
+        body(self);
+        self.push(Op::CondEnd)
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program { ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_stream() {
+        let mut b = ProgramBuilder::new();
+        b.tx_begin();
+        b.persist_store(LineAddr(1), Line::splat(1));
+        b.tx_commit();
+        let p = b.build();
+        assert_eq!(
+            p.ops,
+            vec![
+                Op::TxBegin,
+                Op::Store {
+                    line: LineAddr(1),
+                    value: Line::splat(1)
+                },
+                Op::Clwb(LineAddr(1)),
+                Op::Fence,
+                Op::TxCommit,
+            ]
+        );
+    }
+
+    #[test]
+    fn pre_obj_ids_are_unique() {
+        let mut b = ProgramBuilder::new();
+        let a = b.pre_init();
+        let c = b.pre_init();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn without_pre_ops_strips_interface() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.pre_init();
+        b.pre_addr(obj, LineAddr(2), 1);
+        b.persist_store(LineAddr(2), Line::splat(2));
+        let p = b.build();
+        assert_eq!(p.pre_op_count(), 2);
+        let stripped = p.without_pre_ops();
+        assert_eq!(stripped.pre_op_count(), 0);
+        assert_eq!(stripped.write_count(), 1);
+    }
+
+    #[test]
+    fn markers_are_cost_free_classified() {
+        assert!(Op::LoopBegin.is_marker());
+        assert!(Op::AddrGen {
+            line: LineAddr(0),
+            nlines: 1
+        }
+        .is_marker());
+        assert!(!Op::Fence.is_marker());
+        assert!(Op::PreStartBuf(PreObjId(0)).is_pre());
+        assert!(!Op::Compute(1).is_pre());
+    }
+
+    #[test]
+    fn region_helpers_nest() {
+        let mut b = ProgramBuilder::new();
+        b.func("update", |b| {
+            b.loop_region(|b| {
+                b.compute(10);
+            });
+            b.cond_region(|b| {
+                b.compute(5);
+            });
+        });
+        let p = b.build();
+        assert_eq!(p.ops[0], Op::FuncBegin("update"));
+        assert_eq!(*p.ops.last().unwrap(), Op::FuncEnd);
+        assert!(p.ops.contains(&Op::LoopBegin));
+        assert!(p.ops.contains(&Op::CondEnd));
+    }
+
+    #[test]
+    fn write_count_counts_clwbs() {
+        let mut b = ProgramBuilder::new();
+        b.store(LineAddr(1), Line::splat(1));
+        b.clwb(LineAddr(1));
+        b.clwb(LineAddr(1)); // re-flush counts as another write
+        b.fence();
+        assert_eq!(b.build().write_count(), 2);
+    }
+}

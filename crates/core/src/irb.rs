@@ -1,0 +1,346 @@
+//! The Intermediate Result Buffer (§4.3.1, Figure 7c).
+//!
+//! Pre-executed sub-operation results must not change processor or memory
+//! state, so Janus holds them in the IRB until the actual write consumes
+//! them. Each entry is identified by (PRE_ID, ThreadID, TransactionID) plus
+//! the processor-visible line address, holds a copy of the pre-executed
+//! data (for stale-data detection), tracks the BMO engine job that owns the
+//! intermediate results, and carries a completion flag.
+//!
+//! Invalidation (§4.3.1):
+//! 1. *Stale data* — the entry keeps the data value used for pre-execution;
+//!    the write's data is compared on consumption and data-dependent
+//!    sub-operations re-run on mismatch (handled by the controller via the
+//!    engine's `invalidate_data`).
+//! 2. *Stale metadata* — BMO metadata changes (here: a dedup slot freed or
+//!    the duplicate outcome changing) mark dependent entries stale via
+//!    [`Irb::invalidate_slot_refs`]; consuming a stale entry re-runs
+//!    everything.
+//!
+//! Real-world exceptions (§4.6): entries age out
+//! ([`Irb::expire`]), a terminating thread's entries are cleared
+//! ([`Irb::clear_thread`]), and swapped-out address ranges are cleared
+//! ([`Irb::clear_range`]).
+
+use janus_bmo::engine::JobId;
+use janus_nvm::addr::LineAddr;
+use janus_nvm::line::Line;
+use janus_sim::time::Cycles;
+
+use crate::ir::PreObjId;
+
+/// Identity of a pre-execution request stream: thread (core) + `pre_obj`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IrbKey {
+    /// Issuing core ("ThreadID").
+    pub core: usize,
+    /// The `pre_obj` ("PRE_ID").
+    pub obj: PreObjId,
+}
+
+/// One cache-line-granularity IRB entry.
+#[derive(Clone, Debug)]
+pub struct IrbEntry {
+    /// Request identity.
+    pub key: IrbKey,
+    /// TransactionID at issue time.
+    pub tx_id: u64,
+    /// ProcAddr — known once a `PRE_ADDR`/`PRE_BOTH` supplied it.
+    pub line: Option<LineAddr>,
+    /// Data used during pre-execution (None for address-only requests).
+    pub data: Option<Line>,
+    /// The BMO engine job holding the intermediate results.
+    pub job: JobId,
+    /// Insertion time (age register).
+    pub created: Cycles,
+    /// Predicted dedup outcome at pre-execution time: `Some(slot)` if the
+    /// data was predicted to be a duplicate of `slot`.
+    pub predicted_dup_slot: Option<u64>,
+    /// Whether any data-dependent prediction was made (data was available).
+    pub predicted_dup: Option<bool>,
+    /// Set when BMO metadata changed under this entry (stale).
+    pub stale: bool,
+}
+
+/// The buffer.
+#[derive(Debug)]
+pub struct Irb {
+    entries: Vec<IrbEntry>,
+    capacity: usize,
+    drops: u64,
+    inserted: u64,
+    consumed: u64,
+    expired: u64,
+    stale_invalidations: u64,
+}
+
+impl Irb {
+    /// Creates a buffer with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Irb {
+            entries: Vec::new(),
+            capacity,
+            drops: 0,
+            inserted: 0,
+            consumed: 0,
+            expired: 0,
+            stale_invalidations: 0,
+        }
+    }
+
+    /// Inserts an entry, dropping it (returning `false`) when the buffer is
+    /// full ("If the buffer/queue is full, it drops newer requests").
+    pub fn insert(&mut self, entry: IrbEntry) -> bool {
+        if self.entries.len() >= self.capacity {
+            self.drops += 1;
+            return false;
+        }
+        self.inserted += 1;
+        self.entries.push(entry);
+        true
+    }
+
+    /// Looks up and removes the entry matching a write to `line` from
+    /// `core`. Prefers an exact (core, line) match; the paper matches on
+    /// ProcAddr within the issuing thread's entries.
+    pub fn consume(&mut self, core: usize, line: LineAddr) -> Option<IrbEntry> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.key.core == core && e.line == Some(line))?;
+        self.consumed += 1;
+        Some(self.entries.swap_remove(pos))
+    }
+
+    /// Attaches a later-arriving address to data-only entries of `(core,
+    /// obj)` (a `PRE_DATA` followed by `PRE_ADDR` on the same `pre_obj`,
+    /// as in Figure 8a). Entries are assigned consecutive lines in issue
+    /// order; returns how many were bound.
+    pub fn bind_addr(&mut self, key: IrbKey, first: LineAddr, nlines: u32) -> usize {
+        let mut next = first;
+        let mut bound = 0;
+        let limit = LineAddr(first.0 + nlines as u64);
+        for e in self
+            .entries
+            .iter_mut()
+            .filter(|e| e.key == key && e.line.is_none())
+        {
+            if next >= limit {
+                break;
+            }
+            e.line = Some(next);
+            next = next.offset(1);
+            bound += 1;
+        }
+        bound
+    }
+
+    /// Entries bound to `(core, obj)` with addresses, in insertion order
+    /// (used by the controller to feed late-bound addresses to the engine).
+    pub fn entries_for(&self, key: IrbKey) -> impl Iterator<Item = &IrbEntry> {
+        self.entries.iter().filter(move |e| e.key == key)
+    }
+
+    /// Marks entries whose predicted duplicate slot is `slot` as stale
+    /// (the slot was freed/reused by an intervening write — §4.3.1's
+    /// "write to location A changes the value of location A" case).
+    pub fn invalidate_slot_refs(&mut self, slot: u64) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.predicted_dup_slot == Some(slot) && !e.stale {
+                e.stale = true;
+                n += 1;
+            }
+        }
+        self.stale_invalidations += n as u64;
+        n as usize
+    }
+
+    /// Discards entries older than `max_age` (§4.6 age register).
+    pub fn expire(&mut self, now: Cycles, max_age: Cycles) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| now.saturating_sub(e.created) <= max_age);
+        let n = before - self.entries.len();
+        self.expired += n as u64;
+        n
+    }
+
+    /// Clears all entries belonging to a terminating thread (§4.6).
+    pub fn clear_thread(&mut self, core: usize) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.key.core != core);
+        before - self.entries.len()
+    }
+
+    /// Clears entries whose ProcAddr falls in `[first, first+nlines)` — the
+    /// §4.6 memory-swap case.
+    pub fn clear_range(&mut self, first: LineAddr, nlines: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| match e.line {
+            Some(l) => !(first.0..first.0 + nlines).contains(&l.0),
+            None => true,
+        });
+        before - self.entries.len()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// (inserted, consumed, drops, expired, stale invalidations).
+    pub fn stats(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.inserted,
+            self.consumed,
+            self.drops,
+            self.expired,
+            self.stale_invalidations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(core: usize, obj: u32, line: Option<u64>) -> IrbEntry {
+        IrbEntry {
+            key: IrbKey {
+                core,
+                obj: PreObjId(obj),
+            },
+            tx_id: 0,
+            line: line.map(LineAddr),
+            data: Some(Line::splat(1)),
+            job: fake_job(),
+            created: Cycles(0),
+            predicted_dup_slot: None,
+            predicted_dup: Some(false),
+            stale: false,
+        }
+    }
+
+    fn fake_job() -> JobId {
+        // JobIds are opaque; get a real one from a throwaway engine.
+        use janus_bmo::{BmoEngine, BmoLatencies, BmoMode, DepGraph};
+        let mut e = BmoEngine::new(
+            DepGraph::standard(&BmoLatencies::paper()),
+            BmoMode::Parallelized,
+            1,
+        );
+        e.submit(Cycles(0), Some(Cycles(0)), Some(Cycles(0)), false)
+    }
+
+    #[test]
+    fn insert_and_consume_by_addr() {
+        let mut irb = Irb::new(4);
+        assert!(irb.insert(entry(0, 1, Some(10))));
+        assert!(irb.consume(0, LineAddr(10)).is_some());
+        assert!(irb.consume(0, LineAddr(10)).is_none(), "consumed once");
+    }
+
+    #[test]
+    fn consume_respects_core() {
+        let mut irb = Irb::new(4);
+        irb.insert(entry(0, 1, Some(10)));
+        assert!(irb.consume(1, LineAddr(10)).is_none());
+        assert!(irb.consume(0, LineAddr(10)).is_some());
+    }
+
+    #[test]
+    fn full_buffer_drops_newest() {
+        let mut irb = Irb::new(2);
+        assert!(irb.insert(entry(0, 1, Some(1))));
+        assert!(irb.insert(entry(0, 2, Some(2))));
+        assert!(!irb.insert(entry(0, 3, Some(3))));
+        let (_, _, drops, _, _) = irb.stats();
+        assert_eq!(drops, 1);
+        assert!(irb.consume(0, LineAddr(3)).is_none());
+    }
+
+    #[test]
+    fn bind_addr_assigns_in_order() {
+        let mut irb = Irb::new(8);
+        irb.insert(entry(0, 5, None));
+        irb.insert(entry(0, 5, None));
+        irb.insert(entry(0, 6, None)); // different obj
+        let key = IrbKey {
+            core: 0,
+            obj: PreObjId(5),
+        };
+        assert_eq!(irb.bind_addr(key, LineAddr(100), 2), 2);
+        assert!(irb.consume(0, LineAddr(100)).is_some());
+        assert!(irb.consume(0, LineAddr(101)).is_some());
+        assert!(irb.consume(0, LineAddr(102)).is_none());
+    }
+
+    #[test]
+    fn bind_addr_limited_by_nlines() {
+        let mut irb = Irb::new(8);
+        irb.insert(entry(0, 5, None));
+        irb.insert(entry(0, 5, None));
+        let key = IrbKey {
+            core: 0,
+            obj: PreObjId(5),
+        };
+        assert_eq!(irb.bind_addr(key, LineAddr(100), 1), 1);
+    }
+
+    #[test]
+    fn stale_marking_by_slot() {
+        let mut irb = Irb::new(8);
+        let mut e = entry(0, 1, Some(10));
+        e.predicted_dup_slot = Some(42);
+        irb.insert(e);
+        irb.insert(entry(0, 2, Some(11)));
+        assert_eq!(irb.invalidate_slot_refs(42), 1);
+        let consumed = irb.consume(0, LineAddr(10)).unwrap();
+        assert!(consumed.stale);
+        let other = irb.consume(0, LineAddr(11)).unwrap();
+        assert!(!other.stale);
+    }
+
+    #[test]
+    fn aging_expires_old_entries() {
+        let mut irb = Irb::new(8);
+        irb.insert(entry(0, 1, Some(1)));
+        let mut young = entry(0, 2, Some(2));
+        young.created = Cycles(1_000);
+        irb.insert(young);
+        assert_eq!(irb.expire(Cycles(1_500), Cycles(800)), 1);
+        assert!(irb.consume(0, LineAddr(1)).is_none(), "old entry expired");
+        assert!(irb.consume(0, LineAddr(2)).is_some());
+    }
+
+    #[test]
+    fn thread_clear() {
+        let mut irb = Irb::new(8);
+        irb.insert(entry(0, 1, Some(1)));
+        irb.insert(entry(1, 1, Some(2)));
+        assert_eq!(irb.clear_thread(0), 1);
+        assert_eq!(irb.len(), 1);
+        assert!(irb.consume(1, LineAddr(2)).is_some());
+    }
+
+    #[test]
+    fn range_clear_for_swap() {
+        let mut irb = Irb::new(8);
+        irb.insert(entry(0, 1, Some(100)));
+        irb.insert(entry(0, 2, Some(200)));
+        irb.insert(entry(0, 3, None)); // unbound survives
+        assert_eq!(irb.clear_range(LineAddr(100), 50), 1);
+        assert_eq!(irb.len(), 2);
+    }
+}

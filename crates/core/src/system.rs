@@ -1,0 +1,798 @@
+//! The full-system cycle-level simulator: cores, caches, and the memory
+//! controller, driven by a deterministic event queue.
+//!
+//! Each core executes one [`Program`] (Table 4's workloads generate them).
+//! Stores land in the core's private L1; `clwb` launches a writeback that
+//! reaches the memory controller after the 15 ns cache-writeback latency;
+//! `sfence` blocks the core until every outstanding writeback is persistent
+//! (accepted into the ADR write queue — which, depending on the system mode,
+//! may first require the write's BMOs to finish: the crux of the paper).
+//! Janus pre-execution requests travel the same path and are consumed by the
+//! controller asynchronously.
+
+use janus_nvm::addr::LineAddr;
+use janus_nvm::cache::{Access, CacheConfig, SetAssocCache};
+use janus_nvm::line::Line;
+use janus_nvm::store::LineStore;
+use janus_sim::event::EventQueue;
+use janus_sim::time::Cycles;
+
+use crate::config::JanusConfig;
+use crate::controller::MemoryController;
+use crate::ir::{Op, Program};
+use crate::irb::IrbKey;
+use crate::queues::{PreFunc, PreRequest};
+
+/// Simulator events.
+#[derive(Clone, Debug)]
+enum Ev {
+    /// Core `i` executes its next operation.
+    Core(usize),
+    /// A writeback reaches the memory controller.
+    WriteArrive {
+        core: usize,
+        line: LineAddr,
+        data: Line,
+        commit: bool,
+        critical: bool,
+    },
+    /// A pre-execution request reaches the controller.
+    PreArrive {
+        req: PreRequest,
+        kind: PreArrivalKind,
+    },
+    /// A previously arrived write became persistent.
+    Persisted { core: usize },
+}
+
+#[derive(Clone, Copy, Debug)]
+enum PreArrivalKind {
+    Immediate,
+    Buffered,
+    Start,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    program: Program,
+    pc: usize,
+    /// `clwb`'d writes not yet persistent.
+    outstanding: usize,
+    fence_blocked: bool,
+    tx_id: u64,
+    committed: u64,
+    finished_at: Option<Cycles>,
+}
+
+impl CoreState {
+    fn done(&self) -> bool {
+        self.pc >= self.program.ops.len()
+    }
+}
+
+/// Execution statistics of one run.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// Wall-clock cycles until every core finished (incl. draining writes).
+    pub cycles: Cycles,
+    /// Per-core finish times.
+    pub core_cycles: Vec<Cycles>,
+    /// Committed transactions across all cores.
+    pub transactions: u64,
+    /// Persistent writes processed by the controller.
+    pub writes: u64,
+    /// Writes cancelled by deduplication.
+    pub dup_writes: u64,
+    /// Janus writes whose BMOs completely pre-executed (§5.2.2).
+    pub fully_preexecuted_fraction: f64,
+    /// IRB statistics (inserted, consumed, drops, expired, stale).
+    pub irb: (u64, u64, u64, u64, u64),
+    /// Named controller counters (invalidations, drops, …).
+    pub counters: Vec<(&'static str, u64)>,
+    /// L1 (hits, misses) summed over cores.
+    pub l1: (u64, u64),
+    /// L2 (hits, misses).
+    pub l2: (u64, u64),
+    /// Mean critical write latency (arrival → persistent).
+    pub mean_write_latency: Cycles,
+    /// Mean demand-read (L2 miss) latency.
+    pub mean_read_latency: Cycles,
+}
+
+impl ExecutionReport {
+    /// Transactions per million cycles — the throughput metric the speedup
+    /// figures are built from.
+    pub fn tx_per_mcycle(&self) -> f64 {
+        if self.cycles.0 == 0 {
+            0.0
+        } else {
+            self.transactions as f64 / (self.cycles.0 as f64 / 1e6)
+        }
+    }
+
+    /// Looks up a named counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+/// The simulator. Construct with a [`JanusConfig`], then [`System::run`]
+/// one program per core.
+pub struct System {
+    config: JanusConfig,
+    mc: MemoryController,
+    l1: Vec<SetAssocCache>,
+    l2: SetAssocCache,
+    /// Per-core volatile view of its own stores (captured at `clwb`).
+    overlay: Vec<LineStore>,
+    cores: Vec<CoreState>,
+    events: EventQueue<Ev>,
+}
+
+impl System {
+    /// Builds a system for the configuration.
+    pub fn new(config: JanusConfig) -> Self {
+        let mc = MemoryController::new(config.clone());
+        System {
+            l1: (0..config.cores)
+                .map(|_| SetAssocCache::new(CacheConfig::l1d()))
+                .collect(),
+            l2: SetAssocCache::new(CacheConfig::l2()),
+            overlay: (0..config.cores).map(|_| LineStore::new()).collect(),
+            cores: Vec::new(),
+            events: EventQueue::new(),
+            mc,
+            config,
+        }
+    }
+
+    /// Access to the memory controller (reads, crash snapshots, …).
+    pub fn controller(&self) -> &MemoryController {
+        &self.mc
+    }
+
+    /// Current functional value of a line.
+    pub fn read_value(&self, line: LineAddr) -> Line {
+        self.mc.read_value(line)
+    }
+
+    /// Pre-warms the shared L2 with the given lines (steady-state
+    /// measurement: the benchmarks in the paper report warmed-up behaviour,
+    /// with working sets resident in the cache hierarchy). Does not touch
+    /// timing or statistics of the run itself.
+    pub fn warm_caches(&mut self, lines: impl IntoIterator<Item = LineAddr>) {
+        for line in lines {
+            self.l2.access(line, false);
+        }
+    }
+
+    /// Runs one program per core to completion and reports statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of programs does not match the configured core
+    /// count.
+    pub fn run(&mut self, programs: Vec<Program>) -> ExecutionReport {
+        assert_eq!(
+            programs.len(),
+            self.config.cores,
+            "one program per configured core"
+        );
+        self.start(programs);
+        while self.step() {}
+        self.report()
+    }
+
+    /// Runs until simulated time exceeds `crash_at`, then abandons all
+    /// volatile state and returns the persistent snapshot + secure root
+    /// (power loss).
+    pub fn run_until_crash(
+        &mut self,
+        programs: Vec<Program>,
+        crash_at: Cycles,
+    ) -> (LineStore, janus_bmo::integrity::NodeHash) {
+        assert_eq!(programs.len(), self.config.cores);
+        self.start(programs);
+        while let Some(t) = self.events.peek_time() {
+            if t > crash_at {
+                break;
+            }
+            self.step();
+        }
+        self.mc.crash()
+    }
+
+    fn start(&mut self, programs: Vec<Program>) {
+        self.cores = programs
+            .into_iter()
+            .map(|program| CoreState {
+                program,
+                pc: 0,
+                outstanding: 0,
+                fence_blocked: false,
+                tx_id: 0,
+                committed: 0,
+                finished_at: None,
+            })
+            .collect();
+        for i in 0..self.cores.len() {
+            self.events.schedule(Cycles::ZERO, Ev::Core(i));
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.events.pop() else {
+            return false;
+        };
+        match ev {
+            Ev::Core(i) => self.step_core(t, i),
+            Ev::WriteArrive {
+                core,
+                line,
+                data,
+                commit,
+                critical,
+            } => {
+                let out = self.mc.handle_write(t, core, line, data, commit);
+                if critical {
+                    self.events
+                        .schedule(out.persist_at.max(t), Ev::Persisted { core });
+                }
+            }
+            Ev::PreArrive { req, kind } => match kind {
+                PreArrivalKind::Immediate => self.mc.handle_pre_request(t, req),
+                PreArrivalKind::Buffered => self.mc.handle_pre_buffered(t, req),
+                PreArrivalKind::Start => self.mc.handle_pre_start(t, req.key),
+            },
+            Ev::Persisted { core } => {
+                let c = &mut self.cores[core];
+                c.outstanding -= 1;
+                if c.fence_blocked && c.outstanding == 0 {
+                    c.fence_blocked = false;
+                    let delay = self.config.core.fence_issue;
+                    self.events.schedule(t + delay, Ev::Core(core));
+                }
+                if c.done() && c.outstanding == 0 && c.finished_at.is_none() {
+                    c.finished_at = Some(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the `clwb` at `pc` is commit-critical: the next fence is
+    /// immediately followed by a transaction commit (the §4.3.2 selective
+    /// metadata-atomicity criterion).
+    fn clwb_is_commit(&self, core: usize, pc: usize) -> bool {
+        let ops = &self.cores[core].program.ops;
+        let mut i = pc + 1;
+        let mut seen_fence = false;
+        while i < ops.len() && i < pc + 24 {
+            match &ops[i] {
+                Op::Fence => seen_fence = true,
+                Op::TxCommit if seen_fence => return true,
+                op if op.is_marker() => {}
+                Op::Clwb(_) => {}
+                _ if seen_fence => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn step_core(&mut self, t: Cycles, i: usize) {
+        if self.cores[i].done() {
+            let c = &mut self.cores[i];
+            if c.outstanding == 0 && c.finished_at.is_none() {
+                c.finished_at = Some(t);
+            }
+            return;
+        }
+        let pc = self.cores[i].pc;
+        let op = self.cores[i].program.ops[pc].clone();
+        self.cores[i].pc += 1;
+        let ct = self.config.core;
+        let wb = self.config.writeback;
+        let mut next_at = t; // markers are free
+
+        match op {
+            Op::Compute(c) => next_at = t + Cycles(c as u64),
+            Op::Load(line) => {
+                let lat = self.access_read(t, i, line);
+                next_at = t + lat;
+            }
+            Op::Store { line, value } => {
+                self.overlay[i].write(line, value);
+                self.touch_cache(i, line, true);
+                next_at = t + ct.store;
+            }
+            Op::Clwb(line) => {
+                self.l1[i].flush(line);
+                self.l2.flush(line);
+                let data = self.overlay[i].read(line);
+                let commit = self.clwb_is_commit(i, pc);
+                self.cores[i].outstanding += 1;
+                self.events.schedule(
+                    t + ct.clwb_issue + wb,
+                    Ev::WriteArrive {
+                        core: i,
+                        line,
+                        data,
+                        commit,
+                        critical: true,
+                    },
+                );
+                next_at = t + ct.clwb_issue;
+            }
+            Op::Fence => {
+                if self.cores[i].outstanding == 0 {
+                    next_at = t + ct.fence_issue;
+                } else {
+                    self.cores[i].fence_blocked = true;
+                    return; // resumed by the last Persisted event
+                }
+            }
+            Op::TxBegin => {
+                self.cores[i].tx_id += 1;
+                next_at = t + Cycles(1);
+            }
+            Op::TxCommit => {
+                self.cores[i].committed += 1;
+                next_at = t + Cycles(1);
+            }
+            Op::PreInit(_) => next_at = t + Cycles(1),
+            Op::PreAddr { obj, line, nlines } => {
+                self.send_pre(
+                    t,
+                    i,
+                    PreRequest {
+                        key: IrbKey { core: i, obj },
+                        tx_id: self.cores[i].tx_id,
+                        func: PreFunc::Addr,
+                        line: Some(line),
+                        nlines,
+                        values: vec![],
+                    },
+                    PreArrivalKind::Immediate,
+                );
+                next_at = t + ct.pre_issue;
+            }
+            Op::PreData { obj, values } => {
+                let n = values.len() as u32;
+                self.send_pre(
+                    t,
+                    i,
+                    PreRequest {
+                        key: IrbKey { core: i, obj },
+                        tx_id: self.cores[i].tx_id,
+                        func: PreFunc::Data,
+                        line: None,
+                        nlines: n,
+                        values,
+                    },
+                    PreArrivalKind::Immediate,
+                );
+                next_at = t + ct.pre_issue;
+            }
+            Op::PreBoth { obj, line, values } => {
+                let n = values.len() as u32;
+                self.send_pre(
+                    t,
+                    i,
+                    PreRequest {
+                        key: IrbKey { core: i, obj },
+                        tx_id: self.cores[i].tx_id,
+                        func: PreFunc::Both,
+                        line: Some(line),
+                        nlines: n,
+                        values,
+                    },
+                    PreArrivalKind::Immediate,
+                );
+                next_at = t + ct.pre_issue;
+            }
+            Op::PreAddrBuf { obj, line, nlines } => {
+                self.send_pre(
+                    t,
+                    i,
+                    PreRequest {
+                        key: IrbKey { core: i, obj },
+                        tx_id: self.cores[i].tx_id,
+                        func: PreFunc::Addr,
+                        line: Some(line),
+                        nlines,
+                        values: vec![],
+                    },
+                    PreArrivalKind::Buffered,
+                );
+                next_at = t + ct.pre_issue;
+            }
+            Op::PreDataBuf { obj, values } => {
+                let n = values.len() as u32;
+                self.send_pre(
+                    t,
+                    i,
+                    PreRequest {
+                        key: IrbKey { core: i, obj },
+                        tx_id: self.cores[i].tx_id,
+                        func: PreFunc::Data,
+                        line: None,
+                        nlines: n,
+                        values,
+                    },
+                    PreArrivalKind::Buffered,
+                );
+                next_at = t + ct.pre_issue;
+            }
+            Op::PreBothBuf { obj, line, values } => {
+                let n = values.len() as u32;
+                self.send_pre(
+                    t,
+                    i,
+                    PreRequest {
+                        key: IrbKey { core: i, obj },
+                        tx_id: self.cores[i].tx_id,
+                        func: PreFunc::Both,
+                        line: Some(line),
+                        nlines: n,
+                        values,
+                    },
+                    PreArrivalKind::Buffered,
+                );
+                next_at = t + ct.pre_issue;
+            }
+            Op::PreStartBuf(obj) => {
+                self.send_pre(
+                    t,
+                    i,
+                    PreRequest {
+                        key: IrbKey { core: i, obj },
+                        tx_id: self.cores[i].tx_id,
+                        func: PreFunc::Both,
+                        line: None,
+                        nlines: 0,
+                        values: vec![],
+                    },
+                    PreArrivalKind::Start,
+                );
+                next_at = t + ct.pre_issue;
+            }
+            // Markers cost nothing.
+            Op::AddrGen { .. }
+            | Op::DataGen { .. }
+            | Op::FuncBegin(_)
+            | Op::FuncEnd
+            | Op::LoopBegin
+            | Op::LoopEnd
+            | Op::CondBegin
+            | Op::CondEnd => {}
+        }
+
+        self.events.schedule(next_at.max(t), Ev::Core(i));
+    }
+
+    fn send_pre(&mut self, t: Cycles, _core: usize, req: PreRequest, kind: PreArrivalKind) {
+        // Pre-execution requests traverse the same path as writebacks.
+        self.events.schedule(
+            t + self.config.core.pre_issue + self.config.writeback,
+            Ev::PreArrive { req, kind },
+        );
+    }
+
+    /// Charges a demand-read access through L1/L2/NVM; returns its latency.
+    fn access_read(&mut self, t: Cycles, core: usize, line: LineAddr) -> Cycles {
+        let ct = self.config.core;
+        if self.l1[core].access(line, false).is_hit() {
+            return ct.l1_hit;
+        }
+        if self.l2.access(line, false).is_hit() {
+            return ct.l1_hit + ct.l2_hit;
+        }
+        let ready = self.mc.handle_read(t + ct.l1_hit + ct.l2_hit, line);
+        ready - t
+    }
+
+    /// Installs a line into L1/L2 for a store; dirty victims write back to
+    /// the controller off the critical path.
+    fn touch_cache(&mut self, core: usize, line: LineAddr, write: bool) {
+        if let Access::Miss { victim: Some(v) } = self.l1[core].access(line, write) {
+            if v.dirty {
+                let data = self.overlay[core].read(v.addr);
+                let now = self.events.now();
+                self.events.schedule(
+                    now + self.config.writeback,
+                    Ev::WriteArrive {
+                        core,
+                        line: v.addr,
+                        data,
+                        commit: false,
+                        critical: false,
+                    },
+                );
+            }
+        }
+        self.l2.access(line, write);
+    }
+
+    fn report(&self) -> ExecutionReport {
+        let core_cycles: Vec<Cycles> = self
+            .cores
+            .iter()
+            .map(|c| c.finished_at.unwrap_or(self.events.now()))
+            .collect();
+        let stats = self.mc.stats();
+        let l1 = self
+            .l1
+            .iter()
+            .map(|c| c.stats())
+            .fold((0, 0), |(h, m), (h2, m2)| (h + h2, m + m2));
+        let mut counters: Vec<(&'static str, u64)> = stats.counters().collect();
+        let (dev_reads, dev_writes) = self.mc.device_stats();
+        counters.push(("nvm_device_reads", dev_reads));
+        counters.push(("nvm_device_writes", dev_writes));
+        counters.push(("wq_stall_cycles", self.mc.wq_stalls().0));
+        counters.push(("wq_coalesced", self.mc.wq_coalesced()));
+        ExecutionReport {
+            cycles: core_cycles.iter().copied().max().unwrap_or(Cycles::ZERO),
+            core_cycles,
+            transactions: self.cores.iter().map(|c| c.committed).sum(),
+            writes: stats.counter_value("writes"),
+            dup_writes: stats.counter_value("writes_dup"),
+            fully_preexecuted_fraction: self.mc.fully_preexecuted_fraction(),
+            irb: self.mc.irb_stats(),
+            counters,
+            l1,
+            l2: self.l2.stats(),
+            mean_write_latency: stats
+                .histogram_ref("write_critical_latency")
+                .map_or(Cycles::ZERO, |h| h.mean()),
+            mean_read_latency: stats
+                .histogram_ref("read_latency")
+                .map_or(Cycles::ZERO, |h| h.mean()),
+        }
+    }
+}
+
+impl ExecutionReport {
+    /// Writes a gem5-style statistics dump (one `name value` pair per
+    /// line) for scripting against experiment output.
+    pub fn dump(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "sim.cycles {}", self.cycles.0)?;
+        writeln!(out, "sim.transactions {}", self.transactions)?;
+        writeln!(out, "sim.writes {}", self.writes)?;
+        writeln!(out, "sim.dup_writes {}", self.dup_writes)?;
+        writeln!(
+            out,
+            "janus.fully_preexecuted_fraction {:.4}",
+            self.fully_preexecuted_fraction
+        )?;
+        let (ins, cons, drop, exp, stale) = self.irb;
+        writeln!(out, "irb.inserted {ins}")?;
+        writeln!(out, "irb.consumed {cons}")?;
+        writeln!(out, "irb.dropped {drop}")?;
+        writeln!(out, "irb.expired {exp}")?;
+        writeln!(out, "irb.stale {stale}")?;
+        writeln!(out, "cache.l1_hits {}", self.l1.0)?;
+        writeln!(out, "cache.l1_misses {}", self.l1.1)?;
+        writeln!(out, "cache.l2_hits {}", self.l2.0)?;
+        writeln!(out, "cache.l2_misses {}", self.l2.1)?;
+        writeln!(out, "lat.write_mean_cycles {}", self.mean_write_latency.0)?;
+        writeln!(out, "lat.read_mean_cycles {}", self.mean_read_latency.0)?;
+        for (name, v) in &self.counters {
+            writeln!(out, "mc.{name} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("mode", &self.config.mode)
+            .field("cores", &self.config.cores)
+            .field("now", &self.events.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemMode;
+    use crate::ir::ProgramBuilder;
+
+    fn persist_program(n: u64, with_pre: bool) -> Program {
+        let mut b = ProgramBuilder::new();
+        for i in 0..n {
+            b.tx_begin();
+            let line = LineAddr(i % 32);
+            let value = Line::from_words(&[i, i * 3]);
+            if with_pre {
+                let obj = b.pre_init();
+                b.pre_both(obj, line, vec![value]);
+            }
+            b.compute(4000); // window for pre-execution
+            b.store(line, value);
+            b.clwb(line);
+            b.fence();
+            b.tx_commit();
+        }
+        b.build()
+    }
+
+    fn run_mode(mode: SystemMode, with_pre: bool) -> (ExecutionReport, Vec<Line>) {
+        let mut sys = System::new(JanusConfig::paper(mode, 1));
+        let report = sys.run(vec![persist_program(40, with_pre)]);
+        let values = (0..32).map(|i| sys.read_value(LineAddr(i))).collect();
+        (report, values)
+    }
+
+    #[test]
+    fn all_modes_agree_functionally() {
+        let (_, serialized) = run_mode(SystemMode::Serialized, false);
+        let (_, parallel) = run_mode(SystemMode::Parallelized, false);
+        let (_, janus) = run_mode(SystemMode::Janus, true);
+        let (_, ideal) = run_mode(SystemMode::Ideal, false);
+        assert_eq!(serialized, parallel);
+        assert_eq!(serialized, janus);
+        assert_eq!(serialized, ideal);
+    }
+
+    #[test]
+    fn speedup_ordering_holds() {
+        let (s, _) = run_mode(SystemMode::Serialized, false);
+        let (p, _) = run_mode(SystemMode::Parallelized, false);
+        let (j, _) = run_mode(SystemMode::Janus, true);
+        let (i, _) = run_mode(SystemMode::Ideal, false);
+        assert!(
+            s.cycles > p.cycles,
+            "serialized {} vs parallel {}",
+            s.cycles,
+            p.cycles
+        );
+        assert!(
+            p.cycles > j.cycles,
+            "parallel {} vs janus {}",
+            p.cycles,
+            j.cycles
+        );
+        assert!(
+            j.cycles >= i.cycles,
+            "janus {} vs ideal {}",
+            j.cycles,
+            i.cycles
+        );
+    }
+
+    #[test]
+    fn janus_pre_execution_mostly_complete_with_large_window() {
+        let (j, _) = run_mode(SystemMode::Janus, true);
+        assert!(
+            j.fully_preexecuted_fraction > 0.8,
+            "fraction = {}",
+            j.fully_preexecuted_fraction
+        );
+    }
+
+    #[test]
+    fn transactions_and_writes_counted() {
+        let (r, _) = run_mode(SystemMode::Serialized, false);
+        assert_eq!(r.transactions, 40);
+        assert_eq!(r.writes, 40);
+    }
+
+    #[test]
+    fn fence_blocks_until_persistent() {
+        // A single write: total time must include writeback + BMO (serial).
+        let mut b = ProgramBuilder::new();
+        b.persist_store(LineAddr(0), Line::splat(1));
+        let mut sys = System::new(JanusConfig::paper(SystemMode::Serialized, 1));
+        let r = sys.run(vec![b.build()]);
+        let bmo = JanusConfig::paper(SystemMode::Serialized, 1)
+            .latencies
+            .serialized_total();
+        assert!(r.cycles >= Cycles::from_ns(15) + bmo);
+    }
+
+    #[test]
+    fn ideal_single_write_is_fast() {
+        let mut b = ProgramBuilder::new();
+        b.persist_store(LineAddr(0), Line::splat(1));
+        let mut sys = System::new(JanusConfig::paper(SystemMode::Ideal, 1));
+        let r = sys.run(vec![b.build()]);
+        assert!(r.cycles < Cycles::from_ns(50), "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn multicore_runs_and_contends() {
+        let mk = |cores: usize, mode| {
+            let mut sys = System::new(JanusConfig::paper(mode, cores));
+            let programs = (0..cores)
+                .map(|c| {
+                    let mut b = ProgramBuilder::new();
+                    for i in 0..20u64 {
+                        b.tx_begin();
+                        // Disjoint per-core regions.
+                        let line = LineAddr(c as u64 * 1000 + i % 8);
+                        b.store(line, Line::from_words(&[i + c as u64 * 97]));
+                        b.clwb(line);
+                        b.fence();
+                        b.tx_commit();
+                    }
+                    b.build()
+                })
+                .collect();
+            sys.run(programs)
+        };
+        let one = mk(1, SystemMode::Serialized);
+        let four = mk(4, SystemMode::Serialized);
+        assert_eq!(four.transactions, 80);
+        // More cores → more contention → longer per-core time than 1-core.
+        assert!(four.cycles >= one.cycles);
+    }
+
+    #[test]
+    fn crash_then_recover_preserves_persisted_data() {
+        let programs = vec![persist_program(10, false)];
+        let mut sys = System::new(JanusConfig::paper(SystemMode::Serialized, 1));
+        // Crash long after everything drained.
+        let (snapshot, root) = sys.run_until_crash(programs, Cycles(100_000_000));
+        let rec = MemoryController::recover(
+            &snapshot,
+            JanusConfig::paper(SystemMode::Serialized, 1),
+            root,
+        )
+        .expect("recovery");
+        // All ten transactions' final values visible.
+        for i in 0..10u64 {
+            assert_eq!(
+                rec.read_value(LineAddr(i % 32)),
+                sys.read_value(LineAddr(i % 32))
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_requests_coalesce_and_work() {
+        let mut b = ProgramBuilder::new();
+        b.tx_begin();
+        let obj = b.pre_init();
+        b.pre_both_buf(obj, LineAddr(0), vec![Line::splat(1)]);
+        b.pre_both_buf(obj, LineAddr(1), vec![Line::splat(2)]);
+        b.pre_start_buf(obj);
+        b.compute(5000);
+        b.store(LineAddr(0), Line::splat(1));
+        b.store(LineAddr(1), Line::splat(2));
+        b.clwb(LineAddr(0));
+        b.clwb(LineAddr(1));
+        b.fence();
+        b.tx_commit();
+        let mut sys = System::new(JanusConfig::paper(SystemMode::Janus, 1));
+        let r = sys.run(vec![b.build()]);
+        assert_eq!(r.writes, 2);
+        assert!(
+            r.fully_preexecuted_fraction > 0.99,
+            "{}",
+            r.fully_preexecuted_fraction
+        );
+        assert_eq!(sys.read_value(LineAddr(0)), Line::splat(1));
+        assert_eq!(sys.read_value(LineAddr(1)), Line::splat(2));
+    }
+
+    #[test]
+    fn loads_hit_caches_after_warmup() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..10 {
+            b.load(LineAddr(3));
+        }
+        let mut sys = System::new(JanusConfig::paper(SystemMode::Serialized, 1));
+        let r = sys.run(vec![b.build()]);
+        let (hits, misses) = r.l1;
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 9);
+    }
+}

@@ -1,0 +1,321 @@
+//! AES-128 block cipher (FIPS-197), implemented from the algebraic
+//! definition.
+//!
+//! The S-box is derived at first use from its definition — the affine
+//! transform of the multiplicative inverse in GF(2⁸) — rather than
+//! transcribed, which makes the implementation self-checking (a single wrong
+//! table entry would fail the FIPS-197 known-answer tests below).
+//!
+//! Counter-mode encryption of NVM cache lines ([`crate::ctr`]) only requires
+//! the forward cipher, but the inverse cipher is provided for completeness
+//! and testing.
+
+use std::sync::OnceLock;
+
+/// GF(2⁸) multiplication modulo the AES polynomial x⁸+x⁴+x³+x+1 (0x11B).
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2⁸); 0 maps to 0 by convention.
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^-1 in GF(2^8)* (order 255).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for i in 0..256u16 {
+            let inv = gf_inv(i as u8);
+            // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
+            let s = inv
+                ^ inv.rotate_left(1)
+                ^ inv.rotate_left(2)
+                ^ inv.rotate_left(3)
+                ^ inv.rotate_left(4)
+                ^ 0x63;
+            sbox[i as usize] = s;
+            inv_sbox[s as usize] = i as u8;
+        }
+        Tables { sbox, inv_sbox }
+    })
+}
+
+const NB: usize = 4; // columns in the state
+const NR: usize = 10; // rounds for AES-128
+const NK: usize = 4; // key words
+
+/// An expanded AES-128 key.
+///
+/// # Example
+///
+/// ```
+/// use janus_crypto::Aes128;
+/// let aes = Aes128::new(*b"0123456789abcdef");
+/// let block = *b"payload_16_bytes";
+/// assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; NR + 1],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes128").field("rounds", &NR).finish()
+    }
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key into the 11 round keys.
+    pub fn new(key: [u8; 16]) -> Self {
+        let t = tables();
+        let mut w = [[0u8; 4]; NB * (NR + 1)];
+        for i in 0..NK {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon = 1u8;
+        for i in NK..NB * (NR + 1) {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                temp.rotate_left(1); // RotWord
+                for b in &mut temp {
+                    *b = t.sbox[*b as usize]; // SubWord
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NK][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; NR + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..NB {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[NB * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let t = tables();
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..NR {
+            sub_bytes(&mut s, &t.sbox);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+        }
+        sub_bytes(&mut s, &t.sbox);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[NR]);
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let t = tables();
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[NR]);
+        for round in (1..NR).rev() {
+            inv_shift_rows(&mut s);
+            sub_bytes(&mut s, &t.inv_sbox);
+            add_round_key(&mut s, &self.round_keys[round]);
+            inv_mix_columns(&mut s);
+        }
+        inv_shift_rows(&mut s);
+        sub_bytes(&mut s, &t.inv_sbox);
+        add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+// State layout: s[r + 4c] is row r, column c (column-major, as in FIPS-197).
+
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        s[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(s: &mut [u8; 16], sbox: &[u8; 256]) {
+    for b in s.iter_mut() {
+        *b = sbox[*b as usize];
+    }
+}
+
+fn shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [s[r], s[r + 4], s[r + 8], s[r + 12]];
+        for c in 0..4 {
+            s[r + 4 * c] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [s[r], s[r + 4], s[r + 8], s[r + 12]];
+        for c in 0..4 {
+            s[r + 4 * c] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        s[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        s[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        s[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        s[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        s[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        s[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let t = tables();
+        // Spot values from FIPS-197 Figure 7.
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7c);
+        assert_eq!(t.sbox[0x53], 0xed);
+        assert_eq!(t.sbox[0xff], 0x16);
+        // Inverse really inverts.
+        for i in 0..256 {
+            assert_eq!(t.inv_sbox[t.sbox[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn gf_mul_examples() {
+        // {57} . {83} = {c1} (FIPS-197 §4.2)
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        // {57} . {13} = {fe}
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn gf_inv_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("3243f6a8885a308d313198a2e0370734")
+            .try_into()
+            .unwrap();
+        let aes = Aes128::new(key);
+        assert_eq!(
+            hex::encode(&aes.encrypt_block(pt)),
+            "3925841d02dc09fbdc118597196a0b32"
+        );
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        let aes = Aes128::new(key);
+        let ct = aes.encrypt_block(pt);
+        assert_eq!(hex::encode(&ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(aes.decrypt_block(ct), pt);
+    }
+
+    #[test]
+    fn round_trip_random_blocks() {
+        let aes = Aes128::new([0xA5; 16]);
+        let mut block = [0u8; 16];
+        for i in 0..500u32 {
+            for (j, b) in block.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
+            }
+            assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = Aes128::new([0; 16]);
+        let b = Aes128::new([1; 16]);
+        assert_ne!(a.encrypt_block([0; 16]), b.encrypt_block([0; 16]));
+    }
+
+    #[test]
+    fn debug_hides_key_material() {
+        let aes = Aes128::new([0x42; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(!dbg.contains("42"), "debug output leaked key bytes: {dbg}");
+    }
+}

@@ -1,0 +1,150 @@
+//! MD5 (RFC 1321), used as the deduplication fingerprint.
+//!
+//! The paper's deduplication BMO hashes each cache line to detect duplicate
+//! values; its default configuration uses MD5 at 321 ns per line (Table 3,
+//! following NV-Dedup/DeWrite). The sine-derived round constants are computed
+//! at first use from their definition `K[i] = ⌊|sin(i+1)|·2³²⌋` rather than
+//! transcribed.
+
+use std::sync::OnceLock;
+
+/// Per-round left-rotate amounts (RFC 1321 §3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, // round 1
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, // round 2
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, // round 3
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, // round 4
+];
+
+fn k_table() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut k = [0u32; 64];
+        for (i, ki) in k.iter_mut().enumerate() {
+            *ki = (((i as f64 + 1.0).sin().abs()) * 4294967296.0) as u32;
+        }
+        k
+    })
+}
+
+/// Computes the 128-bit MD5 digest of `data`.
+///
+/// # Example
+///
+/// ```
+/// use janus_crypto::{md5, hex};
+/// assert_eq!(hex::encode(&md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+/// ```
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let k = k_table();
+    let mut a0: u32 = 0x6745_2301;
+    let mut b0: u32 = 0xefcd_ab89;
+    let mut c0: u32 = 0x98ba_dcfe;
+    let mut d0: u32 = 0x1032_5476;
+
+    // Padding: 0x80, zeros, then 64-bit little-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_le_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes(word.try_into().expect("4-byte chunk"));
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | ((!b) & d), i),
+                16..=31 => ((d & b) | ((!d) & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let f2 = f.wrapping_add(a).wrapping_add(k[i]).wrapping_add(m[g]);
+            a = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(f2.rotate_left(S[i]));
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn rfc1321_test_suite() {
+        let cases = [
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                "abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(
+                hex::encode(&md5(input.as_bytes())),
+                expected,
+                "input={input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_constants_match_reference_values() {
+        let k = k_table();
+        // First and last constants from RFC 1321's reference implementation.
+        assert_eq!(k[0], 0xd76a_a478);
+        assert_eq!(k[1], 0xe8c7_b756);
+        assert_eq!(k[63], 0xeb86_d391);
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        for len in 50..70 {
+            let data = vec![0xA5u8; len];
+            let d = md5(&data);
+            let mut longer = data.clone();
+            longer.push(1);
+            assert_ne!(md5(&longer), d, "len={len}");
+        }
+    }
+
+    #[test]
+    fn cache_line_sized_inputs() {
+        // The dedup BMO always hashes 64-byte lines; two lines differing in
+        // one byte must fingerprint differently.
+        let mut a = [0u8; 64];
+        let b = a;
+        a[63] = 1;
+        assert_ne!(md5(&a), md5(&b));
+    }
+}

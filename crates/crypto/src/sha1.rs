@@ -1,0 +1,151 @@
+//! SHA-1 (FIPS 180-4), used by the integrity-verification BMO.
+//!
+//! The paper's Bonsai Merkle Tree uses SHA-1 hashing hardware with a 40 ns
+//! latency per node (Table 3); the message authentication code of each data
+//! block is `MAC = Hash(EncData, Counter)` (§4.2). This module supplies the
+//! functional digest.
+
+/// Computes the 160-bit SHA-1 digest of `data`.
+///
+/// # Example
+///
+/// ```
+/// use janus_crypto::{sha1, hex};
+/// assert_eq!(
+///     hex::encode(&sha1(b"")),
+///     "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+/// );
+/// ```
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ];
+
+    // Padding: 0x80, zeros, then 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Computes SHA-1 over the concatenation of several byte slices without an
+/// intermediate allocation of the caller's making.
+///
+/// Used for Merkle-tree node hashing (`Hash(child0 ‖ child1 ‖ …)`) and MAC
+/// computation (`Hash(EncData ‖ Counter)`).
+pub fn sha1_concat(parts: &[&[u8]]) -> [u8; 20] {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut buf = Vec::with_capacity(total);
+    for p in parts {
+        buf.extend_from_slice(p);
+    }
+    sha1(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn fips180_vectors() {
+        assert_eq!(
+            hex::encode(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex::encode(&sha1(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            hex::encode(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex::encode(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn length_boundary_padding() {
+        // Messages near the 55/56-byte padding boundary exercise the
+        // two-block padding path.
+        for len in 50..70 {
+            let data = vec![0x5Au8; len];
+            let d1 = sha1(&data);
+            let d2 = sha1(&data);
+            assert_eq!(d1, d2);
+            // Appending one byte must change the digest.
+            let mut longer = data.clone();
+            longer.push(0);
+            assert_ne!(sha1(&longer), d1, "len={len}");
+        }
+    }
+
+    #[test]
+    fn concat_equals_manual_concat() {
+        let a = [1u8; 10];
+        let b = [2u8; 20];
+        let mut joined = Vec::new();
+        joined.extend_from_slice(&a);
+        joined.extend_from_slice(&b);
+        assert_eq!(sha1_concat(&[&a, &b]), sha1(&joined));
+    }
+}

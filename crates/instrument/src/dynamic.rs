@@ -1,0 +1,256 @@
+//! Profile-guided ("dynamic") instrumentation — the paper's §6 future work.
+//!
+//! "Utilizing dynamic analysis techniques can provide runtime information
+//! and enable more optimization opportunities, such as pre-executing BMOs
+//! outside of its function or outside its loop."
+//!
+//! The static pass (§4.5) must prove placements safe at compile time, so it
+//! skips writebacks in loops and never crosses function boundaries. A
+//! profile-guided optimizer observes a concrete execution — which is
+//! exactly what our trace IR is — and can therefore instrument *every*
+//! blocking writeback at its true earliest input point:
+//!
+//! * loop-resident writebacks are instrumented per iteration (the profile
+//!   resolves the loop-carried addresses the static pass cannot);
+//! * markers are matched across function boundaries;
+//! * per-`clwb` requests are still narrowed to one line, as in the static
+//!   pass.
+//!
+//! Correctness is unaffected either way (the IRB validates everything);
+//! the profile only changes how much latency is hidden.
+
+use janus_core::ir::{Op, PreObjId, Program};
+use janus_nvm::addr::LineAddr;
+use janus_nvm::line::Line;
+
+/// Statistics of a dynamic instrumentation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DynamicReport {
+    /// Blocking writebacks found.
+    pub writes_found: u64,
+    /// Writebacks instrumented.
+    pub instrumented_writes: u64,
+    /// Writebacks in loops that the static pass would have skipped but the
+    /// profile-guided pass handled.
+    pub loop_recoveries: u64,
+    /// Writebacks with no marker anywhere in the profile.
+    pub skipped_no_marker: u64,
+}
+
+/// Runs the profile-guided pass over a trace.
+pub fn instrument_dynamic(program: &Program) -> (Program, DynamicReport) {
+    let ops = &program.ops;
+    let mut report = DynamicReport::default();
+    let mut next_obj: u32 = ops
+        .iter()
+        .filter_map(|o| match o {
+            Op::PreInit(PreObjId(n)) => Some(n + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+
+    // Loop-region depth per op (only to count recoveries).
+    let mut depth = 0i32;
+    let depths: Vec<i32> = ops
+        .iter()
+        .map(|op| {
+            match op {
+                Op::LoopBegin => depth += 1,
+                Op::LoopEnd => depth -= 1,
+                _ => {}
+            }
+            depth
+        })
+        .collect();
+
+    // Last marker position per line, swept forward; insertion happens right
+    // after the marker that most recently defined the write's inputs.
+    let mut insertions: Vec<(usize, Vec<Op>)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let Op::Clwb(line) = op else { continue };
+        let line = *line;
+        if !is_blocking(ops, i) {
+            continue;
+        }
+        report.writes_found += 1;
+
+        let addr_at = last_addr_marker(ops, i, line);
+        let data_at = last_data_marker(ops, i, line);
+        if addr_at.is_none() && data_at.is_none() {
+            report.skipped_no_marker += 1;
+            continue;
+        }
+        report.instrumented_writes += 1;
+        if depths[i] > 0 {
+            report.loop_recoveries += 1;
+        }
+        let obj = PreObjId(next_obj);
+        next_obj += 1;
+        let first = addr_at
+            .map(|(at, _)| at)
+            .into_iter()
+            .chain(data_at.as_ref().map(|(at, _)| *at))
+            .min()
+            .expect("at least one marker");
+        insertions.push((first, vec![Op::PreInit(obj)]));
+        if let Some((at, _)) = addr_at {
+            insertions.push((
+                at,
+                vec![Op::PreAddr {
+                    obj,
+                    line,
+                    nlines: 1,
+                }],
+            ));
+        }
+        if let Some((at, value)) = data_at {
+            insertions.push((
+                at,
+                vec![Op::PreData {
+                    obj,
+                    values: vec![value],
+                }],
+            ));
+        }
+    }
+
+    insertions.sort_by_key(|(at, _)| *at);
+    let mut out = Vec::with_capacity(ops.len() + insertions.len());
+    let mut it = insertions.into_iter().peekable();
+    for (i, op) in ops.iter().enumerate() {
+        while it.peek().is_some_and(|(at, _)| *at == i) {
+            out.extend(it.next().expect("peeked").1);
+        }
+        out.push(op.clone());
+    }
+    for (_, rest) in it {
+        out.extend(rest);
+    }
+    (Program { ops: out }, report)
+}
+
+fn is_blocking(ops: &[Op], clwb_idx: usize) -> bool {
+    ops[clwb_idx + 1..]
+        .iter()
+        .take(64)
+        .any(|o| matches!(o, Op::Fence))
+}
+
+/// Insertion point right after the last `AddrGen` covering `line` before
+/// the writeback (profiles use the freshest definition).
+fn last_addr_marker(ops: &[Op], clwb_idx: usize, line: LineAddr) -> Option<(usize, ())> {
+    for j in (0..clwb_idx).rev() {
+        if let Op::AddrGen {
+            line: first,
+            nlines,
+        } = &ops[j]
+        {
+            if (first.0..first.0 + *nlines as u64).contains(&line.0) {
+                return Some((j + 1, ()));
+            }
+        }
+    }
+    None
+}
+
+fn last_data_marker(ops: &[Op], clwb_idx: usize, line: LineAddr) -> Option<(usize, Line)> {
+    for j in (0..clwb_idx).rev() {
+        if let Op::DataGen {
+            line: first,
+            values,
+        } = &ops[j]
+        {
+            let n = values.len() as u64;
+            if (first.0..first.0 + n).contains(&line.0) {
+                return Some((j + 1, values[(line.0 - first.0) as usize]));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_core::ir::ProgramBuilder;
+
+    fn loop_workload() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.func("queue_like", |b| {
+            b.loop_region(|b| {
+                b.addr_gen(LineAddr(1), 1);
+                b.data_gen(LineAddr(1), vec![Line::splat(1)]);
+                b.compute(2000);
+                b.store(LineAddr(1), Line::splat(1));
+                b.clwb(LineAddr(1));
+                b.fence();
+            });
+        });
+        b.build()
+    }
+
+    #[test]
+    fn recovers_loop_resident_writebacks() {
+        let p = loop_workload();
+        let (stat, stat_report) = crate::instrument(&p);
+        assert_eq!(stat_report.instrumented_writes, 0, "static must skip");
+        assert_eq!(stat.pre_op_count(), 0);
+
+        let (dynamic, report) = instrument_dynamic(&p);
+        assert_eq!(report.instrumented_writes, 1);
+        assert_eq!(report.loop_recoveries, 1);
+        assert!(dynamic.pre_op_count() > 0);
+    }
+
+    #[test]
+    fn crosses_function_boundaries() {
+        let mut b = ProgramBuilder::new();
+        b.func("caller", |b| {
+            b.addr_gen(LineAddr(4), 1);
+            b.data_gen(LineAddr(4), vec![Line::splat(2)]);
+        });
+        b.func("callee", |b| {
+            b.compute(3000);
+            b.store(LineAddr(4), Line::splat(2));
+            b.clwb(LineAddr(4));
+            b.fence();
+        });
+        let p = b.build();
+        let (_, stat) = crate::instrument(&p);
+        assert_eq!(stat.instrumented_writes, 0);
+        let (out, dynr) = instrument_dynamic(&p);
+        assert_eq!(dynr.instrumented_writes, 1);
+        // The insertion sits in the caller, before the callee begins.
+        let pre = out
+            .ops
+            .iter()
+            .position(|o| matches!(o, Op::PreAddr { .. }))
+            .unwrap();
+        let callee = out
+            .ops
+            .iter()
+            .position(|o| matches!(o, Op::FuncBegin("callee")))
+            .unwrap();
+        assert!(pre < callee);
+    }
+
+    #[test]
+    fn no_marker_still_skipped() {
+        let mut b = ProgramBuilder::new();
+        b.store(LineAddr(9), Line::splat(1));
+        b.clwb(LineAddr(9));
+        b.fence();
+        let (_, r) = instrument_dynamic(&b.build());
+        assert_eq!(r.skipped_no_marker, 1);
+    }
+
+    #[test]
+    fn preserves_non_pre_ops() {
+        let p = loop_workload();
+        let (out, _) = instrument_dynamic(&p);
+        let orig: Vec<&Op> = p.ops.iter().filter(|o| !o.is_pre()).collect();
+        let kept: Vec<&Op> = out.ops.iter().filter(|o| !o.is_pre()).collect();
+        assert_eq!(orig, kept);
+    }
+}

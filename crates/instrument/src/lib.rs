@@ -1,0 +1,551 @@
+#![warn(missing_docs)]
+
+//! # janus-instrument — the automated compiler pass (§4.5)
+//!
+//! The Janus software interface is easy to use but still requires program
+//! understanding; the paper provides an LLVM pass that instruments programs
+//! automatically. This crate implements the same pass over our explicit
+//! program IR ([`janus_core::ir`]), following §4.5.1's three steps:
+//!
+//! 1. **Locate blocking writebacks** — `clwb` operations whose values a
+//!    subsequent `sfence` waits on.
+//! 2. **Dependency analysis** — for each writeback, find where its address
+//!    was generated ([`janus_core::ir::Op::AddrGen`]) and where its data was
+//!    last defined ([`janus_core::ir::Op::DataGen`]).
+//! 3. **Injection** — insert `PRE_ADDR` right after address generation and
+//!    `PRE_DATA` right after the last data definition, "as far away from the
+//!    actual writeback as possible".
+//!
+//! The pass reproduces the paper's stated limitations (§4.5.2): it only
+//! instruments within the same function as the writeback, it skips
+//! writebacks inside loops (no runtime trip information), it refuses
+//! markers that live inside loops the writeback is not in, and it keeps
+//! insertions inside the writeback's conditional region.
+//!
+//! # Example
+//!
+//! ```
+//! use janus_core::ir::{Op, ProgramBuilder};
+//! use janus_instrument::instrument;
+//! use janus_nvm::{addr::LineAddr, line::Line};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.func("update", |b| {
+//!     b.data_gen(LineAddr(4), vec![Line::splat(1)]);
+//!     b.compute(100);
+//!     b.addr_gen(LineAddr(4), 1);
+//!     b.compute(500);
+//!     b.store(LineAddr(4), Line::splat(1));
+//!     b.clwb(LineAddr(4));
+//!     b.fence();
+//! });
+//! let (instrumented, report) = instrument(&b.build());
+//! assert_eq!(report.instrumented_writes, 1);
+//! assert!(instrumented.ops.iter().any(|o| matches!(o, Op::PreAddr { .. })));
+//! assert!(instrumented.ops.iter().any(|o| matches!(o, Op::PreData { .. })));
+//! ```
+
+pub mod dynamic;
+pub mod misuse;
+
+use janus_core::ir::{Op, PreObjId, Program};
+use janus_nvm::addr::LineAddr;
+use janus_nvm::line::Line;
+
+/// Statistics of one instrumentation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstrumentReport {
+    /// Blocking writebacks found.
+    pub writes_found: u64,
+    /// Writebacks that received at least one pre-execution call.
+    pub instrumented_writes: u64,
+    /// `PRE_ADDR` calls inserted.
+    pub pre_addr_inserted: u64,
+    /// `PRE_DATA` calls inserted.
+    pub pre_data_inserted: u64,
+    /// Writebacks skipped because they sit inside a loop (§4.5.2).
+    pub skipped_in_loop: u64,
+    /// Writebacks skipped for lack of same-function provenance markers.
+    pub skipped_no_marker: u64,
+}
+
+impl InstrumentReport {
+    /// Fraction of found writes that were instrumented.
+    pub fn coverage(&self) -> f64 {
+        if self.writes_found == 0 {
+            0.0
+        } else {
+            self.instrumented_writes as f64 / self.writes_found as f64
+        }
+    }
+}
+
+/// Per-op region context computed in one linear scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Region {
+    /// Innermost function instance id (0 = top level).
+    func: u32,
+    /// Loop nesting depth.
+    loop_depth: u32,
+    /// Innermost loop instance id (valid when `loop_depth > 0`).
+    loop_id: u32,
+    /// Index of the innermost enclosing `CondBegin` (+1 = earliest legal
+    /// insertion point inside it), if any.
+    cond_begin: Option<usize>,
+}
+
+fn regions(ops: &[Op]) -> Vec<Region> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut func_stack = vec![0u32];
+    let mut next_func = 1u32;
+    let mut loop_stack: Vec<u32> = Vec::new();
+    let mut next_loop = 1u32;
+    let mut cond_stack: Vec<usize> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::FuncBegin(_) => {
+                func_stack.push(next_func);
+                next_func += 1;
+            }
+            Op::LoopBegin => {
+                loop_stack.push(next_loop);
+                next_loop += 1;
+            }
+            Op::CondBegin => cond_stack.push(i),
+            _ => {}
+        }
+        out.push(Region {
+            func: *func_stack.last().expect("top level"),
+            loop_depth: loop_stack.len() as u32,
+            loop_id: loop_stack.last().copied().unwrap_or(0),
+            cond_begin: cond_stack.last().copied(),
+        });
+        match op {
+            Op::FuncEnd => {
+                func_stack.pop();
+            }
+            Op::LoopEnd => {
+                loop_stack.pop();
+            }
+            Op::CondEnd => {
+                cond_stack.pop();
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether the `sfence` search starting after `clwb_idx` finds a fence
+/// before the function ends (i.e., this is a *blocking* writeback).
+fn is_blocking(ops: &[Op], clwb_idx: usize) -> bool {
+    for op in &ops[clwb_idx + 1..] {
+        match op {
+            Op::Fence => return true,
+            Op::FuncEnd => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// One planned insertion: ops to splice in *before* index `at`.
+struct Insertion {
+    at: usize,
+    ops: Vec<Op>,
+}
+
+/// Runs the pass: returns the instrumented program and a report.
+///
+/// Any pre-execution ops already present are preserved (the pass is
+/// idempotent in practice because instrumented writebacks carry fresh
+/// `pre_obj`s, but mixing manual and automated instrumentation is not
+/// recommended).
+pub fn instrument(program: &Program) -> (Program, InstrumentReport) {
+    let ops = &program.ops;
+    let regs = regions(ops);
+    let mut report = InstrumentReport::default();
+    let mut insertions: Vec<Insertion> = Vec::new();
+    // Fresh pre_obj ids beyond any already present.
+    let mut next_obj: u32 = ops
+        .iter()
+        .filter_map(|o| match o {
+            Op::PreInit(PreObjId(n)) => Some(n + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+
+    for (i, op) in ops.iter().enumerate() {
+        let Op::Clwb(line) = op else { continue };
+        let line = *line;
+        if !is_blocking(ops, i) {
+            continue;
+        }
+        report.writes_found += 1;
+
+        // Limitation: writebacks inside loops are not instrumented.
+        if regs[i].loop_depth > 0 {
+            report.skipped_in_loop += 1;
+            continue;
+        }
+
+        let addr_marker = find_addr_marker(ops, &regs, i, line);
+        let data_marker = find_data_marker(ops, &regs, i, line);
+        if addr_marker.is_none() && data_marker.is_none() {
+            report.skipped_no_marker += 1;
+            continue;
+        }
+
+        let obj = PreObjId(next_obj);
+        next_obj += 1;
+        let mut first_insert_at = usize::MAX;
+
+        // Each writeback gets a request narrowed to its own cache line —
+        // the pass analyzed this specific `clwb`, not the whole object the
+        // marker covers (a naive whole-object request per writeback would
+        // flood the bounded request/operation queues).
+        let mut planned: Vec<(usize, Op)> = Vec::new();
+        if let Some((at, _nlines)) = addr_marker {
+            let at = clamp_to_cond(&regs, i, at);
+            planned.push((
+                at,
+                Op::PreAddr {
+                    obj,
+                    line,
+                    nlines: 1,
+                },
+            ));
+            report.pre_addr_inserted += 1;
+            first_insert_at = first_insert_at.min(at);
+        }
+        if let Some((at, values)) = data_marker {
+            let at = clamp_to_cond(&regs, i, at);
+            planned.push((at, Op::PreData { obj, values }));
+            report.pre_data_inserted += 1;
+            first_insert_at = first_insert_at.min(at);
+        }
+        // PRE_INIT goes just before the earliest injected call.
+        insertions.push(Insertion {
+            at: first_insert_at,
+            ops: vec![Op::PreInit(obj)],
+        });
+        for (at, op) in planned {
+            insertions.push(Insertion { at, ops: vec![op] });
+        }
+        report.instrumented_writes += 1;
+    }
+
+    // Splice insertions (stable by target index, preserving plan order for
+    // equal indices).
+    insertions.sort_by_key(|ins| ins.at);
+    let mut out = Vec::with_capacity(ops.len() + insertions.len());
+    let mut ins_iter = insertions.into_iter().peekable();
+    for (i, op) in ops.iter().enumerate() {
+        while ins_iter.peek().is_some_and(|ins| ins.at == i) {
+            out.extend(ins_iter.next().expect("peeked").ops);
+        }
+        out.push(op.clone());
+    }
+    for ins in ins_iter {
+        out.extend(ins.ops);
+    }
+
+    (Program { ops: out }, report)
+}
+
+/// Finds the usable `AddrGen` marker for the writeback at `clwb_idx`:
+/// the earliest same-function marker covering `line`, not inside a loop the
+/// writeback is not in. Returns the insertion index (right after the
+/// marker) and the covered line count.
+fn find_addr_marker(
+    ops: &[Op],
+    regs: &[Region],
+    clwb_idx: usize,
+    line: LineAddr,
+) -> Option<(usize, u32)> {
+    for j in 0..clwb_idx {
+        let Op::AddrGen {
+            line: first,
+            nlines,
+        } = &ops[j]
+        else {
+            continue;
+        };
+        if !(first.0..first.0 + *nlines as u64).contains(&line.0) {
+            continue;
+        }
+        if regs[j].func != regs[clwb_idx].func {
+            continue; // cross-function: out of scope for the static pass
+        }
+        if regs[j].loop_depth > regs[clwb_idx].loop_depth {
+            continue; // marker is loop-carried
+        }
+        return Some((j + 1, *nlines));
+    }
+    None
+}
+
+/// Finds the usable `DataGen` marker: the *last* same-function definition of
+/// `line`'s data before the writeback (the pass "places a PRE_DATA function
+/// between the last two updates on the object"). Returns the one line value
+/// destined for `line`.
+fn find_data_marker(
+    ops: &[Op],
+    regs: &[Region],
+    clwb_idx: usize,
+    line: LineAddr,
+) -> Option<(usize, Vec<Line>)> {
+    for j in (0..clwb_idx).rev() {
+        let Op::DataGen {
+            line: first,
+            values,
+        } = &ops[j]
+        else {
+            continue;
+        };
+        let nlines = values.len() as u64;
+        if !(first.0..first.0 + nlines).contains(&line.0) {
+            continue;
+        }
+        if regs[j].func != regs[clwb_idx].func {
+            continue;
+        }
+        if regs[j].loop_depth > regs[clwb_idx].loop_depth {
+            continue;
+        }
+        let value = values[(line.0 - first.0) as usize];
+        return Some((j + 1, vec![value]));
+    }
+    None
+}
+
+/// Keeps an insertion inside the writeback's conditional region: if the
+/// writeback sits under a `CondBegin` and the candidate point is before it,
+/// the insertion moves to just inside the conditional (§4.5.1: "our pass
+/// conservatively inserts the pre-execution function under the same
+/// conditional statement").
+fn clamp_to_cond(regs: &[Region], clwb_idx: usize, at: usize) -> usize {
+    match regs[clwb_idx].cond_begin {
+        Some(cb) if at <= cb => cb + 1,
+        _ => at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_core::ir::ProgramBuilder;
+
+    fn simple_update(in_loop: bool) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.func("update", |b| {
+            b.data_gen(LineAddr(4), vec![Line::splat(1)]);
+            b.compute(100);
+            b.addr_gen(LineAddr(4), 1);
+            b.compute(500);
+            let body = |b: &mut ProgramBuilder| {
+                b.store(LineAddr(4), Line::splat(1));
+                b.clwb(LineAddr(4));
+                b.fence();
+            };
+            if in_loop {
+                b.loop_region(body);
+            } else {
+                body(b);
+            }
+        });
+        b.build()
+    }
+
+    #[test]
+    fn instruments_simple_update() {
+        let (p, r) = instrument(&simple_update(false));
+        assert_eq!(r.writes_found, 1);
+        assert_eq!(r.instrumented_writes, 1);
+        assert_eq!(r.pre_addr_inserted, 1);
+        assert_eq!(r.pre_data_inserted, 1);
+        assert_eq!(r.coverage(), 1.0);
+        // PRE_DATA sits right after the DataGen marker, before the AddrGen.
+        let data_pos = p
+            .ops
+            .iter()
+            .position(|o| matches!(o, Op::PreData { .. }))
+            .unwrap();
+        let addr_pos = p
+            .ops
+            .iter()
+            .position(|o| matches!(o, Op::PreAddr { .. }))
+            .unwrap();
+        let gen_pos = p
+            .ops
+            .iter()
+            .position(|o| matches!(o, Op::AddrGen { .. }))
+            .unwrap();
+        assert!(data_pos < gen_pos);
+        assert_eq!(addr_pos, gen_pos + 1);
+        // PRE_INIT precedes both.
+        let init_pos = p
+            .ops
+            .iter()
+            .position(|o| matches!(o, Op::PreInit(_)))
+            .unwrap();
+        assert!(init_pos < data_pos);
+    }
+
+    #[test]
+    fn skips_writebacks_in_loops() {
+        let (p, r) = instrument(&simple_update(true));
+        assert_eq!(r.writes_found, 1);
+        assert_eq!(r.instrumented_writes, 0);
+        assert_eq!(r.skipped_in_loop, 1);
+        assert_eq!(p.pre_op_count(), 0);
+    }
+
+    #[test]
+    fn skips_without_markers() {
+        let mut b = ProgramBuilder::new();
+        b.func("noinfo", |b| {
+            b.store(LineAddr(1), Line::splat(1));
+            b.clwb(LineAddr(1));
+            b.fence();
+        });
+        let (_, r) = instrument(&b.build());
+        assert_eq!(r.skipped_no_marker, 1);
+        assert_eq!(r.instrumented_writes, 0);
+    }
+
+    #[test]
+    fn ignores_cross_function_markers() {
+        let mut b = ProgramBuilder::new();
+        b.func("caller", |b| {
+            b.addr_gen(LineAddr(1), 1);
+            b.data_gen(LineAddr(1), vec![Line::splat(1)]);
+        });
+        b.func("callee", |b| {
+            b.store(LineAddr(1), Line::splat(1));
+            b.clwb(LineAddr(1));
+            b.fence();
+        });
+        let (_, r) = instrument(&b.build());
+        assert_eq!(r.skipped_no_marker, 1);
+    }
+
+    #[test]
+    fn non_blocking_writebacks_ignored() {
+        let mut b = ProgramBuilder::new();
+        b.func("f", |b| {
+            b.addr_gen(LineAddr(1), 1);
+            b.store(LineAddr(1), Line::splat(1));
+            b.clwb(LineAddr(1)); // never fenced inside the function
+        });
+        let (_, r) = instrument(&b.build());
+        assert_eq!(r.writes_found, 0);
+    }
+
+    #[test]
+    fn conditional_writeback_keeps_insertion_inside_cond() {
+        let mut b = ProgramBuilder::new();
+        b.func("f", |b| {
+            b.addr_gen(LineAddr(1), 1);
+            b.data_gen(LineAddr(1), vec![Line::splat(1)]);
+            b.compute(1000);
+            b.cond_region(|b| {
+                b.store(LineAddr(1), Line::splat(1));
+                b.clwb(LineAddr(1));
+                b.fence();
+            });
+        });
+        let (p, r) = instrument(&b.build());
+        assert_eq!(r.instrumented_writes, 1);
+        let cond_pos = p.ops.iter().position(|o| *o == Op::CondBegin).unwrap();
+        let pre_pos = p
+            .ops
+            .iter()
+            .position(|o| matches!(o, Op::PreAddr { .. }))
+            .unwrap();
+        assert!(
+            pre_pos > cond_pos,
+            "insertion must stay under the conditional"
+        );
+    }
+
+    #[test]
+    fn marker_inside_loop_is_not_hoisted() {
+        let mut b = ProgramBuilder::new();
+        b.func("f", |b| {
+            b.loop_region(|b| {
+                b.addr_gen(LineAddr(1), 1);
+                b.data_gen(LineAddr(1), vec![Line::splat(1)]);
+            });
+            b.store(LineAddr(1), Line::splat(1));
+            b.clwb(LineAddr(1));
+            b.fence();
+        });
+        let (_, r) = instrument(&b.build());
+        assert_eq!(r.skipped_no_marker, 1);
+    }
+
+    #[test]
+    fn uses_last_data_definition() {
+        let mut b = ProgramBuilder::new();
+        b.func("f", |b| {
+            b.data_gen(LineAddr(1), vec![Line::splat(1)]);
+            b.compute(10);
+            b.data_gen(LineAddr(1), vec![Line::splat(2)]); // last definition
+            b.addr_gen(LineAddr(1), 1);
+            b.store(LineAddr(1), Line::splat(2));
+            b.clwb(LineAddr(1));
+            b.fence();
+        });
+        let (p, _) = instrument(&b.build());
+        let data = p
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::PreData { values, .. } => Some(values.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(data, vec![Line::splat(2)]);
+    }
+
+    #[test]
+    fn multi_line_addr_markers_cover_ranges() {
+        let mut b = ProgramBuilder::new();
+        b.func("f", |b| {
+            b.addr_gen(LineAddr(10), 4);
+            b.data_gen(LineAddr(12), vec![Line::splat(9)]);
+            b.store(LineAddr(12), Line::splat(9));
+            b.clwb(LineAddr(12)); // covered by the 4-line AddrGen
+            b.fence();
+        });
+        let (_, r) = instrument(&b.build());
+        assert_eq!(r.instrumented_writes, 1);
+        assert_eq!(r.pre_addr_inserted, 1);
+    }
+
+    #[test]
+    fn fresh_objs_do_not_collide_with_existing() {
+        let mut b = ProgramBuilder::new();
+        let manual = b.pre_init(); // PreObjId(0)
+        b.func("f", |b| {
+            b.addr_gen(LineAddr(1), 1);
+            b.store(LineAddr(1), Line::splat(1));
+            b.clwb(LineAddr(1));
+            b.fence();
+        });
+        let (p, _) = instrument(&b.build());
+        let objs: Vec<PreObjId> = p
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::PreInit(obj) => Some(*obj),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(objs.len(), 2);
+        assert_ne!(objs[0], objs[1]);
+        assert!(objs.contains(&manual));
+    }
+}

@@ -1,0 +1,105 @@
+//! Cache-line-granular physical addresses.
+//!
+//! Janus tracks pre-execution "at a cache line granularity, i.e., each entry
+//! in the buffer keeps the pre-execution result of one cache line" (§4.3.2).
+//! [`LineAddr`] is the index of a 64-byte line; byte addresses convert by
+//! shifting out the 6 offset bits.
+
+use std::fmt;
+
+use crate::line::LINE_BYTES;
+
+/// The index of a 64-byte cache line in the physical address space
+/// (the paper's `ProcAddr` at line granularity).
+///
+/// # Example
+///
+/// ```
+/// use janus_nvm::addr::LineAddr;
+/// let a = LineAddr::from_byte(0x1040);
+/// assert_eq!(a, LineAddr(0x41));
+/// assert_eq!(a.byte(), 0x1040);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Converts a byte address to its containing line (drops offset bits).
+    pub const fn from_byte(byte_addr: u64) -> LineAddr {
+        LineAddr(byte_addr / LINE_BYTES as u64)
+    }
+
+    /// The first byte address of this line.
+    pub const fn byte(self) -> u64 {
+        self.0 * LINE_BYTES as u64
+    }
+
+    /// The line `n` lines after this one.
+    pub const fn offset(self, n: u64) -> LineAddr {
+        LineAddr(self.0 + n)
+    }
+
+    /// Iterates over the `count` lines starting at this one.
+    pub fn span(self, count: u64) -> impl Iterator<Item = LineAddr> {
+        (self.0..self.0 + count).map(LineAddr)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Number of lines covered by `bytes` bytes starting at byte offset `start`,
+/// accounting for straddling (a 64-byte write at offset 32 touches 2 lines).
+pub fn lines_touched(start_byte: u64, bytes: u64) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    let first = start_byte / LINE_BYTES as u64;
+    let last = (start_byte + bytes - 1) / LINE_BYTES as u64;
+    last - first + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip() {
+        let a = LineAddr(123);
+        assert_eq!(LineAddr::from_byte(a.byte()), a);
+        // Mid-line byte addresses map to the containing line.
+        assert_eq!(LineAddr::from_byte(a.byte() + 63), a);
+        assert_eq!(LineAddr::from_byte(a.byte() + 64), a.offset(1));
+    }
+
+    #[test]
+    fn span_covers_range() {
+        let v: Vec<_> = LineAddr(10).span(3).collect();
+        assert_eq!(v, vec![LineAddr(10), LineAddr(11), LineAddr(12)]);
+    }
+
+    #[test]
+    fn lines_touched_handles_straddles() {
+        assert_eq!(lines_touched(0, 64), 1);
+        assert_eq!(lines_touched(0, 65), 2);
+        assert_eq!(lines_touched(32, 64), 2);
+        assert_eq!(lines_touched(32, 32), 1);
+        assert_eq!(lines_touched(100, 0), 0);
+        assert_eq!(lines_touched(0, 8192), 128);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LineAddr(0x41).to_string(), "L0x41");
+        assert_eq!(format!("{:x}", LineAddr(0xBEEF)), "beef");
+    }
+}

@@ -1,0 +1,358 @@
+//! Set-associative, write-back, true-LRU cache model.
+//!
+//! Used four ways, matching Table 3:
+//!
+//! * per-core private **L1 D-cache** (64 KB, 8-way),
+//! * shared **L2** (2 MB, 8-way),
+//! * the memory controller's **counter cache** (512 KB, 16-way) that lets
+//!   decryption begin before data returns from NVM,
+//! * the **Merkle Tree cache** (512 KB, 16-way) that truncates integrity
+//!   verification walks.
+//!
+//! The cache tracks tags and dirty bits only; the simulator's functional
+//! stores hold the actual values (the model is single-machine, so a hit/miss
+//! decision plus the dirty bit is all the timing model needs).
+
+use crate::addr::LineAddr;
+
+/// Geometry and latency of a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Paper Table 3 L1 D-cache: 64 KB, 8-way.
+    pub fn l1d() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 << 10,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    /// Paper Table 3 L2: 2 MB per core, 8-way.
+    pub fn l2() -> Self {
+        CacheConfig {
+            capacity_bytes: 2 << 20,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    /// Paper Table 3 counter cache: 512 KB, 16-way.
+    pub fn counter_cache() -> Self {
+        CacheConfig {
+            capacity_bytes: 512 << 10,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// Paper Table 3 Merkle Tree cache: 512 KB, 16-way.
+    pub fn merkle_cache() -> Self {
+        CacheConfig {
+            capacity_bytes: 512 << 10,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes / self.line_bytes / self.ways
+    }
+}
+
+/// A victim evicted to make room for a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Victim {
+    /// Address of the evicted line.
+    pub addr: LineAddr,
+    /// Whether the victim was dirty (must be written back).
+    pub dirty: bool,
+}
+
+/// Result of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was filled; `victim` is the line displaced, if any.
+    Miss {
+        /// Evicted line, if the set was full.
+        victim: Option<Victim>,
+    },
+}
+
+impl Access {
+    /// Whether this access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Access::Hit)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TagEntry {
+    tag: u64,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// The cache model. See the module docs for usage.
+///
+/// # Example
+///
+/// ```
+/// use janus_nvm::{cache::{CacheConfig, SetAssocCache}, addr::LineAddr};
+/// let mut c = SetAssocCache::new(CacheConfig::l1d());
+/// let a = LineAddr(0x100);
+/// assert!(!c.access(a, true).is_hit()); // cold miss, now dirty
+/// assert!(c.access(a, false).is_hit());
+/// assert_eq!(c.flush(a), Some(true));   // clwb: was dirty
+/// assert_eq!(c.flush(a), Some(false));  // still resident, now clean
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<TagEntry>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets or ways).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets > 0 && config.ways > 0, "degenerate cache geometry");
+        SetAssocCache {
+            config,
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, addr: LineAddr) -> usize {
+        (addr.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Whether `addr` is resident (no LRU update).
+    pub fn probe(&self, addr: LineAddr) -> bool {
+        let set = &self.sets[self.set_index(addr)];
+        set.iter().any(|e| e.tag == addr.0)
+    }
+
+    /// Accesses `addr`, allocating on miss (write-allocate). `write` marks
+    /// the line dirty.
+    pub fn access(&mut self, addr: LineAddr, write: bool) -> Access {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.config.ways;
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+
+        if let Some(e) = set.iter_mut().find(|e| e.tag == addr.0) {
+            e.lru = clock;
+            e.dirty |= write;
+            self.hits += 1;
+            return Access::Hit;
+        }
+
+        self.misses += 1;
+        let victim = if set.len() == ways {
+            let pos = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let v = set.swap_remove(pos);
+            Some(Victim {
+                addr: LineAddr(v.tag),
+                dirty: v.dirty,
+            })
+        } else {
+            None
+        };
+        set.push(TagEntry {
+            tag: addr.0,
+            dirty: write,
+            lru: clock,
+        });
+        Access::Miss { victim }
+    }
+
+    /// Writes back `addr` without evicting it (the `clwb` semantics: "write
+    /// back ... and retain the line"). Returns `Some(was_dirty)` if
+    /// resident, `None` if not cached (nothing to do).
+    pub fn flush(&mut self, addr: LineAddr) -> Option<bool> {
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        set.iter_mut().find(|e| e.tag == addr.0).map(|e| {
+            let was_dirty = e.dirty;
+            e.dirty = false;
+            was_dirty
+        })
+    }
+
+    /// Drops `addr` from the cache, returning whether it was dirty.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<bool> {
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        set.iter()
+            .position(|e| e.tag == addr.0)
+            .map(|pos| set.swap_remove(pos).dirty)
+    }
+
+    /// All currently dirty lines (volatile state lost on a crash).
+    pub fn dirty_lines(&self) -> Vec<LineAddr> {
+        let mut v: Vec<LineAddr> = self
+            .sets
+            .iter()
+            .flatten()
+            .filter(|e| e.dirty)
+            .map(|e| LineAddr(e.tag))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drops everything (power loss).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        SetAssocCache::new(CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(LineAddr(1), false).is_hit());
+        assert!(c.access(LineAddr(1), false).is_hit());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines 0, 4, 8, ... (4 sets).
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(4), false);
+        c.access(LineAddr(0), false); // refresh 0
+        match c.access(LineAddr(8), false) {
+            Access::Miss { victim: Some(v) } => assert_eq!(v.addr, LineAddr(4)),
+            other => panic!("expected eviction of line 4, got {other:?}"),
+        }
+        assert!(c.probe(LineAddr(0)));
+        assert!(!c.probe(LineAddr(4)));
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        c.access(LineAddr(4), false);
+        match c.access(LineAddr(8), false) {
+            Access::Miss { victim: Some(v) } => {
+                assert_eq!(v.addr, LineAddr(0));
+                assert!(v.dirty);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_cleans_but_keeps_line() {
+        let mut c = tiny();
+        c.access(LineAddr(3), true);
+        assert_eq!(c.flush(LineAddr(3)), Some(true));
+        assert!(c.probe(LineAddr(3)));
+        assert_eq!(c.flush(LineAddr(3)), Some(false));
+        assert_eq!(c.flush(LineAddr(99)), None);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.access(LineAddr(5), true);
+        assert_eq!(c.invalidate(LineAddr(5)), Some(true));
+        assert!(!c.probe(LineAddr(5)));
+        assert_eq!(c.invalidate(LineAddr(5)), None);
+    }
+
+    #[test]
+    fn dirty_lines_lists_exactly_dirty() {
+        let mut c = tiny();
+        c.access(LineAddr(1), true);
+        c.access(LineAddr(2), false);
+        c.access(LineAddr(3), true);
+        c.flush(LineAddr(3));
+        assert_eq!(c.dirty_lines(), vec![LineAddr(1)]);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut c = tiny();
+        c.access(LineAddr(1), true);
+        c.clear();
+        assert!(!c.probe(LineAddr(1)));
+        assert!(c.dirty_lines().is_empty());
+    }
+
+    #[test]
+    fn paper_geometries_are_sane() {
+        assert_eq!(CacheConfig::l1d().sets(), 128);
+        assert_eq!(CacheConfig::l2().sets(), 4096);
+        assert_eq!(CacheConfig::counter_cache().sets(), 512);
+        assert_eq!(CacheConfig::merkle_cache().sets(), 512);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        // 4 sets: lines 0..4 map to distinct sets, so all fit w/o eviction.
+        for i in 0..4 {
+            assert!(matches!(
+                c.access(LineAddr(i), false),
+                Access::Miss { victim: None }
+            ));
+        }
+    }
+}

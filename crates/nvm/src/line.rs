@@ -1,0 +1,187 @@
+//! 64-byte cache line values.
+
+use std::fmt;
+
+/// Size of a cache line in bytes.
+pub const LINE_BYTES: usize = 64;
+
+/// The value of one 64-byte cache line.
+///
+/// `Line` is the unit of data for every BMO: deduplication fingerprints it,
+/// encryption XORs it with a one-time pad, integrity verification MACs it.
+///
+/// # Example
+///
+/// ```
+/// use janus_nvm::line::Line;
+/// let mut l = Line::zero();
+/// l.write_u64(0, 0xdead_beef);
+/// assert_eq!(l.read_u64(0), 0xdead_beef);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Line(pub [u8; LINE_BYTES]);
+
+impl Line {
+    /// An all-zero line (the initial NVM content).
+    pub const fn zero() -> Line {
+        Line([0; LINE_BYTES])
+    }
+
+    /// A line with every byte equal to `b`.
+    pub const fn splat(b: u8) -> Line {
+        Line([b; LINE_BYTES])
+    }
+
+    /// Builds a line from up to eight little-endian u64 words (the rest
+    /// zero-filled).
+    pub fn from_words(words: &[u64]) -> Line {
+        assert!(words.len() <= 8, "a line holds at most 8 u64 words");
+        let mut l = Line::zero();
+        for (i, w) in words.iter().enumerate() {
+            l.write_u64(i * 8, *w);
+        }
+        l
+    }
+
+    /// Reads a little-endian u64 at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + 8` exceeds the line size or `off` is misaligned.
+    pub fn read_u64(&self, off: usize) -> u64 {
+        assert!(
+            off.is_multiple_of(8) && off + 8 <= LINE_BYTES,
+            "bad u64 offset {off}"
+        );
+        u64::from_le_bytes(self.0[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian u64 at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + 8` exceeds the line size or `off` is misaligned.
+    pub fn write_u64(&mut self, off: usize, value: u64) {
+        assert!(
+            off.is_multiple_of(8) && off + 8 <= LINE_BYTES,
+            "bad u64 offset {off}"
+        );
+        self.0[off..off + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Copies `src` into the line starting at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the copy would run past the end of the line.
+    pub fn write_bytes(&mut self, off: usize, src: &[u8]) {
+        assert!(off + src.len() <= LINE_BYTES, "write past end of line");
+        self.0[off..off + src.len()].copy_from_slice(src);
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; LINE_BYTES] {
+        &self.0
+    }
+
+    /// XORs two lines byte-wise (counter-mode encrypt/decrypt step).
+    pub fn xor(&self, other: &Line) -> Line {
+        let mut out = [0u8; LINE_BYTES];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a ^ b;
+        }
+        Line(out)
+    }
+
+    /// Whether every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Line::zero()
+    }
+}
+
+impl From<[u8; LINE_BYTES]> for Line {
+    fn from(bytes: [u8; LINE_BYTES]) -> Self {
+        Line(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Line {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print first/last words rather than 64 raw bytes.
+        write!(
+            f,
+            "Line({:016x}..{:016x})",
+            self.read_u64(0),
+            self.read_u64(LINE_BYTES - 8)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip_all_offsets() {
+        let mut l = Line::zero();
+        for off in (0..LINE_BYTES).step_by(8) {
+            l.write_u64(off, off as u64 * 7 + 1);
+        }
+        for off in (0..LINE_BYTES).step_by(8) {
+            assert_eq!(l.read_u64(off), off as u64 * 7 + 1);
+        }
+    }
+
+    #[test]
+    fn from_words_fills_prefix() {
+        let l = Line::from_words(&[1, 2, 3]);
+        assert_eq!(l.read_u64(0), 1);
+        assert_eq!(l.read_u64(8), 2);
+        assert_eq!(l.read_u64(16), 3);
+        assert_eq!(l.read_u64(24), 0);
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let a = Line::splat(0x3C);
+        let b = Line::from_words(&[u64::MAX, 0, 42, 7]);
+        assert_eq!(a.xor(&b).xor(&b), a);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Line::zero().is_zero());
+        assert!(!Line::splat(1).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad u64 offset")]
+    fn misaligned_read_panics() {
+        Line::zero().read_u64(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "write past end")]
+    fn overflow_write_panics() {
+        Line::zero().write_bytes(60, &[0; 8]);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let dbg = format!("{:?}", Line::zero());
+        assert!(dbg.starts_with("Line("));
+        assert!(dbg.len() < 50);
+    }
+}

@@ -1,0 +1,143 @@
+//! Functional line-granular storage.
+//!
+//! A sparse map from [`LineAddr`] to [`Line`] with all-zero default
+//! contents, used for: program-visible volatile state, the persistent NVM
+//! array (ciphertext), and metadata regions.
+
+use std::collections::HashMap;
+
+use crate::addr::LineAddr;
+use crate::line::Line;
+
+/// A sparse, zero-default map of line values.
+///
+/// # Example
+///
+/// ```
+/// use janus_nvm::{store::LineStore, addr::LineAddr, line::Line};
+/// let mut s = LineStore::new();
+/// assert_eq!(s.read(LineAddr(1)), Line::zero());
+/// s.write(LineAddr(1), Line::splat(3));
+/// assert_eq!(s.read(LineAddr(1)), Line::splat(3));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LineStore {
+    lines: HashMap<LineAddr, Line>,
+}
+
+impl LineStore {
+    /// Creates an empty (all-zero) store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a line; unwritten lines read as zero.
+    pub fn read(&self, addr: LineAddr) -> Line {
+        self.lines.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Writes a line.
+    pub fn write(&mut self, addr: LineAddr, value: Line) {
+        if value.is_zero() {
+            // Keep the map sparse; zero is the default.
+            self.lines.remove(&addr);
+        } else {
+            self.lines.insert(addr, value);
+        }
+    }
+
+    /// Read-modify-write of a u64 word within a line.
+    pub fn write_u64(&mut self, addr: LineAddr, offset: usize, value: u64) {
+        let mut line = self.read(addr);
+        line.write_u64(offset, value);
+        self.write(addr, line);
+    }
+
+    /// Reads a u64 word within a line.
+    pub fn read_u64(&self, addr: LineAddr, offset: usize) -> u64 {
+        self.read(addr).read_u64(offset)
+    }
+
+    /// Number of non-zero lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether every line is zero.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Iterates over non-zero lines in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &Line)> {
+        self.lines.iter().map(|(a, l)| (*a, l))
+    }
+
+    /// Compares the non-zero contents of two stores (zero-default aware).
+    pub fn same_contents(&self, other: &LineStore) -> bool {
+        if self.lines.len() != other.lines.len() {
+            return false;
+        }
+        self.lines.iter().all(|(a, l)| other.read(*a) == *l)
+    }
+}
+
+impl FromIterator<(LineAddr, Line)> for LineStore {
+    fn from_iter<I: IntoIterator<Item = (LineAddr, Line)>>(iter: I) -> Self {
+        let mut s = LineStore::new();
+        for (a, l) in iter {
+            s.write(a, l);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default() {
+        let s = LineStore::new();
+        assert_eq!(s.read(LineAddr(12345)), Line::zero());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn writing_zero_keeps_store_sparse() {
+        let mut s = LineStore::new();
+        s.write(LineAddr(1), Line::splat(1));
+        s.write(LineAddr(1), Line::zero());
+        assert!(s.is_empty());
+        assert_eq!(s.read(LineAddr(1)), Line::zero());
+    }
+
+    #[test]
+    fn word_level_rmw() {
+        let mut s = LineStore::new();
+        s.write_u64(LineAddr(2), 8, 77);
+        s.write_u64(LineAddr(2), 16, 88);
+        assert_eq!(s.read_u64(LineAddr(2), 8), 77);
+        assert_eq!(s.read_u64(LineAddr(2), 16), 88);
+        assert_eq!(s.read_u64(LineAddr(2), 0), 0);
+    }
+
+    #[test]
+    fn same_contents_ignores_zero_lines() {
+        let mut a = LineStore::new();
+        let mut b = LineStore::new();
+        a.write(LineAddr(1), Line::splat(5));
+        b.write(LineAddr(1), Line::splat(5));
+        assert!(a.same_contents(&b));
+        b.write(LineAddr(2), Line::splat(6));
+        assert!(!a.same_contents(&b));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: LineStore = vec![(LineAddr(1), Line::splat(1)), (LineAddr(2), Line::splat(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! Deterministic discrete-event queue.
+//!
+//! The full-system model (cores, memory controller, BMO units, NVM device) is
+//! driven by a single [`EventQueue`]: each component schedules future events
+//! and the system loop pops them in time order. Events scheduled for the same
+//! cycle are delivered in the order they were scheduled (stable FIFO), which
+//! keeps the simulation deterministic regardless of hash-map iteration order
+//! or other incidental sources of nondeterminism.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycles;
+
+/// An entry in the heap: ordered by time, then by insertion sequence.
+struct Entry<E> {
+    time: Cycles,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO ordering of simultaneous
+/// events.
+///
+/// # Example
+///
+/// ```
+/// use janus_sim::{event::EventQueue, time::Cycles};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles(7), 'b');
+/// q.schedule(Cycles(7), 'c'); // same time: FIFO after 'b'
+/// q.schedule(Cycles(3), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycles,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (`at < self.now()`); scheduling into the
+    /// past would silently corrupt causality.
+    pub fn schedule(&mut self, at: Cycles, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` to fire `delay` cycles after the current time.
+    pub fn schedule_after(&mut self, delay: Cycles, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.time >= self.now);
+            self.now = e.time;
+            (e.time, e.payload)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(30), 3);
+        q.schedule(Cycles(10), 1);
+        q.schedule(Cycles(20), 2);
+        assert_eq!(q.pop(), Some((Cycles(10), 1)));
+        assert_eq!(q.pop(), Some((Cycles(20), 2)));
+        assert_eq!(q.pop(), Some((Cycles(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycles(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.schedule(Cycles(42), ());
+        q.pop();
+        assert_eq!(q.now(), Cycles(42));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), "first");
+        q.pop();
+        q.schedule_after(Cycles(5), "second");
+        assert_eq!(q.pop(), Some((Cycles(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), ());
+        q.pop();
+        q.schedule(Cycles(5), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Cycles(9), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Cycles(9)));
+    }
+}

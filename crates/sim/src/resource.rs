@@ -1,0 +1,453 @@
+//! Hardware resource models: bounded FIFO queues and execution-unit pools.
+//!
+//! The Janus hardware (paper §4.3.2, Figure 7a) contains three bounded
+//! structures — the Pre-execution Request Queue, the Pre-execution Operation
+//! Queue, and the Intermediate Result Buffer — plus a pool of BMO execution
+//! units ("4 units per core, shared"). [`BoundedFifo`] models the queues,
+//! including the two overflow policies the paper describes (§4.6: drop the
+//! *newest* request when the request queue is full for immediate requests, or
+//! drop the *oldest* buffered request to make space); [`UnitPool`] models the
+//! unit pool with busy-until bookkeeping.
+
+use std::collections::VecDeque;
+
+use crate::time::Cycles;
+
+/// What a [`BoundedFifo`] does when `push` is called while full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Reject the incoming element (paper: "If the buffer/queue is full, it
+    /// drops newer requests", §4.3.2).
+    DropNewest,
+    /// Evict the element at the head to make space (paper §4.6: "it discards
+    /// the buffered pre-execution requests at the top of the queue to make
+    /// space for the new requests").
+    DropOldest,
+}
+
+/// Outcome of a [`BoundedFifo::push`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PushOutcome<T> {
+    /// Element accepted; nothing was displaced.
+    Accepted,
+    /// Element rejected (policy [`OverflowPolicy::DropNewest`]); returned.
+    Rejected(T),
+    /// Element accepted; the previous head was evicted and is returned
+    /// (policy [`OverflowPolicy::DropOldest`]).
+    Evicted(T),
+}
+
+impl<T> PushOutcome<T> {
+    /// Whether the pushed element now resides in the queue.
+    pub fn is_accepted(&self) -> bool {
+        !matches!(self, PushOutcome::Rejected(_))
+    }
+}
+
+/// A fixed-capacity FIFO with an explicit overflow policy.
+///
+/// # Example
+///
+/// ```
+/// use janus_sim::resource::{BoundedFifo, OverflowPolicy, PushOutcome};
+///
+/// let mut q = BoundedFifo::new(2, OverflowPolicy::DropNewest);
+/// assert!(q.push(1).is_accepted());
+/// assert!(q.push(2).is_accepted());
+/// assert_eq!(q.push(3), PushOutcome::Rejected(3));
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    dropped: u64,
+}
+
+impl<T> BoundedFifo<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            policy,
+            dropped: 0,
+        }
+    }
+
+    /// Attempts to enqueue `item`, applying the overflow policy when full.
+    pub fn push(&mut self, item: T) -> PushOutcome<T> {
+        if self.items.len() < self.capacity {
+            self.items.push_back(item);
+            return PushOutcome::Accepted;
+        }
+        self.dropped += 1;
+        match self.policy {
+            OverflowPolicy::DropNewest => PushOutcome::Rejected(item),
+            OverflowPolicy::DropOldest => {
+                let evicted = self.items.pop_front().expect("full queue has a head");
+                self.items.push_back(item);
+                PushOutcome::Evicted(evicted)
+            }
+        }
+    }
+
+    /// Dequeues the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest element.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Capacity supplied at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many pushes hit a full queue (for the harness's drop statistics).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over queued elements, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Mutable iteration, oldest first (used for request coalescing).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+
+    /// Removes and returns all elements for which `pred` returns true,
+    /// preserving FIFO order of the remainder.
+    pub fn drain_filter(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut kept = VecDeque::with_capacity(self.items.len());
+        let mut taken = Vec::new();
+        while let Some(item) = self.items.pop_front() {
+            if pred(&item) {
+                taken.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        self.items = kept;
+        taken
+    }
+}
+
+/// A pool of identical execution units modeled as a windowed capacity
+/// ledger.
+///
+/// Models the paper's "BMO Units: 4 units per core (execute 4 BMOs in
+/// parallel), shared". Because the simulator schedules sub-operations
+/// eagerly (future work is booked as soon as its inputs' times are known),
+/// a naive per-unit busy-until clock would let one job's late bookings
+/// block another job's earlier idle time. The pool therefore tracks
+/// *capacity per time window*: each window of [`UnitPool::WINDOW`] cycles
+/// offers `units × WINDOW` unit-cycles; an acquisition charges its
+/// occupancy to the earliest window(s) ≥ its ready time with room. This is
+/// bandwidth-exact and start-time-accurate to within one window.
+///
+/// The special capacity [`UnitPool::UNLIMITED`] models the "Unlimited"
+/// configuration of Figure 14.
+#[derive(Clone, Debug)]
+pub struct UnitPool {
+    units: usize,
+    unlimited: bool,
+    /// Unit-cycles consumed per window index.
+    ledger: std::collections::BTreeMap<u64, u64>,
+    total_busy: Cycles,
+    acquisitions: u64,
+}
+
+impl UnitPool {
+    /// Sentinel capacity meaning "no resource limit".
+    pub const UNLIMITED: usize = usize::MAX;
+
+    /// Allocation-window width in cycles (16 ns at 4 GHz).
+    pub const WINDOW: u64 = 64;
+
+    /// Creates a pool of `n` units (or unlimited for [`Self::UNLIMITED`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "unit pool must have at least one unit");
+        UnitPool {
+            units: n,
+            unlimited: n == Self::UNLIMITED,
+            ledger: std::collections::BTreeMap::new(),
+            total_busy: Cycles::ZERO,
+            acquisitions: 0,
+        }
+    }
+
+    /// Number of units, or `None` when unlimited.
+    pub fn size(&self) -> Option<usize> {
+        if self.unlimited {
+            None
+        } else {
+            Some(self.units)
+        }
+    }
+
+    fn window_capacity(&self) -> u64 {
+        self.units as u64 * Self::WINDOW
+    }
+
+    fn used(&self, w: u64) -> u64 {
+        self.ledger.get(&w).copied().unwrap_or(0)
+    }
+
+    /// Earliest time at which spare capacity exists, given the current time.
+    pub fn free_at(&self, now: Cycles) -> Cycles {
+        if self.unlimited {
+            return now;
+        }
+        let cap = self.window_capacity();
+        let mut w = now.0 / Self::WINDOW;
+        while self.used(w) >= cap {
+            w += 1;
+        }
+        Cycles((w * Self::WINDOW).max(now.0))
+    }
+
+    /// Whether spare capacity exists at `now`.
+    pub fn has_free(&self, now: Cycles) -> bool {
+        self.free_at(now) <= now
+    }
+
+    /// Reserves capacity for `duration`, starting no earlier than `now`.
+    /// Returns the time the work starts and the time it ends.
+    pub fn acquire(&mut self, now: Cycles, duration: Cycles) -> (Cycles, Cycles) {
+        self.acquire_pipelined(now, duration, duration)
+    }
+
+    /// Pipelined acquisition: the result is ready `latency` after the work
+    /// starts, but the unit accepts new work after the (shorter) initiation
+    /// interval `ii` — hardware hash/AES engines are internally pipelined
+    /// and accept a new cache line long before the previous result emerges.
+    /// `ii` is clamped to `latency`.
+    pub fn acquire_pipelined(
+        &mut self,
+        now: Cycles,
+        latency: Cycles,
+        ii: Cycles,
+    ) -> (Cycles, Cycles) {
+        self.acquisitions += 1;
+        self.total_busy += latency;
+        if self.unlimited {
+            return (now, now + latency);
+        }
+        let occupancy = ii.min(latency).0.max(1);
+        let cap = self.window_capacity();
+        let mut w = now.0 / Self::WINDOW;
+        'search: loop {
+            // Try to place `occupancy` unit-cycles in consecutive windows
+            // starting at `w` (at most WINDOW per window: one unit).
+            let mut rem = occupancy;
+            let mut i = w;
+            while rem > 0 {
+                let charge = rem.min(Self::WINDOW);
+                if self.used(i) + charge > cap {
+                    w = i + 1;
+                    continue 'search;
+                }
+                rem -= charge;
+                i += 1;
+            }
+            // Commit.
+            let mut rem = occupancy;
+            let mut i = w;
+            while rem > 0 {
+                let charge = rem.min(Self::WINDOW);
+                *self.ledger.entry(i).or_insert(0) += charge;
+                rem -= charge;
+                i += 1;
+            }
+            let start = Cycles((w * Self::WINDOW).max(now.0));
+            return (start, start + latency);
+        }
+    }
+
+    /// Total busy time handed out (for utilization reporting).
+    pub fn total_busy(&self) -> Cycles {
+        self.total_busy
+    }
+
+    /// Number of acquisitions performed.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = BoundedFifo::new(4, OverflowPolicy::DropNewest);
+        for i in 0..4 {
+            assert!(q.push(i).is_accepted());
+        }
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drop_newest_rejects_incoming() {
+        let mut q = BoundedFifo::new(1, OverflowPolicy::DropNewest);
+        q.push("a");
+        assert_eq!(q.push("b"), PushOutcome::Rejected("b"));
+        assert_eq!(q.front(), Some(&"a"));
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let mut q = BoundedFifo::new(2, OverflowPolicy::DropOldest);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.push(3), PushOutcome::Evicted(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn drain_filter_partitions() {
+        let mut q = BoundedFifo::new(8, OverflowPolicy::DropNewest);
+        for i in 0..6 {
+            q.push(i);
+        }
+        let evens = q.drain_filter(|x| x % 2 == 0);
+        assert_eq!(evens, vec![0, 2, 4]);
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(rest, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = BoundedFifo::<u8>::new(0, OverflowPolicy::DropNewest);
+    }
+
+    #[test]
+    fn unit_pool_serializes_beyond_capacity() {
+        // One unit: each window offers 64 unit-cycles, so three 64-cycle
+        // occupancies at t=0 land in consecutive windows.
+        let mut pool = UnitPool::new(1);
+        let d = Cycles(64);
+        let (s1, _) = pool.acquire(Cycles(0), d);
+        let (s2, _) = pool.acquire(Cycles(0), d);
+        let (s3, _) = pool.acquire(Cycles(0), d);
+        assert_eq!((s1, s2, s3), (Cycles(0), Cycles(64), Cycles(128)));
+        assert_eq!(pool.free_at(Cycles(0)), Cycles(192));
+    }
+
+    #[test]
+    fn unit_pool_respects_now() {
+        let mut pool = UnitPool::new(1);
+        pool.acquire(Cycles(0), Cycles(10));
+        // Work requested at t=50 with spare capacity starts at t=50.
+        assert_eq!(
+            pool.acquire(Cycles(50), Cycles(5)),
+            (Cycles(50), Cycles(55))
+        );
+    }
+
+    #[test]
+    fn pipelined_acquisition_overlaps_long_latencies() {
+        // One unit, long latency, short initiation interval: many jobs
+        // overlap because each occupies the unit only briefly.
+        let mut pool = UnitPool::new(1);
+        let (s1, e1) = pool.acquire_pipelined(Cycles(0), Cycles(1000), Cycles(10));
+        let (s2, e2) = pool.acquire_pipelined(Cycles(0), Cycles(1000), Cycles(10));
+        assert_eq!((s1, e1), (Cycles(0), Cycles(1000)));
+        assert_eq!(s2, Cycles(0), "pipelining admits the second job at once");
+        assert_eq!(e2, Cycles(1000));
+    }
+
+    #[test]
+    fn bandwidth_is_still_bounded() {
+        // 1 unit × II 32: a window (64 cycles) fits exactly two ops.
+        let mut pool = UnitPool::new(1);
+        let starts: Vec<Cycles> = (0..6)
+            .map(|_| pool.acquire_pipelined(Cycles(0), Cycles(500), Cycles(32)).0)
+            .collect();
+        assert_eq!(
+            starts,
+            vec![
+                Cycles(0),
+                Cycles(0),
+                Cycles(64),
+                Cycles(64),
+                Cycles(128),
+                Cycles(128)
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_window_occupancy_spans() {
+        // occupancy 160 > window 64: spans three windows of a 1-unit pool.
+        let mut pool = UnitPool::new(1);
+        let (s1, _) = pool.acquire(Cycles(0), Cycles(160));
+        assert_eq!(s1, Cycles(0));
+        // Windows 0,1 are full (64 each), window 2 holds 32.
+        let (s2, _) = pool.acquire(Cycles(0), Cycles(64));
+        assert_eq!(
+            s2,
+            Cycles(192),
+            "window 2 has only 32 spare; next fit is window 3"
+        );
+    }
+
+    #[test]
+    fn unlimited_pool_never_queues() {
+        let mut pool = UnitPool::new(UnitPool::UNLIMITED);
+        assert_eq!(pool.size(), None);
+        for _ in 0..1000 {
+            let (start, end) = pool.acquire(Cycles(7), Cycles(100));
+            assert_eq!((start, end), (Cycles(7), Cycles(107)));
+        }
+        assert!(pool.has_free(Cycles(7)));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut pool = UnitPool::new(4);
+        pool.acquire(Cycles(0), Cycles(10));
+        pool.acquire(Cycles(0), Cycles(30));
+        assert_eq!(pool.total_busy(), Cycles(40));
+        assert_eq!(pool.acquisitions(), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! Simulation statistics: counters, latency histograms, and named sets.
+//!
+//! Every figure in the paper's evaluation reduces to ratios of execution
+//! times plus a handful of auxiliary statistics (e.g. §5.2.2's "only 45.13%
+//! of BMOs have been completely pre-executed"). These types collect them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::Cycles;
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use janus_sim::stats::Counter;
+/// let mut writes = Counter::default();
+/// writes.add(3);
+/// writes.incr();
+/// assert_eq!(writes.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` occurrences.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one occurrence.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A latency histogram with power-of-two buckets plus exact mean/min/max.
+///
+/// Bucketing is coarse on purpose: it is used for reporting latency
+/// distributions (e.g. critical write latency) without storing every sample.
+///
+/// ```
+/// use janus_sim::{stats::Histogram, time::Cycles};
+/// let mut h = Histogram::new();
+/// h.record(Cycles(10));
+/// h.record(Cycles(30));
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.mean(), Cycles(20));
+/// assert_eq!(h.max(), Cycles(30));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u128,
+    min: Option<Cycles>,
+    max: Cycles,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: Cycles) {
+        let bucket = 64 - value.0.leading_zeros(); // log2 bucket; 0 for value 0
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += value.0 as u128;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean (zero if empty).
+    pub fn mean(&self) -> Cycles {
+        if self.count == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles((self.sum / self.count as u128) as u64)
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Cycles {
+        Cycles(self.sum.min(u64::MAX as u128) as u64)
+    }
+
+    /// Smallest sample (zero if empty).
+    pub fn min(&self) -> Cycles {
+        self.min.unwrap_or(Cycles::ZERO)
+    }
+
+    /// Largest sample (zero if empty).
+    pub fn max(&self) -> Cycles {
+        self.max
+    }
+
+    /// Iterates over `(log2_bucket, count)` pairs in ascending bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets.iter().map(|(b, c)| (*b, *c))
+    }
+
+    /// Approximate percentile (`q` in \[0,1\]): the upper bound of the first
+    /// log2 bucket containing the q-quantile sample. Bucketed, so accurate
+    /// to a factor of two — enough for tail-latency reporting.
+    pub fn percentile(&self, q: f64) -> Cycles {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return Cycles::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket b: 2^b - 1 (bucket 0 holds value 0).
+                return Cycles(if *b == 0 { 0 } else { (1u64 << *b) - 1 }).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, c) in &other.buckets {
+            *self.buckets.entry(*b).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if let Some(omin) = other.min {
+            self.min = Some(self.min.map_or(omin, |m| m.min(omin)));
+        }
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A named collection of counters and histograms, keyed by static strings.
+///
+/// Components register statistics lazily by name; the experiment harness
+/// reads them back for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct StatSet {
+    counters: BTreeMap<&'static str, Counter>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl StatSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable access to (and lazy creation of) a named counter.
+    pub fn counter(&mut self, name: &'static str) -> &mut Counter {
+        self.counters.entry(name).or_default()
+    }
+
+    /// Reads a counter's value (zero if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Mutable access to (and lazy creation of) a named histogram.
+    pub fn histogram(&mut self, name: &'static str) -> &mut Histogram {
+        self.histograms.entry(name).or_default()
+    }
+
+    /// Reads a histogram (if it exists).
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(n, c)| (*n, c.get()))
+    }
+
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(n, h)| (*n, h))
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.counters() {
+            writeln!(f, "{name}: {value}")?;
+        }
+        for (name, h) in self.histograms() {
+            writeln!(f, "{name}: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = Histogram::new();
+        for v in [5u64, 15, 100] {
+            h.record(Cycles(v));
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), Cycles(40));
+        assert_eq!(h.min(), Cycles(5));
+        assert_eq!(h.max(), Cycles(100));
+        assert_eq!(h.sum(), Cycles(120));
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), Cycles::ZERO);
+        assert_eq!(h.min(), Cycles::ZERO);
+        assert_eq!(h.max(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::new();
+        h.record(Cycles(1)); // bucket 1
+        h.record(Cycles(2)); // bucket 2
+        h.record(Cycles(3)); // bucket 2
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(Cycles(10));
+        let mut b = Histogram::new();
+        b.record(Cycles(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Cycles(20));
+        assert_eq!(a.min(), Cycles(10));
+        assert_eq!(a.max(), Cycles(30));
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(Cycles(v));
+        }
+        assert!(h.percentile(0.5) >= Cycles(50));
+        assert!(h.percentile(0.99) >= Cycles(99));
+        assert_eq!(h.percentile(1.0), Cycles(100));
+        assert_eq!(Histogram::new().percentile(0.5), Cycles::ZERO);
+    }
+
+    #[test]
+    fn statset_lazily_creates() {
+        let mut s = StatSet::new();
+        s.counter("writes").add(2);
+        s.histogram("latency").record(Cycles(8));
+        assert_eq!(s.counter_value("writes"), 2);
+        assert_eq!(s.counter_value("missing"), 0);
+        assert_eq!(s.histogram_ref("latency").unwrap().count(), 1);
+        assert!(s.histogram_ref("missing").is_none());
+        let names: Vec<_> = s.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["writes"]);
+    }
+}

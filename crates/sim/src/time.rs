@@ -1,0 +1,173 @@
+//! Simulated time.
+//!
+//! The whole model runs on a single CPU clock domain at [`CLOCK_GHZ`] = 4 GHz,
+//! matching the processor configuration of the paper (Table 3). One cycle is
+//! 0.25 ns; every latency the paper quotes in nanoseconds converts exactly.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// CPU clock frequency in GHz (Table 3: "Out-of-Order, 4GHz").
+pub const CLOCK_GHZ: u64 = 4;
+
+/// A point in simulated time, or a duration, measured in CPU cycles.
+///
+/// `Cycles` is used for both instants and durations; the arithmetic
+/// operators make the common "schedule at `now + latency`" pattern terse.
+///
+/// # Example
+///
+/// ```
+/// use janus_sim::time::Cycles;
+/// let writeback = Cycles::from_ns(15);
+/// assert_eq!(writeback, Cycles(60));
+/// assert_eq!(writeback.as_ns(), 15.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Time zero / zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+    /// The maximum representable time; used as an "infinite" sentinel.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Converts a whole number of nanoseconds to cycles (exact at 4 GHz).
+    ///
+    /// ```
+    /// # use janus_sim::time::Cycles;
+    /// assert_eq!(Cycles::from_ns(40), Cycles(160));
+    /// ```
+    pub const fn from_ns(ns: u64) -> Cycles {
+        Cycles(ns * CLOCK_GHZ)
+    }
+
+    /// Converts this duration to (possibly fractional) nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / CLOCK_GHZ as f64
+    }
+
+    /// Converts to microseconds.
+    pub fn as_us(self) -> f64 {
+        self.as_ns() / 1_000.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= CLOCK_GHZ * 1000 {
+            write!(f, "{:.2}us", self.as_us())
+        } else {
+            write!(f, "{:.2}ns", self.as_ns())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip_is_exact_at_4ghz() {
+        for ns in [0u64, 1, 15, 40, 321, 360, 300] {
+            assert_eq!(Cycles::from_ns(ns).as_ns(), ns as f64);
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles(100);
+        let b = Cycles(40);
+        assert_eq!(a + b, Cycles(140));
+        assert_eq!(a - b, Cycles(60));
+        assert_eq!(a * 3, Cycles(300));
+        assert_eq!(a / 4, Cycles(25));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn add_assign_and_sum() {
+        let mut t = Cycles::ZERO;
+        t += Cycles(5);
+        t += Cycles(7);
+        assert_eq!(t, Cycles(12));
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+    }
+
+    #[test]
+    fn display_uses_ns_and_us() {
+        assert_eq!(format!("{}", Cycles(60)), "15.00ns");
+        assert_eq!(format!("{}", Cycles(8_000)), "2.00us");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Cycles(1) < Cycles(2));
+        assert_eq!(Cycles::ZERO, Cycles::default());
+    }
+}

@@ -1,0 +1,133 @@
+//! Payload generation with a controlled duplicate ratio.
+//!
+//! The paper's main experiments fix the deduplication ratio at 0.5 and
+//! §5.2.4 sweeps {0.25, 0.5, 0.75}. [`ValueGen`] produces line payloads
+//! that repeat a previously generated value with the configured
+//! probability, so the dedup BMO observes approximately the requested hit
+//! ratio on payload writes.
+
+use janus_nvm::line::Line;
+use janus_sim::rng::SimRng;
+
+/// Payload generator with a target duplicate ratio.
+///
+/// # Example
+///
+/// ```
+/// use janus_workloads::values::ValueGen;
+/// let mut g = ValueGen::new(7, 1.0);
+/// let a = g.next_value();
+/// let b = g.next_value(); // ratio 1.0 → always repeats an earlier value
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ValueGen {
+    rng: SimRng,
+    ratio: f64,
+    pool: Vec<Line>,
+    serial: u64,
+    /// Tag mixed into fresh values so different generators never collide.
+    tag: u64,
+}
+
+/// Maximum distinct values remembered for re-use.
+const POOL_CAP: usize = 1024;
+
+impl ValueGen {
+    /// Creates a generator with the given seed and duplicate ratio in
+    /// `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `[0, 1]`.
+    pub fn new(seed: u64, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+        ValueGen {
+            rng: SimRng::new(seed ^ 0x9E37_79B9_7F4A_7C15),
+            ratio,
+            pool: Vec::new(),
+            serial: 0,
+            tag: seed,
+        }
+    }
+
+    /// The configured duplicate ratio.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Produces the next payload line.
+    pub fn next_value(&mut self) -> Line {
+        if !self.pool.is_empty() && self.rng.chance(self.ratio) {
+            let i = self.rng.index(self.pool.len());
+            return self.pool[i];
+        }
+        self.serial += 1;
+        let mut words = [0u64; 8];
+        words[0] = self.tag;
+        words[1] = self.serial;
+        for w in words.iter_mut().skip(2) {
+            *w = self.rng.next_u64();
+        }
+        let line = Line::from_words(&words);
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(line);
+        }
+        line
+    }
+
+    /// Produces `n` payload lines.
+    pub fn next_values(&mut self, n: usize) -> Vec<Line> {
+        (0..n).map(|_| self.next_value()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ratio_zero_is_all_unique() {
+        let mut g = ValueGen::new(1, 0.0);
+        let values: HashSet<Line> = (0..500).map(|_| g.next_value()).collect();
+        assert_eq!(values.len(), 500);
+    }
+
+    #[test]
+    fn ratio_controls_duplicates_roughly() {
+        let mut g = ValueGen::new(2, 0.5);
+        let mut seen = HashSet::new();
+        let mut dups = 0;
+        for _ in 0..4000 {
+            if !seen.insert(g.next_value()) {
+                dups += 1;
+            }
+        }
+        let ratio = dups as f64 / 4000.0;
+        assert!((0.4..0.6).contains(&ratio), "observed {ratio}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ValueGen::new(3, 0.5);
+        let mut b = ValueGen::new(3, 0.5);
+        for _ in 0..100 {
+            assert_eq!(a.next_value(), b.next_value());
+        }
+    }
+
+    #[test]
+    fn different_seeds_do_not_collide() {
+        let mut a = ValueGen::new(4, 0.0);
+        let mut b = ValueGen::new(5, 0.0);
+        let sa: HashSet<Line> = (0..200).map(|_| a.next_value()).collect();
+        assert!((0..200).all(|_| !sa.contains(&b.next_value())));
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn bad_ratio_panics() {
+        ValueGen::new(0, 1.5);
+    }
+}

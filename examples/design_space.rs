@@ -1,0 +1,91 @@
+//! Sweep the four evaluated system designs over one workload — a miniature
+//! of the paper's Figures 9 and 10 from the public API.
+//!
+//! Run with: `cargo run --release --example design_space [-- <transactions>]`
+
+use janus::core::config::{JanusConfig, SystemMode};
+use janus::core::system::System;
+use janus::instrument::instrument;
+use janus::workloads::{generate, Instrumentation, Workload, WorkloadConfig};
+
+fn main() {
+    let tx: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+
+    println!("B-Tree, {tx} transactions, paper configuration\n");
+    println!("{:<22} {:>12} {:>10}", "design", "cycles", "speedup");
+
+    let mut baseline_cycles = None;
+    for (label, mode, instrumentation, auto) in [
+        (
+            "serialized",
+            SystemMode::Serialized,
+            Instrumentation::None,
+            false,
+        ),
+        (
+            "parallelized",
+            SystemMode::Parallelized,
+            Instrumentation::None,
+            false,
+        ),
+        (
+            "janus (manual)",
+            SystemMode::Janus,
+            Instrumentation::Manual,
+            false,
+        ),
+        (
+            "janus (compiler pass)",
+            SystemMode::Janus,
+            Instrumentation::None,
+            true,
+        ),
+        (
+            "ideal (non-blocking)",
+            SystemMode::Ideal,
+            Instrumentation::None,
+            false,
+        ),
+    ] {
+        let out = generate(
+            Workload::BTree,
+            0,
+            &WorkloadConfig {
+                transactions: tx,
+                instrumentation,
+                ..WorkloadConfig::default()
+            },
+        );
+        let program = if auto {
+            let (p, report) = instrument(&out.program);
+            if label.contains("compiler") {
+                eprintln!(
+                    "  [pass: {}/{} writes instrumented, {} skipped in loops]",
+                    report.instrumented_writes, report.writes_found, report.skipped_in_loop
+                );
+            }
+            p
+        } else {
+            out.program
+        };
+        let mut sys = System::new(JanusConfig::paper(mode, 1));
+        sys.warm_caches(out.expected.iter().map(|(a, _)| a));
+        let report = sys.run(vec![program]);
+
+        // Functional check: every design computes the same NVM contents.
+        for (line, value) in out.expected.iter() {
+            assert_eq!(&sys.read_value(line), value, "{label} diverged at {line}");
+        }
+
+        let base = *baseline_cycles.get_or_insert(report.cycles.0);
+        println!(
+            "{:<22} {:>12} {:>9.2}x",
+            label,
+            report.cycles.0,
+            base as f64 / report.cycles.0 as f64
+        );
+    }
+}

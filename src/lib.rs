@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # Janus — umbrella crate
+//!
+//! Re-exports the full public API of the Janus reproduction: the cycle-level
+//! simulation substrate, the backend-memory-operation (BMO) framework, the
+//! Janus pre-execution hardware and software interface, the instrumentation
+//! pass, and the workload suite.
+//!
+//! See the individual crates for details:
+//!
+//! * [`sim`] — discrete-event engine, clock, queues, statistics.
+//! * [`crypto`] — AES-128, SHA-1, MD5, CRC-32 (from scratch).
+//! * [`nvm`] — NVM device, caches, write queue, memory bus.
+//! * [`bmo`] — sub-operation graphs and the three BMOs of the evaluation.
+//! * [`core`] — the Janus mechanism (IRB, queues, software interface,
+//!   memory controller, full-system simulator).
+//! * [`instrument`] — the automated "compiler pass".
+//! * [`workloads`] — the seven transactional NVM workloads.
+
+pub use janus_bmo as bmo;
+pub use janus_core as core;
+pub use janus_crypto as crypto;
+pub use janus_instrument as instrument;
+pub use janus_nvm as nvm;
+pub use janus_sim as sim;
+pub use janus_workloads as workloads;

@@ -1,0 +1,126 @@
+//! Regression guard for the headline reproduction numbers: if a change to
+//! the simulator or workloads moves the Figure 9/10/11 results outside
+//! generous bands around the paper's values, these tests fail.
+//!
+//! Bands are deliberately loose (the precise values live in EXPERIMENTS.md
+//! and depend on `--tx`); the point is to catch structural regressions —
+//! a broken scheduler, a mispriced latency — not noise.
+
+use janus::core::config::{JanusConfig, SystemMode};
+use janus::core::system::System;
+use janus::instrument::instrument;
+use janus::workloads::{generate, Instrumentation, Workload, WorkloadConfig};
+
+const TX: usize = 60;
+
+fn cycles(w: Workload, mode: SystemMode, instrumentation: Instrumentation, auto: bool) -> f64 {
+    let out = generate(
+        w,
+        0,
+        &WorkloadConfig {
+            transactions: TX,
+            instrumentation,
+            ..WorkloadConfig::default()
+        },
+    );
+    let program = if auto {
+        instrument(&out.program).0
+    } else {
+        out.program
+    };
+    let mut sys = System::new(JanusConfig::paper(mode, 1));
+    sys.warm_caches(out.expected.iter().map(|(a, _)| a));
+    for (first, n) in &out.resident {
+        sys.warm_caches(first.span(*n));
+    }
+    sys.run(vec![program]).cycles.0 as f64
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[test]
+fn figure9_average_speedup_band() {
+    // Paper: 2.35× at one core. Band: [1.9, 3.0].
+    let speedups: Vec<f64> = Workload::all()
+        .into_iter()
+        .map(|w| {
+            cycles(w, SystemMode::Serialized, Instrumentation::None, false)
+                / cycles(w, SystemMode::Janus, Instrumentation::Manual, false)
+        })
+        .collect();
+    let avg = geomean(&speedups);
+    assert!((1.9..3.0).contains(&avg), "fig9 1-core avg = {avg:.2}");
+}
+
+#[test]
+fn figure9_workload_ordering() {
+    // Paper: B-Tree/TATP/TPCC above Hash Table/RB-Tree.
+    let speedup = |w| {
+        cycles(w, SystemMode::Serialized, Instrumentation::None, false)
+            / cycles(w, SystemMode::Janus, Instrumentation::Manual, false)
+    };
+    let hi = [Workload::BTree, Workload::Tatp, Workload::Tpcc]
+        .into_iter()
+        .map(speedup)
+        .fold(f64::INFINITY, f64::min);
+    let lo = [Workload::HashTable, Workload::RbTree]
+        .into_iter()
+        .map(speedup)
+        .fold(0.0, f64::max);
+    assert!(
+        hi > lo * 0.98,
+        "ordering regressed: min(hi-group) {hi:.2} vs max(lo-group) {lo:.2}"
+    );
+}
+
+#[test]
+fn figure10_slowdown_bands() {
+    // Paper: serialized 4.93×, Janus 2.09× over the non-blocking ideal.
+    let mut serialized = Vec::new();
+    let mut janus = Vec::new();
+    for w in Workload::all() {
+        let ideal = cycles(w, SystemMode::Ideal, Instrumentation::None, false);
+        serialized
+            .push(cycles(w, SystemMode::Serialized, Instrumentation::None, false) / ideal);
+        janus.push(cycles(w, SystemMode::Janus, Instrumentation::Manual, false) / ideal);
+    }
+    let s = geomean(&serialized);
+    let j = geomean(&janus);
+    assert!((3.5..8.0).contains(&s), "serialized slowdown = {s:.2}");
+    assert!((1.5..3.5).contains(&j), "janus slowdown = {j:.2}");
+    assert!(s / j > 1.7, "janus must recover most of the gap: {s:.2}/{j:.2}");
+}
+
+#[test]
+fn figure11_auto_gap_band() {
+    // Paper: auto within ~13% of manual on average, with Queue degraded.
+    let manual: Vec<f64> = Workload::all()
+        .into_iter()
+        .map(|w| {
+            cycles(w, SystemMode::Serialized, Instrumentation::None, false)
+                / cycles(w, SystemMode::Janus, Instrumentation::Manual, false)
+        })
+        .collect();
+    let auto: Vec<f64> = Workload::all()
+        .into_iter()
+        .map(|w| {
+            cycles(w, SystemMode::Serialized, Instrumentation::None, false)
+                / cycles(w, SystemMode::Janus, Instrumentation::None, true)
+        })
+        .collect();
+    let gap = geomean(&manual) / geomean(&auto) - 1.0;
+    assert!(
+        (0.05..0.35).contains(&gap),
+        "manual-vs-auto gap = {:.1}%",
+        gap * 100.0
+    );
+}
+
+#[test]
+fn serialized_write_latency_matches_table1_arithmetic() {
+    // 818 ns of serialized BMO latency per write (Table 1 sums).
+    use janus::bmo::latency::BmoLatencies;
+    assert_eq!(BmoLatencies::paper().serialized_total().as_ns(), 818.0);
+}

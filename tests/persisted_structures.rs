@@ -1,0 +1,184 @@
+//! End-to-end structural validation: decode the data structures the
+//! workloads persisted *out of the simulated NVM* (through decryption and
+//! integrity verification) and check their own invariants — the strongest
+//! form of functional verification, independent of the generators' oracles.
+
+use janus::core::config::{JanusConfig, SystemMode};
+use janus::core::system::System;
+use janus::nvm::addr::LineAddr;
+use janus::workloads::pmem::{COMMIT_LINES, LOG_LINES};
+use janus::workloads::{generate, Instrumentation, Workload, WorkloadConfig};
+
+fn run(w: Workload, tx: usize) -> System {
+    let out = generate(
+        w,
+        0,
+        &WorkloadConfig {
+            transactions: tx,
+            instrumentation: Instrumentation::Manual,
+            ..WorkloadConfig::default()
+        },
+    );
+    let mut sys = System::new(JanusConfig::paper(SystemMode::Janus, 1));
+    sys.run(vec![out.program]);
+    sys
+}
+
+/// First heap line of core 0 (after the log and commit regions).
+fn heap_base() -> u64 {
+    LOG_LINES + COMMIT_LINES
+}
+
+#[test]
+fn persisted_rb_tree_is_a_valid_bst() {
+    // RB-Tree node layout (rb_tree.rs): [key, left, right, parent, red]
+    // at `arena + i * (1 + payload_lines)`; payload_lines = 1 by default.
+    let tx = 60;
+    let sys = run(Workload::RbTree, tx);
+    let node_lines = 2u64;
+    let arena = heap_base();
+    let node = |i: u64| sys.read_value(LineAddr(arena + i * node_lines));
+    const NIL: u64 = u64::MAX;
+
+    // Find the root: the node whose parent is NIL among written nodes.
+    let mut root = None;
+    for i in 0..tx as u64 {
+        let n = node(i);
+        if n.is_zero() {
+            continue;
+        }
+        if n.read_u64(24) == NIL {
+            assert!(root.is_none(), "two parentless nodes");
+            root = Some(i);
+        }
+    }
+    let root = root.expect("tree has a root");
+
+    // In-order walk directly over NVM contents: keys strictly increase;
+    // no red node has a red child; every child's parent pointer is right.
+    fn walk(
+        node: &dyn Fn(u64) -> janus::nvm::line::Line,
+        i: u64,
+        lo: u64,
+        hi: u64,
+        count: &mut usize,
+    ) {
+        const NIL: u64 = u64::MAX;
+        if i == NIL {
+            return;
+        }
+        let n = node(i);
+        let (key, left, right, red) =
+            (n.read_u64(0), n.read_u64(8), n.read_u64(16), n.read_u64(32));
+        assert!(lo <= key && key < hi, "BST violation at node {i}: {key}");
+        *count += 1;
+        for child in [left, right] {
+            if child != NIL {
+                let c = node(child);
+                assert_eq!(c.read_u64(24), i, "child {child} parent pointer");
+                if red == 1 {
+                    assert_eq!(c.read_u64(32), 0, "red-red edge at {i}->{child}");
+                }
+            }
+        }
+        walk(node, left, lo, key, count);
+        walk(node, right, key, hi, count);
+    }
+    let mut count = 0;
+    walk(&node, root, 0, u64::MAX, &mut count);
+    assert_eq!(count, tx, "every inserted key is reachable from the root");
+}
+
+#[test]
+fn persisted_btree_leaves_hold_sorted_reachable_keys() {
+    // B-Tree node layout (btree.rs): line0 [leaf, nkeys, k0..k5],
+    // line1 values/children; nodes at `arena + i*2`.
+    let tx = 60;
+    let sys = run(Workload::BTree, tx);
+    let arena = heap_base();
+    let line0 = |i: u64| sys.read_value(LineAddr(arena + i * 2));
+    let line1 = |i: u64| sys.read_value(LineAddr(arena + i * 2 + 1));
+
+    // Find the root: a node never referenced as a child.
+    let max_nodes = (tx as u64 * 2).max(128);
+    let mut referenced = vec![false; max_nodes as usize];
+    let mut exists = vec![false; max_nodes as usize];
+    for i in 0..max_nodes {
+        let l0 = line0(i);
+        if l0.is_zero() {
+            continue;
+        }
+        exists[i as usize] = true;
+        if l0.read_u64(0) == 0 {
+            // internal: children in line1
+            let nkeys = l0.read_u64(8) as usize;
+            for c in 0..=nkeys {
+                referenced[line1(i).read_u64(c * 8) as usize] = true;
+            }
+        }
+    }
+    let mut roots = (0..max_nodes).filter(|&i| exists[i as usize] && !referenced[i as usize]);
+    let root = roots.next().expect("root exists");
+    assert!(roots.next().is_none(), "single root");
+
+    // Walk: collect all leaf keys in order; verify sortedness and count.
+    fn collect(
+        line0: &dyn Fn(u64) -> janus::nvm::line::Line,
+        line1: &dyn Fn(u64) -> janus::nvm::line::Line,
+        i: u64,
+        out: &mut Vec<u64>,
+    ) {
+        let l0 = line0(i);
+        let leaf = l0.read_u64(0) == 1;
+        let nkeys = l0.read_u64(8) as usize;
+        assert!(nkeys <= 6, "node {i} overflowed");
+        if leaf {
+            for k in 0..nkeys {
+                out.push(l0.read_u64(16 + k * 8));
+            }
+        } else {
+            for c in 0..=nkeys {
+                collect(line0, line1, line1(i).read_u64(c * 8), out);
+            }
+        }
+    }
+    let mut keys = Vec::new();
+    collect(&line0, &line1, root, &mut keys);
+    assert_eq!(keys.len(), tx, "all inserted keys reachable");
+    assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys sorted");
+}
+
+#[test]
+fn persisted_queue_metadata_is_consistent() {
+    let tx = 80;
+    let sys = run(Workload::Queue, tx);
+    // Queue meta line is the first heap allocation: [head, tail, count].
+    let meta = sys.read_value(LineAddr(heap_base()));
+    let (head, tail, count) = (meta.read_u64(0), meta.read_u64(8), meta.read_u64(16));
+    assert_eq!(tail - head, count, "head/tail/count disagree");
+    assert!(tail >= head);
+    // Every in-queue slot holds a non-zero item (enqueued payloads).
+    let slots = heap_base() + 1;
+    for i in head..tail {
+        let slot = sys.read_value(LineAddr(slots + (i % 512)));
+        assert!(!slot.is_zero(), "queued slot {i} is empty");
+    }
+}
+
+#[test]
+fn persisted_tpcc_orders_chain_to_the_district() {
+    let tx = 40;
+    let sys = run(Workload::Tpcc, tx);
+    // District is the first heap line: [next_o_id, ytd].
+    let district = sys.read_value(LineAddr(heap_base()));
+    assert_eq!(district.read_u64(0), tx as u64);
+    // Each order header [o_id, customer, ol_cnt, 1] exists and is valid.
+    let orders = heap_base() + 1;
+    for o in 0..tx as u64 {
+        let h = sys.read_value(LineAddr(orders + o * 2));
+        assert_eq!(h.read_u64(0), o, "order id");
+        assert_eq!(h.read_u64(24), 1, "order valid flag");
+        let ol_cnt = h.read_u64(16);
+        assert!((5..=12).contains(&ol_cnt), "ol_cnt {ol_cnt}");
+    }
+}

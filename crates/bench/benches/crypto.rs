@@ -1,41 +1,32 @@
-//! Criterion micro-benchmarks for the functional crypto substrate.
+//! Micro-benchmarks for the functional crypto substrate.
 //!
 //! These measure host throughput of the from-scratch primitives over one
 //! 64-byte cache line — the unit of work every BMO performs. (Simulated
 //! hardware latencies are fixed by Table 3; these benches guard the
 //! simulator's own speed.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use janus_bench::timing::BenchHarness;
 use janus_crypto::aes::Aes128;
 use janus_crypto::ctr::{encrypt_line, line_mac, otp_for_line};
 use janus_crypto::{crc32, md5, sha1};
 use std::hint::black_box;
 
-fn bench_crypto(c: &mut Criterion) {
+fn main() {
+    let h = BenchHarness::new();
     let line = [0xA5u8; 64];
     let key = Aes128::new([7; 16]);
 
-    c.bench_function("md5_line", |b| b.iter(|| md5(black_box(&line))));
-    c.bench_function("sha1_line", |b| b.iter(|| sha1(black_box(&line))));
-    c.bench_function("crc32_line", |b| b.iter(|| crc32(black_box(&line))));
-    c.bench_function("aes128_block", |b| {
-        b.iter(|| key.encrypt_block(black_box([1u8; 16])))
+    h.group("crypto primitives (one 64-byte line)");
+    h.bench("md5_line", || md5(black_box(&line)));
+    h.bench("sha1_line", || sha1(black_box(&line)));
+    h.bench("crc32_line", || crc32(black_box(&line)));
+    h.bench("aes128_block", || key.encrypt_block(black_box([1u8; 16])));
+    h.bench("otp_for_line", || {
+        otp_for_line(black_box(&key), black_box(42), black_box(0x1000))
     });
-    c.bench_function("otp_for_line", |b| {
-        b.iter(|| otp_for_line(black_box(&key), black_box(42), black_box(0x1000)))
+    let otp = otp_for_line(&key, 42, 0x1000);
+    h.bench("ctr_encrypt_line", || {
+        encrypt_line(black_box(&line), black_box(&otp))
     });
-    c.bench_function("ctr_encrypt_line", |b| {
-        let otp = otp_for_line(&key, 42, 0x1000);
-        b.iter(|| encrypt_line(black_box(&line), black_box(&otp)))
-    });
-    c.bench_function("line_mac", |b| {
-        b.iter(|| line_mac(black_box(&line), black_box(9)))
-    });
+    h.bench("line_mac", || line_mac(black_box(&line), black_box(9)));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_crypto
-}
-criterion_main!(benches);

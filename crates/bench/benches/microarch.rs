@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks for the micro-architectural models: caches,
-//! Merkle tree, dedup store, sub-operation scheduling.
+//! Micro-benchmarks for the micro-architectural models: caches, Merkle
+//! tree, dedup store, sub-operation scheduling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use janus_bench::timing::BenchHarness;
 use janus_bmo::dedup::DedupStore;
 use janus_bmo::engine::{BmoEngine, BmoMode};
 use janus_bmo::integrity::MerkleTree;
@@ -14,61 +14,59 @@ use janus_nvm::line::Line;
 use janus_sim::time::Cycles;
 use std::hint::black_box;
 
-fn bench_microarch(c: &mut Criterion) {
-    c.bench_function("cache_access_hit", |b| {
+fn main() {
+    let h = BenchHarness::new();
+    h.group("micro-architectural models");
+
+    {
         let mut cache = SetAssocCache::new(CacheConfig::l1d());
         cache.access(LineAddr(1), false);
-        b.iter(|| cache.access(black_box(LineAddr(1)), false))
-    });
+        h.bench("cache_access_hit", || {
+            cache.access(black_box(LineAddr(1)), false)
+        });
+    }
 
-    c.bench_function("cache_access_miss_evict", |b| {
+    {
         let mut cache = SetAssocCache::new(CacheConfig::l1d());
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("cache_access_miss_evict", || {
             i += 128; // new set-conflicting line each time
             cache.access(LineAddr(i), true)
-        })
-    });
+        });
+    }
 
-    c.bench_function("merkle_update_leaf", |b| {
+    {
         let mut t = MerkleTree::new(8);
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("merkle_update_leaf", || {
             i = (i + 1) % 1_000_000;
             t.update_leaf(black_box(i), &Line::from_words(&[i]))
-        })
-    });
+        });
+    }
 
-    c.bench_function("dedup_lookup_hit", |b| {
+    {
         let mut d = DedupStore::new(FingerprintAlgo::Md5);
         d.lookup(&Line::splat(1));
-        b.iter(|| {
+        h.bench("dedup_lookup_hit", || {
             let out = d.lookup(black_box(&Line::splat(1)));
             d.release(out.slot());
             out
-        })
-    });
+        });
+    }
 
-    c.bench_function("bmo_engine_submit_retire", |b| {
+    {
         let mut e = BmoEngine::new(
             DepGraph::standard(&BmoLatencies::paper()),
             BmoMode::Parallelized,
             4,
         );
         let mut t = 0u64;
-        b.iter(|| {
+        h.bench("bmo_engine_submit_retire", || {
             t += 10_000;
             let j = e.submit(Cycles(t), Some(Cycles(t)), Some(Cycles(t)), false);
             let done = e.completion(j);
             e.retire(j);
             black_box(done)
-        })
-    });
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_microarch
-}
-criterion_main!(benches);

@@ -1,53 +1,38 @@
-//! Criterion benchmarks of whole-simulation throughput: how fast the
-//! cycle-level model executes per simulated transaction, per system design.
+//! Benchmarks of whole-simulation throughput: how fast the cycle-level
+//! model executes per simulated transaction, per system design.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use janus_bench::timing::BenchHarness;
 use janus_bench::{run, RunSpec, Variant};
 use janus_workloads::Workload;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_system_20tx");
+fn main() {
+    let h = BenchHarness::new();
+
+    h.group("full_system_20tx");
     for variant in [
         Variant::Serialized,
         Variant::JanusManual,
         Variant::JanusAuto,
         Variant::Ideal,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant.label()),
-            &variant,
-            |b, &variant| {
-                b.iter(|| {
-                    let mut spec = RunSpec::new(Workload::Tatp, variant);
-                    spec.transactions = 20;
-                    run(spec)
-                })
-            },
-        );
-    }
-    group.finish();
-
-    let mut group = c.benchmark_group("workload_generation_50tx");
-    for w in [Workload::BTree, Workload::RbTree, Workload::Tpcc] {
-        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, &w| {
-            b.iter(|| {
-                janus_workloads::generate(
-                    w,
-                    0,
-                    &janus_workloads::WorkloadConfig {
-                        transactions: 50,
-                        ..janus_workloads::WorkloadConfig::default()
-                    },
-                )
-            })
+        h.bench(variant.label(), || {
+            let mut spec = RunSpec::new(Workload::Tatp, variant);
+            spec.transactions = 20;
+            run(spec)
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_simulator
+    h.group("workload_generation_50tx");
+    for w in [Workload::BTree, Workload::RbTree, Workload::Tpcc] {
+        h.bench(w.name(), || {
+            janus_workloads::generate(
+                w,
+                0,
+                &janus_workloads::WorkloadConfig {
+                    transactions: 50,
+                    ..janus_workloads::WorkloadConfig::default()
+                },
+            )
+        });
+    }
 }
-criterion_main!(benches);

@@ -7,6 +7,8 @@
 //! runs the simulation, verifies functional correctness against the
 //! workload's oracle, and returns the execution report.
 
+pub mod timing;
+
 use janus_core::config::{JanusConfig, SystemMode};
 use janus_core::ir::Program;
 use janus_core::system::{ExecutionReport, System};

@@ -1,124 +1,135 @@
 //! Property-based tests for the BMO framework: graph analyses, engine
-//! scheduling invariants, Merkle tree, and dedup refcounting.
+//! scheduling invariants, Merkle tree, and dedup refcounting (ported from
+//! proptest to the in-repo janus-check harness).
 
 use janus_bmo::dedup::DedupStore;
 use janus_bmo::engine::{BmoEngine, BmoMode};
 use janus_bmo::integrity::MerkleTree;
 use janus_bmo::latency::BmoLatencies;
 use janus_bmo::subop::DepGraph;
+use janus_check::{forall, gen};
 use janus_crypto::FingerprintAlgo;
 use janus_nvm::line::Line;
 use janus_sim::time::Cycles;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    /// Whatever the input arrival times, a job's completion respects both
-    /// the critical path from the latest input and causality (completion ≥
-    /// every input time).
-    #[test]
-    fn engine_completion_bounds(
-        submit in 0u64..10_000,
-        addr_delta in 0u64..20_000,
-        data_delta in 0u64..20_000,
-        dup in any::<bool>(),
-    ) {
+/// Whatever the input arrival times, a job's completion respects both
+/// the critical path from the latest input and causality (completion ≥
+/// every input time).
+#[test]
+fn engine_completion_bounds() {
+    let g = gen::tuple4(
+        &gen::range_u64(0..10_000),
+        &gen::range_u64(0..20_000),
+        &gen::range_u64(0..20_000),
+        &gen::any_bool(),
+    );
+    forall(&g, |(submit, addr_delta, data_delta, dup)| {
         let graph = DepGraph::standard(&BmoLatencies::paper());
         let cp = graph.critical_path();
         let mut e = BmoEngine::new(graph, BmoMode::Parallelized, 4);
-        let (s, a, d) = (Cycles(submit), Cycles(submit + addr_delta), Cycles(submit + data_delta));
-        let j = e.submit(s, Some(a), Some(d), dup);
+        let (s, a, d) = (
+            Cycles(*submit),
+            Cycles(submit + addr_delta),
+            Cycles(submit + data_delta),
+        );
+        let j = e.submit(s, Some(a), Some(d), *dup);
         let done = e.completion(j).unwrap();
         let last_input = a.max(d);
-        prop_assert!(done >= last_input, "completion before inputs");
-        prop_assert!(
+        assert!(done >= last_input, "completion before inputs");
+        assert!(
             done <= last_input + cp + Cycles(2_000),
             "completion {done:?} too far past inputs {last_input:?}"
         );
-    }
+    });
+}
 
-    /// Serialized mode is never faster than parallelized for the same job.
-    #[test]
-    fn serialized_never_faster(submit in 0u64..10_000, dup in any::<bool>()) {
+/// Serialized mode is never faster than parallelized for the same job.
+#[test]
+fn serialized_never_faster() {
+    let g = gen::pair(&gen::range_u64(0..10_000), &gen::any_bool());
+    forall(&g, |(submit, dup)| {
         let lat = BmoLatencies::paper();
         let mut ser = BmoEngine::new(DepGraph::standard(&lat), BmoMode::Serialized, 4);
         let mut par = BmoEngine::new(DepGraph::standard(&lat), BmoMode::Parallelized, 4);
-        let t = Cycles(submit);
-        let js = ser.submit(t, Some(t), Some(t), dup);
-        let jp = par.submit(t, Some(t), Some(t), dup);
-        prop_assert!(ser.completion(js).unwrap() >= par.completion(jp).unwrap());
-    }
+        let t = Cycles(*submit);
+        let js = ser.submit(t, Some(t), Some(t), *dup);
+        let jp = par.submit(t, Some(t), Some(t), *dup);
+        assert!(ser.completion(js).unwrap() >= par.completion(jp).unwrap());
+    });
+}
 
-    /// The Merkle root is a pure function of the leaf contents, regardless
-    /// of update order or intermediate states.
-    #[test]
-    fn merkle_root_is_content_addressed(
-        updates in prop::collection::vec((0u64..500, any::<u8>()), 1..60)
-    ) {
+/// The Merkle root is a pure function of the leaf contents, regardless
+/// of update order or intermediate states.
+#[test]
+fn merkle_root_is_content_addressed() {
+    let updates = gen::vec_of(&gen::pair(&gen::range_u64(0..500), &gen::any_u8()), 1..60);
+    forall(&updates, |updates| {
         let mut incremental = MerkleTree::new(4);
         let mut finals: HashMap<u64, u8> = HashMap::new();
-        for (leaf, v) in &updates {
+        for (leaf, v) in updates {
             incremental.update_leaf(*leaf, &Line::splat(*v));
             finals.insert(*leaf, *v);
         }
-        let rebuilt = MerkleTree::from_leaves(
-            4,
-            finals.iter().map(|(l, v)| (*l, Line::splat(*v))),
-        );
-        prop_assert_eq!(incremental.root(), rebuilt.root());
+        let rebuilt =
+            MerkleTree::from_leaves(4, finals.iter().map(|(l, v)| (*l, Line::splat(*v))));
+        assert_eq!(incremental.root(), rebuilt.root());
         // And every final leaf verifies.
         for (leaf, v) in finals {
-            prop_assert!(incremental.verify_leaf(leaf, &Line::splat(v)));
+            assert!(incremental.verify_leaf(leaf, &Line::splat(v)));
         }
-    }
+    });
+}
 
-    /// Dedup refcounts: after any lookup/release interleaving, the number
-    /// of live slots equals the number of distinct values with a positive
-    /// reference count, and lookups of held values always dedup.
-    #[test]
-    fn dedup_refcount_consistency(ops in prop::collection::vec((0u8..6, any::<bool>()), 1..120)) {
+/// Dedup refcounts: after any lookup/release interleaving, the number
+/// of live slots equals the number of distinct values with a positive
+/// reference count, and lookups of held values always dedup.
+#[test]
+fn dedup_refcount_consistency() {
+    let ops = gen::vec_of(&gen::pair(&gen::range_u8(0..6), &gen::any_bool()), 1..120);
+    forall(&ops, |ops| {
         let mut d = DedupStore::new(FingerprintAlgo::Md5);
         let mut refs: HashMap<u8, (u64, u64)> = HashMap::new(); // value -> (slot, count)
         for (v, release) in ops {
-            if release {
-                if let Some((slot, count)) = refs.get_mut(&v) {
+            if *release {
+                if let Some((slot, count)) = refs.get_mut(v) {
                     if *count > 0 {
                         let freed = d.release(*slot);
                         *count -= 1;
-                        prop_assert_eq!(freed, *count == 0);
+                        assert_eq!(freed, *count == 0);
                     }
                 }
             } else {
-                let out = d.lookup(&Line::splat(v));
-                let e = refs.entry(v).or_insert((out.slot(), 0));
+                let out = d.lookup(&Line::splat(*v));
+                let e = refs.entry(*v).or_insert((out.slot(), 0));
                 if e.1 == 0 {
                     // fresh or re-allocated
-                    prop_assert!(!out.is_duplicate());
+                    assert!(!out.is_duplicate());
                     e.0 = out.slot();
                 } else {
-                    prop_assert!(out.is_duplicate());
-                    prop_assert_eq!(out.slot(), e.0);
+                    assert!(out.is_duplicate());
+                    assert_eq!(out.slot(), e.0);
                 }
                 e.1 += 1;
             }
         }
         let live_expected = refs.values().filter(|(_, c)| *c > 0).count();
-        prop_assert_eq!(d.live_slots(), live_expected);
-    }
+        assert_eq!(d.live_slots(), live_expected);
+    });
+}
 
-    /// Graph parallel-set relation is symmetric and irreflexive for
-    /// dependent nodes.
-    #[test]
-    fn parallel_relation_symmetric(i in 0usize..11, j in 0usize..11) {
+/// Graph parallel-set relation is symmetric and irreflexive for
+/// dependent nodes.
+#[test]
+fn parallel_relation_symmetric() {
+    let g = gen::pair(&gen::range_usize(0..11), &gen::range_usize(0..11));
+    forall(&g, |(i, j)| {
         use janus_bmo::subop::NodeId;
         let g = DepGraph::standard(&BmoLatencies::paper());
-        let (a, b) = (NodeId(i), NodeId(j));
-        prop_assert_eq!(
-            g.can_parallel(&[a], &[b]),
-            g.can_parallel(&[b], &[a])
-        );
+        let (a, b) = (NodeId(*i), NodeId(*j));
+        assert_eq!(g.can_parallel(&[a], &[b]), g.can_parallel(&[b], &[a]));
         if i == j {
-            prop_assert!(!g.can_parallel(&[a], &[b]), "self is never parallel");
+            assert!(!g.can_parallel(&[a], &[b]), "self is never parallel");
         }
-    }
+    });
 }

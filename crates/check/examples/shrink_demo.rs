@@ -1,0 +1,23 @@
+//! Demonstrates the failure workflow: a deliberately false property, the
+//! shrunk counterexample, and seed replay.
+//!
+//! ```sh
+//! cargo run -p janus-check --example shrink_demo
+//! JANUS_CHECK_SEED=0x1234 cargo run -p janus-check --example shrink_demo
+//! ```
+
+use janus_check::{check, gen, Config};
+
+fn main() {
+    let cfg = Config::default();
+    println!(
+        "checking false property `sum(v) < 300` over vectors of u64<100 \
+         ({} cases, seed 0x{:016x})",
+        cfg.cases, cfg.seed
+    );
+    let g = gen::vec_of(&gen::range_u64(0..100), 0..40);
+    match check(&cfg, &g, |v| assert!(v.iter().sum::<u64>() < 300)) {
+        Ok(stats) => println!("unexpectedly passed: {stats:?}"),
+        Err(failure) => println!("{}", failure.report()),
+    }
+}

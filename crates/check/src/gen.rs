@@ -1,0 +1,253 @@
+//! Seeded generator combinators.
+//!
+//! A [`Gen<T>`] draws a [`Shrinkable<T>`] from a [`SimRng`] stream. All
+//! randomness comes from the runner-supplied generator, so a run is a pure
+//! function of the seed — two runs with the same seed produce the identical
+//! case sequence.
+
+use crate::shrink::{self, Shrinkable};
+use janus_sim::rng::SimRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+type SampleFn<T> = dyn Fn(&mut SimRng) -> Shrinkable<T>;
+
+/// A seeded generator of shrinkable values.
+pub struct Gen<T>(Rc<SampleFn<T>>);
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    /// Wraps a sampling function.
+    pub fn new(f: impl Fn(&mut SimRng) -> Shrinkable<T> + 'static) -> Self {
+        Gen(Rc::new(f))
+    }
+
+    /// Draws one shrinkable value.
+    pub fn sample(&self, rng: &mut SimRng) -> Shrinkable<T> {
+        (self.0)(rng)
+    }
+
+    /// Maps generated values; shrinking continues in the source domain.
+    pub fn map<U: Clone + 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Gen<U> {
+        let inner = self.clone();
+        let f: Rc<dyn Fn(&T) -> U> = Rc::new(f);
+        Gen::new(move |rng| inner.sample(rng).map_rc(Rc::clone(&f)))
+    }
+}
+
+/// Uniform `u64` in `[range.start, range.end)`, shrinking toward the start.
+pub fn range_u64(range: Range<u64>) -> Gen<u64> {
+    assert!(range.start < range.end, "empty range");
+    let (lo, hi) = (range.start, range.end);
+    Gen::new(move |rng| shrink::int_toward(lo, lo + rng.gen_range(hi - lo)))
+}
+
+/// Uniform `usize` in the range, shrinking toward the start.
+pub fn range_usize(range: Range<usize>) -> Gen<usize> {
+    range_u64(range.start as u64..range.end as u64).map(|v| *v as usize)
+}
+
+/// Uniform `u32` in the range, shrinking toward the start.
+pub fn range_u32(range: Range<u32>) -> Gen<u32> {
+    range_u64(range.start as u64..range.end as u64).map(|v| *v as u32)
+}
+
+/// Uniform `u8` in the range, shrinking toward the start.
+pub fn range_u8(range: Range<u8>) -> Gen<u8> {
+    range_u64(range.start as u64..range.end as u64).map(|v| *v as u8)
+}
+
+/// Any `u64`, shrinking toward zero.
+pub fn any_u64() -> Gen<u64> {
+    Gen::new(|rng| shrink::int_toward(0, rng.next_u64()))
+}
+
+/// Any `u8` (all 256 values), shrinking toward zero.
+pub fn any_u8() -> Gen<u8> {
+    range_u64(0..256).map(|v| *v as u8)
+}
+
+/// Fair coin, shrinking `true → false`.
+pub fn any_bool() -> Gen<bool> {
+    Gen::new(|rng| shrink::bool_shrinkable(rng.chance(0.5)))
+}
+
+/// Vector of `elem` with length in `[len.start, len.end)`; shrinks by
+/// dropping elements (not below `len.start`) and by shrinking elements.
+pub fn vec_of<T: Clone + 'static>(elem: &Gen<T>, len: Range<usize>) -> Gen<Vec<T>> {
+    assert!(len.start < len.end, "empty length range");
+    let elem = elem.clone();
+    let (lo, hi) = (len.start, len.end);
+    Gen::new(move |rng| {
+        let n = lo + rng.index(hi - lo);
+        let elems: Vec<Shrinkable<T>> = (0..n).map(|_| elem.sample(rng)).collect();
+        shrink::vec_shrinkable(lo, elems)
+    })
+}
+
+/// A 16-byte array, element-wise shrinking toward zero.
+pub fn bytes16() -> Gen<[u8; 16]> {
+    vec_of(&any_u8(), 16..17).map(|v| {
+        let mut a = [0u8; 16];
+        a.copy_from_slice(v);
+        a
+    })
+}
+
+/// Pair of independent generators; shrinks one side at a time.
+pub fn pair<A: Clone + 'static, B: Clone + 'static>(a: &Gen<A>, b: &Gen<B>) -> Gen<(A, B)> {
+    let (a, b) = (a.clone(), b.clone());
+    Gen::new(move |rng| {
+        let sa = a.sample(rng);
+        let sb = b.sample(rng);
+        shrink::zip(&sa, &sb)
+    })
+}
+
+/// Triple of independent generators.
+pub fn tuple3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: &Gen<A>,
+    b: &Gen<B>,
+    c: &Gen<C>,
+) -> Gen<(A, B, C)> {
+    pair(&pair(a, b), c).map(|((a, b), c)| (a.clone(), b.clone(), c.clone()))
+}
+
+/// Quadruple of independent generators.
+pub fn tuple4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: &Gen<A>,
+    b: &Gen<B>,
+    c: &Gen<C>,
+    d: &Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    pair(&pair(a, b), &pair(c, d)).map(|((a, b), (c, d))| {
+        (a.clone(), b.clone(), c.clone(), d.clone())
+    })
+}
+
+/// Five independent generators.
+#[allow(clippy::type_complexity)]
+pub fn tuple5<
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+    D: Clone + 'static,
+    E: Clone + 'static,
+>(
+    a: &Gen<A>,
+    b: &Gen<B>,
+    c: &Gen<C>,
+    d: &Gen<D>,
+    e: &Gen<E>,
+) -> Gen<(A, B, C, D, E)> {
+    pair(&tuple4(a, b, c, d), e).map(|((a, b, c, d), e)| {
+        (a.clone(), b.clone(), c.clone(), d.clone(), e.clone())
+    })
+}
+
+/// Seven independent generators (the instrumenter's routine grammar).
+#[allow(clippy::type_complexity)]
+pub fn tuple7<
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+    D: Clone + 'static,
+    E: Clone + 'static,
+    F: Clone + 'static,
+    G: Clone + 'static,
+>(
+    a: &Gen<A>,
+    b: &Gen<B>,
+    c: &Gen<C>,
+    d: &Gen<D>,
+    e: &Gen<E>,
+    f: &Gen<F>,
+    g: &Gen<G>,
+) -> Gen<(A, B, C, D, E, F, G)> {
+    pair(&tuple4(a, b, c, d), &tuple3(e, f, g)).map(|((a, b, c, d), (e, f, g))| {
+        (
+            a.clone(),
+            b.clone(),
+            c.clone(),
+            d.clone(),
+            e.clone(),
+            f.clone(),
+            g.clone(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_respects_bounds() {
+        let g = range_u64(10..20);
+        let mut rng = SimRng::new(1);
+        for _ in 0..1_000 {
+            let v = g.sample(&mut rng).value;
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let g = vec_of(&any_u8(), 3..9);
+        let mut rng = SimRng::new(2);
+        for _ in 0..200 {
+            let v = g.sample(&mut rng).value;
+            assert!((3..9).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_samples() {
+        let g = vec_of(&pair(&range_u64(0..100), &any_bool()), 1..50);
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..50 {
+            assert_eq!(g.sample(&mut a).value, g.sample(&mut b).value);
+        }
+    }
+
+    #[test]
+    fn map_keeps_shrinking() {
+        let g = range_u64(0..100).map(|v| v * 2);
+        let mut rng = SimRng::new(3);
+        let s = loop {
+            let s = g.sample(&mut rng);
+            if s.value > 10 {
+                break s;
+            }
+        };
+        // Candidates are still even numbers (shrunk in the source domain).
+        let kids = s.children();
+        assert!(!kids.is_empty());
+        assert!(kids.iter().all(|c| c.value % 2 == 0 && c.value < s.value));
+    }
+
+    #[test]
+    fn tuple7_components_in_range() {
+        let g = tuple7(
+            &range_u64(0..32),
+            &any_u8(),
+            &any_bool(),
+            &any_bool(),
+            &any_bool(),
+            &any_bool(),
+            &range_u32(0..5_000),
+        );
+        let mut rng = SimRng::new(4);
+        for _ in 0..100 {
+            let (line, _, _, _, _, _, compute) = g.sample(&mut rng).value;
+            assert!(line < 32);
+            assert!(compute < 5_000);
+        }
+    }
+}

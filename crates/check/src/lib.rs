@@ -1,0 +1,41 @@
+//! # janus-check — dependency-free property testing
+//!
+//! A small property-testing harness so the workspace builds and tests
+//! hermetically (no crates.io access). It replaces `proptest` for this
+//! repository's needs:
+//!
+//! - **Seeded generators** ([`gen`]) on top of [`janus_sim::rng::SimRng`]
+//!   (xoshiro256**): integer ranges, booleans, byte arrays, vectors, tuples,
+//!   and `map` — all deterministic functions of the master seed.
+//! - **A `forall` runner** ([`run`]) with configurable case counts,
+//!   [`assume`]-style discards, and failure reports that print the seed.
+//! - **Greedy shrinking**: generators produce lazy shrink trees
+//!   ([`shrink::Shrinkable`]); on failure the runner descends into the first
+//!   failing candidate until no smaller input fails, then reports the
+//!   minimal counterexample.
+//!
+//! Properties are plain closures using the standard `assert!` family:
+//!
+//! ```
+//! use janus_check::gen;
+//!
+//! let pairs = gen::vec_of(&gen::pair(&gen::range_u64(0..24), &gen::any_u8()), 1..60);
+//! janus_check::forall(&pairs, |writes| {
+//!     let mut last = std::collections::HashMap::new();
+//!     for (addr, v) in writes {
+//!         last.insert(*addr, *v);
+//!     }
+//!     assert!(last.len() <= writes.len());
+//! });
+//! ```
+//!
+//! Replay a failure by re-running with the printed seed:
+//! `JANUS_CHECK_SEED=0x... cargo test -p <crate> <test>`; raise or lower the
+//! case count with `JANUS_CHECK_CASES`.
+
+pub mod gen;
+pub mod run;
+pub mod shrink;
+
+pub use gen::Gen;
+pub use run::{assume, check, forall, forall_cfg, CheckStats, Config, Failure};

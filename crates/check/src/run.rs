@@ -1,0 +1,325 @@
+//! The `forall` runner: case generation, assumption discards, greedy
+//! shrinking, and failure reporting with the replay seed.
+
+use crate::gen::Gen;
+use crate::shrink::Shrinkable;
+use janus_sim::rng::SimRng;
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Default number of cases per property (proptest's default).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Default seed; override with `JANUS_CHECK_SEED` to replay a run.
+pub const DEFAULT_SEED: u64 = 0x6a61_6e75_7363_686b; // ASCII tag "januschk"
+
+/// Runner configuration. [`Config::default`] honours the
+/// `JANUS_CHECK_CASES` and `JANUS_CHECK_SEED` environment variables.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Master seed; every case's generator stream is forked from it.
+    pub seed: u64,
+    /// Cap on candidate evaluations during shrinking.
+    pub max_shrink_steps: u32,
+    /// Cap on total assumption discards before giving up.
+    pub max_discards: u32,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = env_u64("JANUS_CHECK_CASES")
+            .map(|v| v as u32)
+            .unwrap_or(DEFAULT_CASES);
+        Config {
+            cases,
+            seed: env_u64("JANUS_CHECK_SEED").unwrap_or(DEFAULT_SEED),
+            max_shrink_steps: 4_096,
+            max_discards: cases.saturating_mul(16),
+        }
+    }
+}
+
+impl Config {
+    /// Default config with a different case count (env still overrides).
+    pub fn with_cases(cases: u32) -> Self {
+        let mut c = Config::default();
+        if std::env::var("JANUS_CHECK_CASES").is_err() {
+            c.cases = cases;
+            c.max_discards = cases.saturating_mul(16);
+        }
+        c
+    }
+}
+
+/// Marker panic payload used by [`assume`] to discard a case.
+#[derive(Debug)]
+pub struct Discarded;
+
+/// Discards the current case when `cond` is false (like `prop_assume!`).
+/// The runner generates a replacement case instead of counting a failure.
+pub fn assume(cond: bool) {
+    if !cond {
+        panic::panic_any(Discarded);
+    }
+}
+
+/// A minimized property failure.
+#[derive(Debug)]
+pub struct Failure<T> {
+    /// Master seed of the run (replay with `JANUS_CHECK_SEED`).
+    pub seed: u64,
+    /// Zero-based index of the failing case.
+    pub case: u32,
+    /// The input as originally generated.
+    pub original: T,
+    /// The smallest failing input found by greedy shrinking.
+    pub minimal: T,
+    /// Number of shrink candidates evaluated.
+    pub shrink_steps: u32,
+    /// Panic message of the minimal failure.
+    pub message: String,
+}
+
+impl<T: Debug> Failure<T> {
+    /// Human-readable report.
+    pub fn report(&self) -> String {
+        format!(
+            "property failed at case {} (seed 0x{:016x})\n\
+             minimal input: {:?}\n\
+             original input: {:?}\n\
+             shrink steps: {}\n\
+             failure: {}\n\
+             replay with: JANUS_CHECK_SEED=0x{:016x}",
+            self.case,
+            self.seed,
+            self.minimal,
+            self.original,
+            self.shrink_steps,
+            self.message,
+            self.seed,
+        )
+    }
+}
+
+/// Statistics from a passing run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Cases executed and passed.
+    pub cases: u32,
+    /// Cases discarded by [`assume`].
+    pub discards: u32,
+}
+
+enum CaseResult {
+    Pass,
+    Discard,
+    Fail(String),
+}
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+static HOOK_INSTALL: Once = Once::new();
+
+/// Per-case panics are expected control flow (failures are caught, shrunk,
+/// and re-reported); without this, every shrink candidate would print a
+/// full panic message + backtrace. The wrapper hook delegates to the
+/// previous hook unless the current thread is inside `run_case`, so
+/// panics elsewhere (including the final report panic) print normally.
+fn install_quiet_hook() {
+    HOOK_INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn run_case<T>(prop: &impl Fn(&T), value: &T) -> CaseResult {
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match outcome {
+        Ok(()) => CaseResult::Pass,
+        Err(payload) => {
+            if payload.downcast_ref::<Discarded>().is_some() {
+                CaseResult::Discard
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                CaseResult::Fail((*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                CaseResult::Fail(s.clone())
+            } else {
+                CaseResult::Fail("non-string panic payload".to_string())
+            }
+        }
+    }
+}
+
+fn shrink_failure<T: Clone + 'static>(
+    start: Shrinkable<T>,
+    prop: &impl Fn(&T),
+    max_steps: u32,
+    first_message: String,
+) -> (T, u32, String) {
+    let mut current = start;
+    let mut message = first_message;
+    let mut steps = 0;
+    'descend: loop {
+        for child in current.children() {
+            if steps >= max_steps {
+                break 'descend;
+            }
+            steps += 1;
+            if let CaseResult::Fail(m) = run_case(prop, &child.value) {
+                current = child;
+                message = m;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current.value, steps, message)
+}
+
+/// Runs `prop` against `cfg.cases` generated inputs, returning either pass
+/// statistics or the shrunk failure. Library entry point; tests usually use
+/// [`forall`] / [`forall_cfg`], which panic with a formatted report.
+///
+/// # Panics
+///
+/// Panics if the discard budget is exhausted (over-restrictive [`assume`]).
+pub fn check<T: Clone + Debug + 'static>(
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T),
+) -> Result<CheckStats, Failure<T>> {
+    let mut master = SimRng::new(cfg.seed);
+    let mut passed = 0;
+    let mut discards = 0;
+    while passed < cfg.cases {
+        let mut rng = master.fork();
+        let sample = gen.sample(&mut rng);
+        match run_case(&prop, &sample.value) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Discard => {
+                discards += 1;
+                assert!(
+                    discards <= cfg.max_discards,
+                    "janus-check: gave up after {discards} discards \
+                     ({passed}/{} cases passed) — assume() too restrictive",
+                    cfg.cases
+                );
+            }
+            CaseResult::Fail(message) => {
+                let original = sample.value.clone();
+                let (minimal, shrink_steps, message) =
+                    shrink_failure(sample, &prop, cfg.max_shrink_steps, message);
+                return Err(Failure {
+                    seed: cfg.seed,
+                    case: passed,
+                    original,
+                    minimal,
+                    shrink_steps,
+                    message,
+                });
+            }
+        }
+    }
+    Ok(CheckStats {
+        cases: passed,
+        discards,
+    })
+}
+
+/// Checks the property with an explicit config, panicking with a shrunk
+/// counterexample report on failure.
+pub fn forall_cfg<T: Clone + Debug + 'static>(cfg: &Config, gen: &Gen<T>, prop: impl Fn(&T)) {
+    if let Err(failure) = check(cfg, gen, prop) {
+        panic!("{}", failure.report());
+    }
+}
+
+/// Checks the property with [`Config::default`] (256 cases, fixed seed).
+pub fn forall<T: Clone + Debug + 'static>(gen: &Gen<T>, prop: impl Fn(&T)) {
+    forall_cfg(&Config::default(), gen, prop);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = Config {
+            cases: 64,
+            seed: 1,
+            max_shrink_steps: 100,
+            max_discards: 1_000,
+        };
+        let stats = check(&cfg, &gen::range_u64(0..100), |v| assert!(*v < 100)).unwrap();
+        assert_eq!(stats.cases, 64);
+        assert_eq!(stats.discards, 0);
+    }
+
+    #[test]
+    fn assume_discards_but_completes() {
+        let cfg = Config {
+            cases: 32,
+            seed: 2,
+            max_shrink_steps: 100,
+            max_discards: 10_000,
+        };
+        let stats = check(&cfg, &gen::range_u64(0..100), |v| {
+            assume(*v % 2 == 0);
+            assert_eq!(*v % 2, 0);
+        })
+        .unwrap();
+        assert_eq!(stats.cases, 32);
+        assert!(stats.discards > 0, "coin-flip assume never discarded");
+    }
+
+    #[test]
+    #[should_panic(expected = "assume() too restrictive")]
+    fn impossible_assume_exhausts_discards() {
+        let cfg = Config {
+            cases: 4,
+            seed: 3,
+            max_shrink_steps: 10,
+            max_discards: 20,
+        };
+        let _ = check(&cfg, &gen::any_bool(), |_| assume(false));
+    }
+
+    #[test]
+    fn failure_report_names_seed_and_minimal() {
+        let cfg = Config {
+            cases: 256,
+            seed: 0xabcd,
+            max_shrink_steps: 4_096,
+            max_discards: 1_000,
+        };
+        let failure = check(&cfg, &gen::range_u64(0..10_000), |v| assert!(*v < 500))
+            .expect_err("property must fail");
+        let report = failure.report();
+        assert!(report.contains("0x000000000000abcd"), "{report}");
+        assert!(report.contains("minimal input: 500"), "{report}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Lazy shrink trees.
+//!
+//! A [`Shrinkable`] is a generated value plus a *lazy* list of smaller
+//! candidate values, each itself a `Shrinkable` (a rose tree, hedgehog
+//! style). Laziness matters: the runner only ever expands the children of
+//! the current failing node during its greedy descent, so the tree for a
+//! 300-element vector is never materialized.
+
+use std::rc::Rc;
+
+/// A value together with a lazy list of smaller candidates.
+pub struct Shrinkable<T> {
+    /// The generated value.
+    pub value: T,
+    children: Rc<dyn Fn() -> Vec<Shrinkable<T>>>,
+}
+
+impl<T: Clone> Clone for Shrinkable<T> {
+    fn clone(&self) -> Self {
+        Shrinkable {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Shrinkable<T> {
+    /// A value with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Shrinkable {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value with the given lazy candidate list.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Shrinkable<T>> + 'static) -> Self {
+        Shrinkable {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// Expands the candidate list (one level).
+    pub fn children(&self) -> Vec<Shrinkable<T>> {
+        (self.children)()
+    }
+
+    /// Maps the whole tree through `f`; shrinking happens in the source
+    /// domain, so mapped generators keep shrinking for free.
+    pub fn map_rc<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Shrinkable<U> {
+        let value = f(&self.value);
+        let this = self.clone();
+        Shrinkable {
+            value,
+            children: Rc::new(move || {
+                this.children()
+                    .into_iter()
+                    .map(|c| c.map_rc(Rc::clone(&f)))
+                    .collect()
+            }),
+        }
+    }
+}
+
+/// Pairs two trees; candidates shrink one side at a time.
+pub fn zip<A: Clone + 'static, B: Clone + 'static>(
+    a: &Shrinkable<A>,
+    b: &Shrinkable<B>,
+) -> Shrinkable<(A, B)> {
+    let value = (a.value.clone(), b.value.clone());
+    let (a, b) = (a.clone(), b.clone());
+    Shrinkable {
+        value,
+        children: Rc::new(move || {
+            let mut out = Vec::new();
+            for ca in a.children() {
+                out.push(zip(&ca, &b));
+            }
+            for cb in b.children() {
+                out.push(zip(&a, &cb));
+            }
+            out
+        }),
+    }
+}
+
+/// Candidates between `lo` and `v`: first `lo` itself, then values halving
+/// the remaining distance, ending at `v - 1`.
+fn towards(lo: u64, v: u64) -> Vec<u64> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mut d = (v - lo) / 2;
+    while d > 0 {
+        let c = v - d;
+        if out.last() != Some(&c) {
+            out.push(c);
+        }
+        d /= 2;
+    }
+    out
+}
+
+/// An integer that shrinks toward `lo`.
+pub fn int_toward(lo: u64, v: u64) -> Shrinkable<u64> {
+    Shrinkable::with_children(v, move || {
+        towards(lo, v).into_iter().map(|c| int_toward(lo, c)).collect()
+    })
+}
+
+/// A boolean that shrinks `true → false`.
+pub fn bool_shrinkable(v: bool) -> Shrinkable<bool> {
+    Shrinkable::with_children(v, move || {
+        if v {
+            vec![bool_shrinkable(false)]
+        } else {
+            Vec::new()
+        }
+    })
+}
+
+/// A vector of element trees. Candidates first drop chunks of elements
+/// (largest chunks first, never below `min_len`), then shrink individual
+/// elements in place.
+pub fn vec_shrinkable<T: Clone + 'static>(
+    min_len: usize,
+    elems: Vec<Shrinkable<T>>,
+) -> Shrinkable<Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|e| e.value.clone()).collect();
+    Shrinkable {
+        value,
+        children: Rc::new(move || {
+            let len = elems.len();
+            let mut out = Vec::new();
+            let mut k = len.saturating_sub(min_len);
+            while k > 0 {
+                let mut start = 0;
+                while start + k <= len {
+                    let mut rest = elems[..start].to_vec();
+                    rest.extend_from_slice(&elems[start + k..]);
+                    out.push(vec_shrinkable(min_len, rest));
+                    start += k;
+                }
+                k /= 2;
+            }
+            for i in 0..len {
+                for c in elems[i].children() {
+                    let mut copy = elems.clone();
+                    copy[i] = c;
+                    out.push(vec_shrinkable(min_len, copy));
+                }
+            }
+            out
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn towards_ends_next_to_value() {
+        assert_eq!(towards(0, 10), vec![0, 5, 8, 9]);
+        assert_eq!(towards(3, 4), vec![3]);
+        assert!(towards(7, 7).is_empty());
+    }
+
+    #[test]
+    fn int_candidates_stay_in_range() {
+        let s = int_toward(5, 100);
+        for c in s.children() {
+            assert!((5..100).contains(&c.value));
+        }
+    }
+
+    #[test]
+    fn vec_never_shrinks_below_min_len() {
+        let elems: Vec<_> = (0..6).map(|i| int_toward(0, i)).collect();
+        let s = vec_shrinkable(2, elems);
+        for c in s.children() {
+            assert!(c.value.len() >= 2, "len {}", c.value.len());
+        }
+    }
+
+    #[test]
+    fn map_shrinks_in_source_domain() {
+        let s = int_toward(0, 8).map_rc(Rc::new(|v: &u64| format!("n{v}")));
+        assert_eq!(s.value, "n8");
+        let kids: Vec<String> = s.children().into_iter().map(|c| c.value).collect();
+        assert!(kids.contains(&"n0".to_string()));
+        assert!(kids.contains(&"n7".to_string()));
+    }
+}

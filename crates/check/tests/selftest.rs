@@ -1,0 +1,89 @@
+//! Meta-tests for the harness itself: shrinking quality and seed replay.
+
+use janus_check::{check, gen, Config};
+use std::cell::RefCell;
+
+fn cfg(seed: u64) -> Config {
+    Config {
+        cases: 128,
+        seed,
+        max_shrink_steps: 10_000,
+        max_discards: 10_000,
+    }
+}
+
+#[test]
+fn shrink_converges_to_minimal_integer() {
+    // Known-failing predicate: fails iff v >= 500. The unique minimal
+    // counterexample is exactly 500.
+    let failure = check(&cfg(11), &gen::range_u64(0..10_000), |v| assert!(*v < 500))
+        .expect_err("predicate must fail");
+    assert_eq!(failure.minimal, 500, "greedy shrink stopped early");
+    assert!(failure.original >= 500);
+}
+
+#[test]
+fn shrink_converges_to_minimal_vector() {
+    // Fails iff any element >= 10: the minimal counterexample is the
+    // single-element vector [10].
+    let elems = gen::vec_of(&gen::range_u64(0..100), 0..30);
+    let failure = check(&cfg(12), &elems, |v| assert!(v.iter().all(|&x| x < 10)))
+        .expect_err("predicate must fail");
+    assert_eq!(failure.minimal, vec![10]);
+}
+
+#[test]
+fn shrink_minimizes_pairs_componentwise() {
+    // Fails iff a + b >= 40; minimal failing pair under toward-zero
+    // shrinking is on the boundary a + b == 40.
+    let g = gen::pair(&gen::range_u64(0..100), &gen::range_u64(0..100));
+    let failure = check(&cfg(13), &g, |(a, b)| assert!(a + b < 40))
+        .expect_err("predicate must fail");
+    let (a, b) = failure.minimal;
+    assert_eq!(a + b, 40, "minimal pair ({a}, {b}) not on the boundary");
+}
+
+#[test]
+fn shrink_works_through_map() {
+    // Mapped generator (doubling) still shrinks to the smallest even value
+    // failing the predicate.
+    let g = gen::range_u64(0..1_000).map(|v| v * 2);
+    let failure =
+        check(&cfg(14), &g, |v| assert!(*v < 100)).expect_err("predicate must fail");
+    assert_eq!(failure.minimal, 100);
+}
+
+#[test]
+fn same_seed_replays_identical_case_sequence() {
+    let record = |seed: u64| {
+        let inputs = RefCell::new(Vec::new());
+        let g = gen::vec_of(&gen::pair(&gen::range_u64(0..64), &gen::any_bool()), 1..40);
+        check(&cfg(seed), &g, |v| {
+            inputs.borrow_mut().push(v.clone());
+        })
+        .expect("recording property never fails");
+        inputs.into_inner()
+    };
+    let first = record(99);
+    let second = record(99);
+    assert_eq!(first.len(), 128);
+    assert_eq!(first, second, "same seed produced different case sequences");
+    let other = record(100);
+    assert_ne!(first, other, "different seeds produced identical sequences");
+}
+
+#[test]
+fn failing_case_is_reproducible_from_reported_seed() {
+    // A failure report names the master seed; re-running with that seed
+    // must reproduce the same original counterexample.
+    let g = gen::vec_of(&gen::range_u64(0..1_000), 1..20);
+    let run = || {
+        check(&cfg(77), &g, |v| assert!(v.iter().sum::<u64>() < 2_000))
+            .expect_err("predicate must fail")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(a.case, b.case);
+    assert_eq!(a.original, b.original);
+    assert_eq!(a.minimal, b.minimal);
+}

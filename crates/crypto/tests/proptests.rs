@@ -1,69 +1,85 @@
-//! Property-based tests for the cryptographic primitives.
+//! Property-based tests for the cryptographic primitives (ported from
+//! proptest to the in-repo janus-check harness).
 
+use janus_check::{assume, forall, gen};
 use janus_crypto::aes::Aes128;
 use janus_crypto::ctr::{decrypt_line, encrypt_line, otp_for_line};
 use janus_crypto::{crc32, md5, sha1, FingerprintAlgo};
-use proptest::prelude::*;
 
-proptest! {
-    /// AES decrypt(encrypt(x)) == x for any block and key.
-    #[test]
-    fn aes_round_trip(key in prop::array::uniform16(any::<u8>()),
-                      block in prop::array::uniform16(any::<u8>())) {
-        let aes = Aes128::new(key);
-        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
-    }
+/// AES decrypt(encrypt(x)) == x for any block and key.
+#[test]
+fn aes_round_trip() {
+    let g = gen::pair(&gen::bytes16(), &gen::bytes16());
+    forall(&g, |(key, block)| {
+        let aes = Aes128::new(*key);
+        assert_eq!(aes.decrypt_block(aes.encrypt_block(*block)), *block);
+    });
+}
 
-    /// AES is a permutation: distinct plaintexts yield distinct ciphertexts.
-    #[test]
-    fn aes_injective(key in prop::array::uniform16(any::<u8>()),
-                     a in prop::array::uniform16(any::<u8>()),
-                     b in prop::array::uniform16(any::<u8>())) {
-        prop_assume!(a != b);
-        let aes = Aes128::new(key);
-        prop_assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
-    }
+/// AES is a permutation: distinct plaintexts yield distinct ciphertexts.
+#[test]
+fn aes_injective() {
+    let g = gen::tuple3(&gen::bytes16(), &gen::bytes16(), &gen::bytes16());
+    forall(&g, |(key, a, b)| {
+        assume(a != b);
+        let aes = Aes128::new(*key);
+        assert_ne!(aes.encrypt_block(*a), aes.encrypt_block(*b));
+    });
+}
 
-    /// Counter-mode line encryption round-trips under any (counter, addr).
-    #[test]
-    fn ctr_round_trip(key in prop::array::uniform16(any::<u8>()),
-                      data in prop::collection::vec(any::<u8>(), 64),
-                      counter in any::<u64>(), addr in any::<u64>()) {
-        let aes = Aes128::new(key);
-        let line: [u8; 64] = data.try_into().unwrap();
-        let otp = otp_for_line(&aes, counter, addr);
-        prop_assert_eq!(decrypt_line(&encrypt_line(&line, &otp), &otp), line);
-    }
+/// Counter-mode line encryption round-trips under any (counter, addr).
+#[test]
+fn ctr_round_trip() {
+    let g = gen::tuple4(
+        &gen::bytes16(),
+        &gen::vec_of(&gen::any_u8(), 64..65),
+        &gen::any_u64(),
+        &gen::any_u64(),
+    );
+    forall(&g, |(key, data, counter, addr)| {
+        let aes = Aes128::new(*key);
+        let line: [u8; 64] = data.clone().try_into().unwrap();
+        let otp = otp_for_line(&aes, *counter, *addr);
+        assert_eq!(decrypt_line(&encrypt_line(&line, &otp), &otp), line);
+    });
+}
 
-    /// Digests are deterministic and input-sensitive.
-    #[test]
-    fn digests_deterministic(data in prop::collection::vec(any::<u8>(), 0..200)) {
-        prop_assert_eq!(md5(&data), md5(&data));
-        prop_assert_eq!(sha1(&data), sha1(&data));
-        prop_assert_eq!(crc32(&data), crc32(&data));
-    }
+/// Digests are deterministic and input-sensitive.
+#[test]
+fn digests_deterministic() {
+    let data = gen::vec_of(&gen::any_u8(), 0..200);
+    forall(&data, |data| {
+        assert_eq!(md5(data), md5(data));
+        assert_eq!(sha1(data), sha1(data));
+        assert_eq!(crc32(data), crc32(data));
+    });
+}
 
-    /// Appending a byte changes every digest (for these sizes, collisions
-    /// would be astronomically unlikely — a failure indicates a bug).
-    #[test]
-    fn digests_extension_sensitive(data in prop::collection::vec(any::<u8>(), 0..100),
-                                   extra in any::<u8>()) {
+/// Appending a byte changes every digest (for these sizes, collisions
+/// would be astronomically unlikely — a failure indicates a bug).
+#[test]
+fn digests_extension_sensitive() {
+    let g = gen::pair(&gen::vec_of(&gen::any_u8(), 0..100), &gen::any_u8());
+    forall(&g, |(data, extra)| {
         let mut longer = data.clone();
-        longer.push(extra);
-        prop_assert_ne!(md5(&data), md5(&longer));
-        prop_assert_ne!(sha1(&data), sha1(&longer));
-    }
+        longer.push(*extra);
+        assert_ne!(md5(data), md5(&longer));
+        assert_ne!(sha1(data), sha1(&longer));
+    });
+}
 
-    /// Fingerprints agree with their base digest.
-    #[test]
-    fn fingerprint_consistency(data in prop::collection::vec(any::<u8>(), 64)) {
-        prop_assert_eq!(
-            FingerprintAlgo::Md5.fingerprint(&data),
-            u128::from_be_bytes(md5(&data))
+/// Fingerprints agree with their base digest.
+#[test]
+fn fingerprint_consistency() {
+    let data = gen::vec_of(&gen::any_u8(), 64..65);
+    forall(&data, |data| {
+        assert_eq!(
+            FingerprintAlgo::Md5.fingerprint(data),
+            u128::from_be_bytes(md5(data))
         );
-        prop_assert_eq!(
-            FingerprintAlgo::Crc32.fingerprint(&data),
-            crc32(&data) as u128
+        assert_eq!(
+            FingerprintAlgo::Crc32.fingerprint(data),
+            crc32(data) as u128
         );
-    }
+    });
 }

@@ -1,12 +1,12 @@
 //! Property-based tests for the automated compiler pass: on arbitrary
 //! generated programs, the pass output must be well-formed and preserve the
-//! program's observable behaviour.
+//! program's observable behaviour (ported from proptest to janus-check).
 
+use janus_check::{forall_cfg, gen, Config, Gen};
 use janus_core::ir::{Op, PreObjId, Program, ProgramBuilder};
 use janus_instrument::instrument;
 use janus_nvm::addr::LineAddr;
 use janus_nvm::line::Line;
-use proptest::prelude::*;
 
 /// A little grammar of persistence routines: each routine optionally emits
 /// provenance markers, maybe inside loop/cond regions, then a persist
@@ -22,27 +22,31 @@ struct Routine {
     compute: u32,
 }
 
-fn arb_routine() -> impl Strategy<Value = Routine> {
-    (
-        0u64..32,
-        any::<u8>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        0u32..5_000,
+fn arb_routine() -> Gen<Routine> {
+    gen::tuple7(
+        &gen::range_u64(0..32),
+        &gen::any_u8(),
+        &gen::any_bool(),
+        &gen::any_bool(),
+        &gen::any_bool(),
+        &gen::any_bool(),
+        &gen::range_u32(0..5_000),
     )
-        .prop_map(
-            |(line, value, addr_marker, data_marker, in_loop, in_cond, compute)| Routine {
-                line,
-                value,
-                addr_marker,
-                data_marker,
-                in_loop,
-                in_cond,
-                compute,
-            },
-        )
+    .map(
+        |(line, value, addr_marker, data_marker, in_loop, in_cond, compute)| Routine {
+            line: *line,
+            value: *value,
+            addr_marker: *addr_marker,
+            data_marker: *data_marker,
+            in_loop: *in_loop,
+            in_cond: *in_cond,
+            compute: *compute,
+        },
+    )
+}
+
+fn arb_routines() -> Gen<Vec<Routine>> {
+    gen::vec_of(&arb_routine(), 1..12)
 }
 
 fn build(routines: &[Routine]) -> Program {
@@ -79,21 +83,19 @@ fn build(routines: &[Routine]) -> Program {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Pass output is well-formed: balanced regions, unique pre_objs, every
-    /// inserted PRE op preceded by its PRE_INIT, and non-pre ops unchanged
-    /// in order.
-    #[test]
-    fn pass_output_is_well_formed(routines in proptest::collection::vec(arb_routine(), 1..12)) {
-        let input = build(&routines);
+/// Pass output is well-formed: balanced regions, unique pre_objs, every
+/// inserted PRE op preceded by its PRE_INIT, and non-pre ops unchanged
+/// in order.
+#[test]
+fn pass_output_is_well_formed() {
+    forall_cfg(&Config::with_cases(64), &arb_routines(), |routines| {
+        let input = build(routines);
         let (output, report) = instrument(&input);
 
         // Non-pre ops preserved in order.
         let orig: Vec<&Op> = input.ops.iter().filter(|o| !o.is_pre()).collect();
         let kept: Vec<&Op> = output.ops.iter().filter(|o| !o.is_pre()).collect();
-        prop_assert_eq!(orig, kept);
+        assert_eq!(orig, kept);
 
         // Regions stay balanced.
         let mut loops = 0i32;
@@ -109,9 +111,9 @@ proptest! {
                 Op::FuncEnd => funcs -= 1,
                 _ => {}
             }
-            prop_assert!(loops >= 0 && conds >= 0 && funcs >= 0);
+            assert!(loops >= 0 && conds >= 0 && funcs >= 0);
         }
-        prop_assert_eq!((loops, conds, funcs), (0, 0, 0));
+        assert_eq!((loops, conds, funcs), (0, 0, 0));
 
         // Every PRE op's obj was PRE_INITed earlier; objs unique.
         let mut seen = std::collections::HashSet::new();
@@ -119,32 +121,34 @@ proptest! {
         for op in &output.ops {
             match op {
                 Op::PreInit(obj) => {
-                    prop_assert!(seen.insert(*obj), "duplicate obj {:?}", obj);
+                    assert!(seen.insert(*obj), "duplicate obj {obj:?}");
                     inited.insert(*obj);
                 }
                 Op::PreAddr { obj, .. } | Op::PreData { obj, .. } | Op::PreBoth { obj, .. } => {
-                    prop_assert!(inited.contains(obj), "uninitialized obj {:?}", obj);
+                    assert!(inited.contains(obj), "uninitialized obj {obj:?}");
                 }
                 _ => {}
             }
         }
 
         // Report accounting is consistent.
-        prop_assert_eq!(
+        assert_eq!(
             report.writes_found,
             report.instrumented_writes + report.skipped_in_loop + report.skipped_no_marker
         );
         // Loop-wrapped writebacks are never instrumented.
         if routines.iter().all(|r| r.in_loop) {
-            prop_assert_eq!(report.instrumented_writes, 0);
+            assert_eq!(report.instrumented_writes, 0);
         }
-    }
+    });
+}
 
-    /// Inserted PRE ops never sit inside a loop region (the §4.5.2 rule)
-    /// and never carry an obj used by two different writebacks.
-    #[test]
-    fn insertions_respect_loop_regions(routines in proptest::collection::vec(arb_routine(), 1..12)) {
-        let input = build(&routines);
+/// Inserted PRE ops never sit inside a loop region (the §4.5.2 rule)
+/// and never carry an obj used by two different writebacks.
+#[test]
+fn insertions_respect_loop_regions() {
+    forall_cfg(&Config::with_cases(64), &arb_routines(), |routines| {
+        let input = build(routines);
         let (output, _) = instrument(&input);
         let mut depth = 0;
         let mut objs_at: std::collections::HashMap<PreObjId, usize> =
@@ -154,14 +158,14 @@ proptest! {
                 Op::LoopBegin => depth += 1,
                 Op::LoopEnd => depth -= 1,
                 o if o.is_pre() => {
-                    prop_assert_eq!(depth, 0, "pass inserted {:?} inside a loop", o);
+                    assert_eq!(depth, 0, "pass inserted {o:?} inside a loop");
                     if let Op::PreAddr { obj, .. } | Op::PreData { obj, .. } = o {
                         *objs_at.entry(*obj).or_insert(0) += 1;
-                        prop_assert!(objs_at[obj] <= 2, "obj reused too often");
+                        assert!(objs_at[obj] <= 2, "obj reused too often");
                     }
                 }
                 _ => {}
             }
         }
-    }
+    });
 }

@@ -1,5 +1,7 @@
-//! Property-based tests for the NVM substrate: cache model and write queue.
+//! Property-based tests for the NVM substrate: cache model and write queue
+//! (ported from proptest to the in-repo janus-check harness).
 
+use janus_check::{forall, gen};
 use janus_nvm::addr::LineAddr;
 use janus_nvm::cache::{CacheConfig, SetAssocCache};
 use janus_nvm::device::{NvmDevice, NvmTiming};
@@ -7,15 +9,15 @@ use janus_nvm::line::Line;
 use janus_nvm::store::LineStore;
 use janus_nvm::wq::AdrWriteQueue;
 use janus_sim::time::Cycles;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    /// After any access sequence, the cache never holds more lines per set
-    /// than its associativity, and a line reported as a hit was accessed
-    /// before without an intervening eviction of it.
-    #[test]
-    fn cache_capacity_invariant(accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+/// After any access sequence, the cache never holds more lines per set
+/// than its associativity, and a line reported as a hit was accessed
+/// before without an intervening eviction of it.
+#[test]
+fn cache_capacity_invariant() {
+    let accesses = gen::vec_of(&gen::pair(&gen::range_u64(0..64), &gen::any_bool()), 1..300);
+    forall(&accesses, |accesses| {
         let mut cache = SetAssocCache::new(CacheConfig {
             capacity_bytes: 2048, // 4 sets x 8 ways
             ways: 8,
@@ -23,56 +25,68 @@ proptest! {
         });
         let mut resident: HashSet<u64> = HashSet::new();
         for (addr, write) in accesses {
-            let a = LineAddr(addr);
-            let hit = cache.access(a, write).is_hit();
-            prop_assert_eq!(hit, resident.contains(&addr), "line {}", addr);
-            resident.insert(addr);
+            let a = LineAddr(*addr);
+            let hit = cache.access(a, *write).is_hit();
+            assert_eq!(hit, resident.contains(addr), "line {addr}");
+            resident.insert(*addr);
             // Track evictions: drop whatever is no longer present.
             resident.retain(|&l| cache.probe(LineAddr(l)));
-            prop_assert!(resident.contains(&addr), "just-accessed line resident");
+            assert!(resident.contains(addr), "just-accessed line resident");
         }
-    }
+    });
+}
 
-    /// Flush never evicts; dirty_lines() only shrinks via flush/invalidate.
-    #[test]
-    fn cache_flush_semantics(lines in prop::collection::vec(0u64..32, 1..100)) {
+/// Flush never evicts; dirty_lines() only shrinks via flush/invalidate.
+#[test]
+fn cache_flush_semantics() {
+    let lines = gen::vec_of(&gen::range_u64(0..32), 1..100);
+    forall(&lines, |lines| {
         let mut cache = SetAssocCache::new(CacheConfig::l1d());
-        for &l in &lines {
+        for &l in lines {
             cache.access(LineAddr(l), true);
         }
-        for &l in &lines {
+        for &l in lines {
             let was = cache.probe(LineAddr(l));
             cache.flush(LineAddr(l));
-            prop_assert_eq!(cache.probe(LineAddr(l)), was, "flush must not evict");
+            assert_eq!(cache.probe(LineAddr(l)), was, "flush must not evict");
         }
-        prop_assert!(cache.dirty_lines().is_empty());
-    }
+        assert!(cache.dirty_lines().is_empty());
+    });
+}
 
-    /// The write queue always accepts (eventually) and acceptance times are
-    /// no earlier than requested.
-    #[test]
-    fn wq_acceptance_monotonic(writes in prop::collection::vec((0u64..64, 0u64..10_000), 1..200)) {
+/// The write queue always accepts (eventually) and acceptance times are
+/// no earlier than requested.
+#[test]
+fn wq_acceptance_monotonic() {
+    let writes = gen::vec_of(
+        &gen::pair(&gen::range_u64(0..64), &gen::range_u64(0..10_000)),
+        1..200,
+    );
+    forall(&writes, |writes| {
         let mut dev = NvmDevice::new(NvmTiming::pcm());
         let mut wq = AdrWriteQueue::new(8);
         let mut now = Cycles::ZERO;
         for (addr, delta) in writes {
-            now += Cycles(delta);
-            let t = wq.accept(now, LineAddr(addr), &mut dev);
-            prop_assert!(t >= now);
+            now += Cycles(*delta);
+            let t = wq.accept(now, LineAddr(*addr), &mut dev);
+            assert!(t >= now);
         }
-    }
+    });
+}
 
-    /// LineStore reads return exactly the last write per line.
-    #[test]
-    fn store_last_write_wins(writes in prop::collection::vec((0u64..16, any::<u8>()), 1..100)) {
+/// LineStore reads return exactly the last write per line.
+#[test]
+fn store_last_write_wins() {
+    let writes = gen::vec_of(&gen::pair(&gen::range_u64(0..16), &gen::any_u8()), 1..100);
+    forall(&writes, |writes| {
         let mut s = LineStore::new();
         let mut model = std::collections::HashMap::new();
         for (addr, b) in writes {
-            s.write(LineAddr(addr), Line::splat(b));
-            model.insert(addr, b);
+            s.write(LineAddr(*addr), Line::splat(*b));
+            model.insert(*addr, *b);
         }
         for (addr, b) in model {
-            prop_assert_eq!(s.read(LineAddr(addr)), Line::splat(b));
+            assert_eq!(s.read(LineAddr(addr)), Line::splat(b));
         }
-    }
+    });
 }

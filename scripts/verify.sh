@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 verification, hermetically.
+#
+# Runs the ROADMAP's tier-1 gate with --locked --offline so that (a) the
+# committed Cargo.lock is authoritative — any manifest drift fails loudly
+# instead of silently re-resolving — and (b) no network access is ever
+# attempted: the workspace is pure path dependencies by design.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --locked --offline"
+cargo build --release --locked --offline --workspace
+
+echo "==> cargo test --locked --offline"
+cargo test -q --locked --offline --workspace
+
+echo "==> tier-1 verify OK"

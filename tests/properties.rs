@@ -1,4 +1,4 @@
-//! Property-based tests over the full stack (proptest).
+//! Property-based tests over the full stack (janus-check harness).
 
 use janus::bmo::pipeline::BmoPipeline;
 use janus::core::config::{JanusConfig, SystemMode};
@@ -8,45 +8,51 @@ use janus::core::system::System;
 use janus::crypto::FingerprintAlgo;
 use janus::nvm::{addr::LineAddr, line::Line, store::LineStore};
 use janus::sim::time::Cycles;
-use proptest::prelude::*;
+use janus_check::{forall_cfg, gen, Config, Gen};
 
 const KEY: [u8; 16] = *b"janus-memory-key";
 
-fn arb_line() -> impl Strategy<Value = Line> {
+fn cfg() -> Config {
+    Config::with_cases(48)
+}
+
+fn arb_line() -> Gen<Line> {
     // Small value space so duplicates occur often.
-    (0u64..6, 0u64..4).prop_map(|(a, b)| Line::from_words(&[a, b]))
+    gen::pair(&gen::range_u64(0..6), &gen::range_u64(0..4))
+        .map(|(a, b)| Line::from_words(&[*a, *b]))
 }
 
-fn arb_writes() -> impl Strategy<Value = Vec<(u64, Line)>> {
-    proptest::collection::vec(((0u64..24), arb_line()), 1..60)
+fn arb_writes() -> Gen<Vec<(u64, Line)>> {
+    gen::vec_of(&gen::pair(&gen::range_u64(0..24), &arb_line()), 1..60)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any write sequence through the functional pipeline reads back the
-    /// last value written per line, with full verification.
-    #[test]
-    fn pipeline_reads_last_write(writes in arb_writes()) {
+/// Any write sequence through the functional pipeline reads back the
+/// last value written per line, with full verification.
+#[test]
+fn pipeline_reads_last_write() {
+    forall_cfg(&cfg(), &arb_writes(), |writes| {
         let mut p = BmoPipeline::new(FingerprintAlgo::Md5);
         let mut last = std::collections::HashMap::new();
-        for (addr, value) in &writes {
+        for (addr, value) in writes {
             p.write(LineAddr(*addr), *value);
             last.insert(*addr, *value);
         }
         for (addr, value) in last {
-            prop_assert_eq!(p.read_verified(LineAddr(addr)).unwrap(), value);
+            assert_eq!(p.read_verified(LineAddr(addr)).unwrap(), value);
         }
-    }
+    });
+}
 
-    /// Replaying only the persisted effects reconstructs an equivalent
-    /// pipeline (crash anywhere between writes).
-    #[test]
-    fn pipeline_recovery_at_any_prefix(writes in arb_writes(), cut in 0usize..60) {
+/// Replaying only the persisted effects reconstructs an equivalent
+/// pipeline (crash anywhere between writes).
+#[test]
+fn pipeline_recovery_at_any_prefix() {
+    let g = gen::pair(&arb_writes(), &gen::range_usize(0..60));
+    forall_cfg(&cfg(), &g, |(writes, cut)| {
         let mut p = BmoPipeline::new(FingerprintAlgo::Md5);
         let mut store = LineStore::new();
         let mut root = p.root();
-        let cut = cut.min(writes.len());
+        let cut = (*cut).min(writes.len());
         for (addr, value) in &writes[..cut] {
             let fx = p.write(LineAddr(*addr), *value);
             for (a, l) in &fx.line_writes {
@@ -54,47 +60,50 @@ proptest! {
             }
             root = fx.new_root;
         }
-        let rec = BmoPipeline::recover(&store, FingerprintAlgo::Md5, KEY, root)
-            .expect("prefix recovery");
+        let rec =
+            BmoPipeline::recover(&store, FingerprintAlgo::Md5, KEY, root).expect("prefix recovery");
         for addr in 0u64..24 {
-            prop_assert_eq!(
+            assert_eq!(
                 rec.read_verified(LineAddr(addr)).unwrap(),
                 p.read(LineAddr(addr)),
-                "line {}", addr
+                "line {addr}"
             );
         }
-    }
+    });
+}
 
-    /// CRC-32 fingerprints may collide, but dedup never corrupts data.
-    #[test]
-    fn crc_dedup_is_safe(writes in arb_writes()) {
+/// CRC-32 fingerprints may collide, but dedup never corrupts data.
+#[test]
+fn crc_dedup_is_safe() {
+    forall_cfg(&cfg(), &arb_writes(), |writes| {
         let mut p = BmoPipeline::new(FingerprintAlgo::Crc32);
         let mut last = std::collections::HashMap::new();
-        for (addr, value) in &writes {
+        for (addr, value) in writes {
             p.write(LineAddr(*addr), *value);
             last.insert(*addr, *value);
         }
         for (addr, value) in last {
-            prop_assert_eq!(p.read_verified(LineAddr(addr)).unwrap(), value);
+            assert_eq!(p.read_verified(LineAddr(addr)).unwrap(), value);
         }
-    }
+    });
+}
 
-    /// The Janus timing machinery (pre-execution, IRB, invalidations) never
-    /// changes functional results, even with deliberately stale
-    /// pre-execution hints.
-    #[test]
-    fn stale_hints_never_corrupt(
-        writes in arb_writes(),
-        hints in proptest::collection::vec(((0u64..24), arb_line()), 0..20),
-    ) {
+/// The Janus timing machinery (pre-execution, IRB, invalidations) never
+/// changes functional results, even with deliberately stale
+/// pre-execution hints.
+#[test]
+fn stale_hints_never_corrupt() {
+    let hints = gen::vec_of(&gen::pair(&gen::range_u64(0..24), &arb_line()), 0..20);
+    let g = gen::pair(&arb_writes(), &hints);
+    forall_cfg(&cfg(), &g, |(writes, hints)| {
         let mut b = ProgramBuilder::new();
         // Issue hints for data that may never be written / may mismatch.
-        for (addr, value) in &hints {
+        for (addr, value) in hints {
             let obj = b.pre_init();
             b.pre_both(obj, LineAddr(*addr), vec![*value]);
         }
         b.compute(2000);
-        for (addr, value) in &writes {
+        for (addr, value) in writes {
             b.store(LineAddr(*addr), *value);
             b.clwb(LineAddr(*addr));
             b.fence();
@@ -103,23 +112,24 @@ proptest! {
         sys.run(vec![b.build()]);
 
         let mut last = std::collections::HashMap::new();
-        for (addr, value) in &writes {
+        for (addr, value) in writes {
             last.insert(*addr, *value);
         }
         for (addr, value) in last {
-            prop_assert_eq!(sys.read_value(LineAddr(addr)), value);
+            assert_eq!(sys.read_value(LineAddr(addr)), value);
         }
-    }
+    });
+}
 
-    /// Full-system crash at an arbitrary cycle always leaves a recoverable,
-    /// integrity-clean persistent state.
-    #[test]
-    fn system_crash_is_always_recoverable(
-        writes in proptest::collection::vec(((0u64..12), arb_line()), 1..20),
-        crash_at in 1_000u64..400_000,
-    ) {
+/// Full-system crash at an arbitrary cycle always leaves a recoverable,
+/// integrity-clean persistent state.
+#[test]
+fn system_crash_is_always_recoverable() {
+    let writes = gen::vec_of(&gen::pair(&gen::range_u64(0..12), &arb_line()), 1..20);
+    let g = gen::pair(&writes, &gen::range_u64(1_000..400_000));
+    forall_cfg(&cfg(), &g, |(writes, crash_at)| {
         let mut b = ProgramBuilder::new();
-        for (addr, value) in &writes {
+        for (addr, value) in writes {
             b.tx_begin();
             b.store(LineAddr(*addr), *value);
             b.clwb(LineAddr(*addr));
@@ -128,8 +138,12 @@ proptest! {
         }
         let cfg = JanusConfig::paper(SystemMode::Serialized, 1);
         let mut sys = System::new(cfg.clone());
-        let (snapshot, root) = sys.run_until_crash(vec![b.build()], Cycles(crash_at));
+        let (snapshot, root) = sys.run_until_crash(vec![b.build()], Cycles(*crash_at));
         let rec = MemoryController::recover(&snapshot, cfg, root);
-        prop_assert!(rec.is_ok(), "crash at {} unrecoverable: {:?}", crash_at, rec.err());
-    }
+        assert!(
+            rec.is_ok(),
+            "crash at {crash_at} unrecoverable: {:?}",
+            rec.err()
+        );
+    });
 }

@@ -1,0 +1,40 @@
+//! Tracing overhead guard: the same simulation with tracing disabled,
+//! enabled, and enabled-with-export.
+//!
+//! The disabled case is the one that matters — every component carries a
+//! `Tracer` unconditionally, so a disabled tracer must cost nothing
+//! measurable (each recording call is a single `Option` branch). The
+//! enabled rows quantify what opting in costs.
+
+use janus_bench::timing::BenchHarness;
+use janus_bench::{run, RunSpec, Variant};
+use janus_trace::TraceConfig;
+use janus_workloads::Workload;
+
+fn spec(trace: Option<TraceConfig>) -> RunSpec {
+    let mut s = RunSpec::new(Workload::Tatp, Variant::JanusManual);
+    s.transactions = 20;
+    s.trace = trace;
+    s
+}
+
+fn main() {
+    let h = BenchHarness::new();
+
+    h.group("trace_overhead_tatp_20tx");
+    let off = h.bench("tracing_disabled", || run(spec(None)));
+    let on = h.bench("tracing_enabled", || run(spec(Some(TraceConfig::default()))));
+    let export = h.bench("enabled_plus_export", || {
+        let r = run(spec(Some(TraceConfig::default())));
+        let mut out = Vec::new();
+        r.tracer.export_chrome(&mut out).unwrap();
+        out.len()
+    });
+
+    println!();
+    println!(
+        "enabled/disabled median ratio: {:.3}x  (+export {:.3}x)",
+        on.median_ns / off.median_ns,
+        export.median_ns / off.median_ns,
+    );
+}

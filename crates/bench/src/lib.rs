@@ -9,10 +9,14 @@
 
 pub mod timing;
 
+use std::io::Write as _;
+
 use janus_core::config::{JanusConfig, SystemMode};
 use janus_core::ir::Program;
 use janus_core::system::{ExecutionReport, System};
 use janus_instrument::instrument;
+use janus_trace::metrics::MetricsRegistry;
+use janus_trace::{TraceConfig, Tracer};
 use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
 
 /// The five evaluated system variants.
@@ -82,6 +86,9 @@ pub struct RunSpec {
     pub key_skew: Option<f64>,
     /// Fraction of auxiliary transactions (TATP reads / TPC-C payments).
     pub aux_tx_fraction: f64,
+    /// Event tracing for this run (`None` = disabled, the zero-overhead
+    /// default). When set, [`RunResult::tracer`] holds the captured events.
+    pub trace: Option<TraceConfig>,
 }
 
 impl RunSpec {
@@ -99,6 +106,7 @@ impl RunSpec {
             seed: 42,
             key_skew: None,
             aux_tx_fraction: 0.0,
+            trace: None,
         }
     }
 
@@ -154,12 +162,61 @@ pub struct RunResult {
     pub report: ExecutionReport,
     /// The spec that produced it.
     pub spec: RunSpec,
+    /// The run's event tracer — disabled unless [`RunSpec::trace`] was set.
+    pub tracer: Tracer,
 }
 
 impl RunResult {
     /// Execution cycles (the metric every speedup is computed from).
     pub fn cycles(&self) -> f64 {
         self.report.cycles.0 as f64
+    }
+
+    /// Machine-readable metrics for this run: `spec.*` labels identifying
+    /// the configuration followed by the report's full registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.set_str("spec.workload", self.spec.workload.slug());
+        m.set_str("spec.variant", self.spec.variant.label());
+        m.set_u64("spec.cores", self.spec.cores as u64);
+        m.set_u64("spec.transactions", self.spec.transactions as u64);
+        m.set_u64("spec.tx_size_bytes", self.spec.tx_size_bytes as u64);
+        m.set_u64("spec.seed", self.spec.seed);
+        m.set_f64("spec.dedup_ratio", self.spec.dedup_ratio);
+        for (name, value) in self.report.to_metrics().iter() {
+            m.set(name, value.clone());
+        }
+        m
+    }
+}
+
+/// When `JANUS_RESULTS_JSON_DIR` names a directory, appends the run's
+/// metrics as one JSON line to `<dir>/<binary-name>.jsonl`. Every figure
+/// binary funnels through [`run`], so exporting machine-readable results
+/// for all of them is `JANUS_RESULTS_JSON_DIR=out cargo run --release ...`.
+fn sink_results_jsonl(result: &RunResult) {
+    let Ok(dir) = std::env::var("JANUS_RESULTS_JSON_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "run".to_string());
+    let path = std::path::Path::new(&dir).join(format!("{stem}.jsonl"));
+    let line = result.metrics().to_json();
+    let append = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(f, "{line}")
+    };
+    if let Err(e) = append() {
+        eprintln!("warning: could not append metrics to {}: {e}", path.display());
     }
 }
 
@@ -171,6 +228,10 @@ impl RunResult {
 /// final state — the harness refuses to report numbers from a broken run.
 pub fn run(spec: RunSpec) -> RunResult {
     let mut sys = System::new(spec.config());
+    let tracer = match &spec.trace {
+        Some(cfg) => sys.enable_trace(cfg),
+        None => Tracer::disabled(),
+    };
     let mut programs = Vec::with_capacity(spec.cores);
     let mut oracles = Vec::with_capacity(spec.cores);
     for core in 0..spec.cores {
@@ -196,7 +257,13 @@ pub fn run(spec: RunSpec) -> RunResult {
             );
         }
     }
-    RunResult { report, spec }
+    let result = RunResult {
+        report,
+        spec,
+        tracer,
+    };
+    sink_results_jsonl(&result);
+    result
 }
 
 /// Speedup of `fast` over `slow` (cycles ratio).
@@ -272,6 +339,25 @@ mod tests {
         let (rs, rp, rj) = (run(s), run(p), run(j));
         assert!(speedup(&rs, &rp) > 1.0);
         assert!(speedup(&rs, &rj) > speedup(&rs, &rp));
+    }
+
+    #[test]
+    fn traced_run_captures_events_and_metrics_carry_spec_labels() {
+        let mut spec = RunSpec::new(Workload::Queue, Variant::JanusManual);
+        spec.transactions = 5;
+        spec.trace = Some(TraceConfig::default());
+        let r = run(spec);
+        assert!(r.tracer.enabled());
+        assert!(r.tracer.recorded() > 0, "a traced run must record events");
+        let m = r.metrics();
+        assert_eq!(
+            m.get("spec.workload"),
+            Some(&janus_trace::MetricValue::Str("queue".into()))
+        );
+        assert!(m.get("sim.cycles").is_some());
+        // Untraced runs stay untraced.
+        let plain = run(RunSpec::new(Workload::Queue, Variant::JanusManual));
+        assert!(!plain.tracer.enabled());
     }
 
     #[test]

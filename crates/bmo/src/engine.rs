@@ -28,8 +28,9 @@ use std::collections::HashMap;
 
 use janus_sim::resource::UnitPool;
 use janus_sim::time::Cycles;
+use janus_trace::{Category, Tracer};
 
-use crate::subop::{DepGraph, NodeId};
+use crate::subop::{BmoKind, DepGraph, NodeId};
 
 /// Initiation interval of a pipelined BMO unit: a unit accepts a new
 /// cache-line-sized sub-operation every 10 ns even while earlier results
@@ -53,6 +54,24 @@ pub enum BmoMode {
 /// Handle to a job inside the engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct JobId(u64);
+
+impl JobId {
+    /// The raw numeric id — the correlation key trace events use.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// The trace category a sub-operation's BMO kind maps to.
+fn category_of(kind: BmoKind) -> Category {
+    match kind {
+        BmoKind::Encryption => Category::Encryption,
+        BmoKind::Integrity => Category::Integrity,
+        BmoKind::Dedup => Category::Dedup,
+        BmoKind::Compression => Category::Compression,
+        BmoKind::WearLeveling => Category::WearLeveling,
+    }
+}
 
 #[derive(Clone, Debug)]
 struct Job {
@@ -92,6 +111,7 @@ pub struct BmoEngine {
     jobs_submitted: u64,
     /// Completion time of the last job in `SerializedGlobal` mode.
     serial_tail: Cycles,
+    tracer: Tracer,
 }
 
 impl BmoEngine {
@@ -108,7 +128,16 @@ impl BmoEngine {
             topo,
             jobs_submitted: 0,
             serial_tail: Cycles::ZERO,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: every scheduled sub-operation becomes a span in
+    /// its BMO's category, and job lifecycle transitions (decomposed,
+    /// deps-ready, invalidated) become `bmo.engine` instants, keyed by
+    /// [`JobId::raw`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The dependency graph in use.
@@ -153,6 +182,15 @@ impl BmoEngine {
                 wasted: Cycles::ZERO,
             },
         );
+        // Decomposition: the write/pre-request became a sub-op graph
+        // instance. `arg` packs the input-availability snapshot.
+        self.tracer.instant(
+            Category::Engine,
+            "job_decomposed",
+            submit,
+            id,
+            u64::from(addr_at.is_some()) | u64::from(data_at.is_some()) << 1 | u64::from(dup) << 2,
+        );
         self.schedule(JobId(id));
         if self.mode == BmoMode::SerializedGlobal {
             if let Some(done) = self.completion(JobId(id)) {
@@ -176,6 +214,8 @@ impl BmoEngine {
         let job = self.job_mut(id);
         if job.addr_at.is_none() {
             job.addr_at = Some(t.max(job.submit));
+            self.tracer
+                .instant(Category::Engine, "deps_ready_addr", t, id.0, 0);
             self.schedule(id);
         }
     }
@@ -186,6 +226,8 @@ impl BmoEngine {
         let job = self.job_mut(id);
         if job.data_at.is_none() {
             job.data_at = Some(t.max(job.submit));
+            self.tracer
+                .instant(Category::Engine, "deps_ready_data", t, id.0, 0);
             self.schedule(id);
         }
     }
@@ -218,6 +260,8 @@ impl BmoEngine {
         }
         job.data_at = Some(now);
         job.dup = dup;
+        self.tracer
+            .instant(Category::Engine, "job_invalidate_data", now, id.0, 0);
         self.schedule(id);
     }
 
@@ -238,6 +282,8 @@ impl BmoEngine {
         job.addr_at = Some(now);
         job.data_at = Some(now);
         job.dup = dup;
+        self.tracer
+            .instant(Category::Engine, "job_invalidate_all", now, id.0, 0);
         self.schedule(id);
     }
 
@@ -249,7 +295,7 @@ impl BmoEngine {
             // Walk in topological order so chains schedule in one pass.
             for idx in 0..self.topo.len() {
                 let n = self.topo[idx];
-                let (ready, latency) = {
+                let (ready, latency, name, kind) = {
                     let job = self.job(id);
                     if job.node_end[n.0].is_some() {
                         continue;
@@ -311,9 +357,11 @@ impl BmoEngine {
                             continue;
                         }
                     }
-                    (ready, op.latency)
+                    (ready, op.latency, op.name, op.bmo)
                 };
-                let (_start, end) = self.pool.acquire_pipelined(ready, latency, UNIT_II);
+                let (start, end) = self.pool.acquire_pipelined(ready, latency, UNIT_II);
+                self.tracer
+                    .span(category_of(kind), name, start, end, id.0, latency.0);
                 self.job_mut(id).node_end[n.0] = Some(end);
                 progress = true;
             }

@@ -32,6 +32,7 @@ use janus_nvm::store::LineStore;
 use janus_nvm::wq::{AdrWriteQueue, PersistentDomain};
 use janus_sim::stats::StatSet;
 use janus_sim::time::Cycles;
+use janus_trace::{Category, TraceConfig, Tracer};
 
 use crate::config::{JanusConfig, SystemMode};
 use crate::irb::{Irb, IrbEntry, IrbKey};
@@ -69,6 +70,7 @@ pub struct MemoryController {
     /// metadata).
     pending_fresh: std::collections::HashMap<Line, u32>,
     stats: StatSet,
+    tracer: Tracer,
 }
 
 impl MemoryController {
@@ -101,9 +103,33 @@ impl MemoryController {
             inflight_ops: Vec::new(),
             pending_fresh: std::collections::HashMap::new(),
             stats: StatSet::new(),
+            tracer: Tracer::disabled(),
             pipeline,
             config,
         }
+    }
+
+    /// Attaches a tracer, sharing its buffer with the BMO engine, the NVM
+    /// device, and the ADR write queue (the handle is a cheap clone).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.engine.set_tracer(tracer.clone());
+        self.device.set_tracer(tracer.clone());
+        self.wq.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Creates and attaches a tracer in one step; returns the handle for
+    /// export.
+    pub fn enable_trace(&mut self, config: &TraceConfig) -> Tracer {
+        let tracer = Tracer::new(config);
+        self.set_tracer(tracer.clone());
+        tracer
+    }
+
+    /// The attached tracer (disabled unless [`Self::set_tracer`] /
+    /// [`Self::enable_trace`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The functional pipeline (for reads and test assertions).
@@ -163,8 +189,17 @@ impl MemoryController {
         self.irb.expire(now, self.config.irb_max_age);
         if !self.req_queue.admit_immediate(&req) {
             self.stats.counter("pre_req_dropped").incr();
+            self.tracer
+                .instant(Category::Queue, "pre_req_drop", now, req.key.core as u64, 0);
             return;
         }
+        self.tracer.instant(
+            Category::Queue,
+            "pre_req_enqueue",
+            now,
+            req.key.core as u64,
+            req.nlines as u64,
+        );
         // Decode into cache-line-sized operations (one cycle each — small
         // against BMO latencies, charged as part of the issue path).
         for op in decode(&req) {
@@ -189,6 +224,13 @@ impl MemoryController {
         }
         for req in self.req_queue.start_buffered(key) {
             let func = req.func;
+            self.tracer.instant(
+                Category::Queue,
+                "pre_req_dequeue",
+                now,
+                req.key.core as u64,
+                req.nlines as u64,
+            );
             for op in decode(&req) {
                 self.admit_line_op(now, op, func);
             }
@@ -199,6 +241,8 @@ impl MemoryController {
         self.reap_inflight(now);
         if self.inflight_ops.len() >= self.config.total_op_queue() {
             self.stats.counter("pre_op_dropped").incr();
+            self.tracer
+                .instant(Category::Queue, "pre_op_drop", now, op.key.core as u64, 0);
             return;
         }
         // Congestion-aware admission: when the BMO units are booked far
@@ -206,6 +250,8 @@ impl MemoryController {
         // writes are not starved (dropping is always safe).
         if self.engine.backlog(now) > self.config.pre_admission_backlog {
             self.stats.counter("pre_op_dropped").incr();
+            self.tracer
+                .instant(Category::Queue, "pre_op_drop", now, op.key.core as u64, 1);
             return;
         }
 
@@ -275,8 +321,17 @@ impl MemoryController {
         };
         if !self.irb.insert(entry) {
             self.engine.retire(job);
+            self.tracer
+                .instant(Category::Irb, "irb_insert_drop", now, job.raw(), 0);
             return;
         }
+        self.tracer.instant(
+            Category::Irb,
+            "irb_insert",
+            now,
+            job.raw(),
+            op.line.map_or(u64::MAX, |l| l.0),
+        );
         if let Some(v) = op.value {
             if predicted_dup == Some(false) {
                 *self.pending_fresh.entry(v).or_insert(0) += 1;
@@ -382,6 +437,14 @@ impl MemoryController {
         self.stats
             .histogram("write_critical_latency")
             .record(persist_at.saturating_sub(now));
+        // The write's arrival → persistence interval, the latency the paper
+        // optimizes. `arg` carries the issuing core.
+        self.tracer
+            .span(Category::Controller, "write", now, persist_at, line.0, core as u64);
+        if fx.dup {
+            self.tracer
+                .instant(Category::Controller, "write_dup", now, line.0, core as u64);
+        }
         WriteOutcome {
             persist_at,
             dup: fx.dup,
@@ -402,11 +465,15 @@ impl MemoryController {
 
         let Some(entry) = self.irb.consume(core, line) else {
             self.stats.counter("pre_miss").incr();
+            self.tracer
+                .instant(Category::Irb, "irb_miss", now, line.0, core as u64);
             let job = self.engine.submit(now, Some(now), Some(now), fx.dup);
             let done = self.engine.completion(job).expect("inputs supplied");
             self.engine.retire(job);
             return done.max(now + IRB_LOOKUP);
         };
+        self.tracer
+            .instant(Category::Irb, "irb_hit", now, entry.job.raw(), line.0);
 
         // Release the in-flight fresh-value prediction.
         if let Some(v) = entry.data {
@@ -423,6 +490,8 @@ impl MemoryController {
         if entry.stale {
             // Metadata under the pre-execution changed (§4.3.1 case 2).
             self.stats.counter("inval_meta").incr();
+            self.tracer
+                .instant(Category::Irb, "irb_inval_meta", now, job.raw(), line.0);
             self.engine.invalidate_all(job, now, fx.dup);
         } else {
             match entry.data {
@@ -438,6 +507,8 @@ impl MemoryController {
                         // Clean hit — nothing to re-run.
                     } else {
                         self.stats.counter("inval_meta").incr();
+                        self.tracer
+                            .instant(Category::Irb, "irb_inval_meta", now, job.raw(), line.0);
                         self.engine.invalidate_all(job, now, fx.dup);
                     }
                 }
@@ -446,6 +517,8 @@ impl MemoryController {
                     // sub-operations, reusing address-dependent ones —
                     // unless the partial-reuse optimization is ablated.
                     self.stats.counter("inval_data").incr();
+                    self.tracer
+                        .instant(Category::Irb, "irb_inval_data", now, job.raw(), line.0);
                     if self.config.partial_reuse {
                         self.engine.invalidate_data(job, now, fx.dup);
                     } else {
@@ -468,14 +541,25 @@ impl MemoryController {
             .expect("all inputs supplied by write arrival");
         if done <= now {
             self.stats.counter("pre_full").incr();
+            self.tracer
+                .instant(Category::Engine, "job_pre_executed", now, job.raw(), line.0);
         } else {
             self.stats.counter("pre_partial").incr();
+            self.tracer.instant(
+                Category::Engine,
+                "job_pre_partial",
+                now,
+                job.raw(),
+                (done - now).0,
+            );
         }
         let wasted = self.engine.wasted(job);
         if wasted > Cycles::ZERO {
             self.stats.counter("bmo_wasted_cycles").add(wasted.0);
         }
         self.engine.retire(job);
+        self.tracer
+            .instant(Category::Engine, "job_committed", done.max(now), job.raw(), line.0);
         done.max(now + IRB_LOOKUP)
     }
 
@@ -523,6 +607,8 @@ impl MemoryController {
         self.stats
             .histogram("read_latency")
             .record(verified.saturating_sub(now));
+        self.tracer
+            .span(Category::Controller, "read", now, verified, line.0, 0);
         verified
     }
 

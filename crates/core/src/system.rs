@@ -16,6 +16,9 @@ use janus_nvm::line::Line;
 use janus_nvm::store::LineStore;
 use janus_sim::event::EventQueue;
 use janus_sim::time::Cycles;
+use janus_trace::metrics::{MetricValue, MetricsRegistry};
+use janus_trace::sampler::{MetricsSampler, Sample};
+use janus_trace::{TraceConfig, Tracer};
 
 use crate::config::JanusConfig;
 use crate::controller::MemoryController;
@@ -130,6 +133,7 @@ pub struct System {
     overlay: Vec<LineStore>,
     cores: Vec<CoreState>,
     events: EventQueue<Ev>,
+    sampler: Option<MetricsSampler>,
 }
 
 impl System {
@@ -144,9 +148,41 @@ impl System {
             overlay: (0..config.cores).map(|_| LineStore::new()).collect(),
             cores: Vec::new(),
             events: EventQueue::new(),
+            sampler: None,
             mc,
             config,
         }
+    }
+
+    /// Enables event tracing for this run; returns the [`Tracer`] handle
+    /// for export after [`System::run`]. The controller shares the handle
+    /// with the BMO engine, NVM device, and write queue.
+    pub fn enable_trace(&mut self, config: &TraceConfig) -> Tracer {
+        self.mc.enable_trace(config)
+    }
+
+    /// The run's tracer (disabled unless [`System::enable_trace`] was
+    /// called).
+    pub fn tracer(&self) -> &Tracer {
+        self.mc.tracer()
+    }
+
+    /// Enables periodic counter sampling: every `every` cycles of simulated
+    /// time, the controller's counters are snapshotted into a time-series
+    /// (retrieve with [`System::samples`]).
+    pub fn enable_sampling(&mut self, every: Cycles) {
+        self.sampler = Some(MetricsSampler::new(every));
+    }
+
+    /// The sampled counter time-series (empty unless
+    /// [`System::enable_sampling`] was called before the run).
+    pub fn samples(&self) -> &[Sample] {
+        self.sampler.as_ref().map_or(&[], |s| s.samples())
+    }
+
+    /// The sampler itself (for JSON/CSV export of the time-series).
+    pub fn sampler(&self) -> Option<&MetricsSampler> {
+        self.sampler.as_ref()
     }
 
     /// Access to the memory controller (reads, crash snapshots, …).
@@ -183,6 +219,9 @@ impl System {
         );
         self.start(programs);
         while self.step() {}
+        if let Some(sampler) = &mut self.sampler {
+            sampler.finish(self.events.now(), self.mc.stats());
+        }
         self.report()
     }
 
@@ -227,6 +266,9 @@ impl System {
         let Some((t, ev)) = self.events.pop() else {
             return false;
         };
+        if let Some(sampler) = &mut self.sampler {
+            sampler.maybe_sample(t, self.mc.stats());
+        }
         match ev {
             Ev::Core(i) => self.step_core(t, i),
             Ev::WriteArrive {
@@ -549,10 +591,12 @@ impl System {
             l2: self.l2.stats(),
             mean_write_latency: stats
                 .histogram_ref("write_critical_latency")
-                .map_or(Cycles::ZERO, |h| h.mean()),
+                .and_then(|h| h.mean())
+                .unwrap_or(Cycles::ZERO),
             mean_read_latency: stats
                 .histogram_ref("read_latency")
-                .map_or(Cycles::ZERO, |h| h.mean()),
+                .and_then(|h| h.mean())
+                .unwrap_or(Cycles::ZERO),
         }
     }
 }
@@ -586,6 +630,50 @@ impl ExecutionReport {
             writeln!(out, "mc.{name} {v}")?;
         }
         Ok(())
+    }
+
+    /// The report as a machine-readable [`MetricsRegistry`] (same names as
+    /// [`ExecutionReport::dump`]), for JSON/CSV export.
+    pub fn to_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.set_u64("sim.cycles", self.cycles.0);
+        m.set_u64("sim.transactions", self.transactions);
+        m.set_f64("sim.tx_per_mcycle", self.tx_per_mcycle());
+        m.set_u64("sim.writes", self.writes);
+        m.set_u64("sim.dup_writes", self.dup_writes);
+        m.set(
+            "janus.fully_preexecuted_fraction",
+            MetricValue::Float(self.fully_preexecuted_fraction),
+        );
+        let (ins, cons, drop, exp, stale) = self.irb;
+        m.set_u64("irb.inserted", ins);
+        m.set_u64("irb.consumed", cons);
+        m.set_u64("irb.dropped", drop);
+        m.set_u64("irb.expired", exp);
+        m.set_u64("irb.stale", stale);
+        m.set_u64("cache.l1_hits", self.l1.0);
+        m.set_u64("cache.l1_misses", self.l1.1);
+        m.set_u64("cache.l2_hits", self.l2.0);
+        m.set_u64("cache.l2_misses", self.l2.1);
+        m.set_u64("lat.write_mean_cycles", self.mean_write_latency.0);
+        m.set_u64("lat.read_mean_cycles", self.mean_read_latency.0);
+        for (i, c) in self.core_cycles.iter().enumerate() {
+            m.set_u64(format!("sim.core{i}_cycles"), c.0);
+        }
+        for (name, v) in &self.counters {
+            m.set_u64(format!("mc.{name}"), *v);
+        }
+        m
+    }
+
+    /// Writes the report as a single JSON object (see
+    /// [`ExecutionReport::to_metrics`] for the key set).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn dump_json(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        out.write_all(self.to_metrics().to_json().as_bytes())
     }
 }
 

@@ -7,6 +7,7 @@
 //! same bank serialize, and all accesses share a command/data bus.
 
 use janus_sim::time::Cycles;
+use janus_trace::{Category, Tracer};
 
 use crate::addr::LineAddr;
 
@@ -86,6 +87,7 @@ pub struct NvmDevice {
     last_write_burst_end: Cycles,
     reads: u64,
     writes: u64,
+    tracer: Tracer,
 }
 
 impl NvmDevice {
@@ -105,7 +107,13 @@ impl NvmDevice {
             timing,
             reads: 0,
             writes: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; every scheduled access becomes an `nvm` span.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The bank an address maps to (line interleaving).
@@ -153,6 +161,12 @@ impl NvmDevice {
         if kind == AccessKind::Write {
             self.last_write_burst_end = self.bus_busy;
         }
+        let name = match kind {
+            AccessKind::Read => "nvm_read",
+            AccessKind::Write => "nvm_write",
+        };
+        self.tracer
+            .span(Category::Nvm, name, start, done, addr.0, bank as u64);
         done
     }
 

@@ -4,7 +4,7 @@
 //! contents, used for: program-visible volatile state, the persistent NVM
 //! array (ciphertext), and metadata regions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::LineAddr;
 use crate::line::Line;
@@ -22,7 +22,10 @@ use crate::line::Line;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct LineStore {
-    lines: HashMap<LineAddr, Line>,
+    // Ordered map: iteration order feeds cache warm-up and recovery replay,
+    // so it must be deterministic — a hashed map here made same-seed runs
+    // diverge from process to process.
+    lines: BTreeMap<LineAddr, Line>,
 }
 
 impl LineStore {
@@ -68,7 +71,7 @@ impl LineStore {
         self.lines.is_empty()
     }
 
-    /// Iterates over non-zero lines in unspecified order.
+    /// Iterates over non-zero lines in ascending address order.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &Line)> {
         self.lines.iter().map(|(a, l)| (*a, l))
     }

@@ -12,6 +12,7 @@
 //! ... higher queuing latency in the memory controller" effect (§5.2.1).
 
 use janus_sim::time::Cycles;
+use janus_trace::{Category, Tracer};
 
 use crate::addr::LineAddr;
 use crate::device::{AccessKind, NvmDevice};
@@ -47,6 +48,7 @@ pub struct AdrWriteQueue {
     accepted: u64,
     coalesced: u64,
     stall_cycles: Cycles,
+    tracer: Tracer,
 }
 
 impl AdrWriteQueue {
@@ -64,7 +66,14 @@ impl AdrWriteQueue {
             accepted: 0,
             coalesced: 0,
             stall_cycles: Cycles::ZERO,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; acceptances emit `wq` occupancy counters plus
+    /// coalesce/stall instants.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Disables same-line write coalescing (ablation).
@@ -92,6 +101,8 @@ impl AdrWriteQueue {
         if self.coalescing && self.pending.iter().any(|p| p.addr == addr) {
             self.accepted += 1;
             self.coalesced += 1;
+            self.tracer
+                .instant(Category::WriteQueue, "wq_coalesce", now, addr.0, 0);
             return now;
         }
         let accept_at = if self.pending.len() < self.capacity {
@@ -104,12 +115,25 @@ impl AdrWriteQueue {
                 .min()
                 .expect("full queue is non-empty");
             self.stall_cycles += earliest - now;
+            self.tracer.instant(
+                Category::WriteQueue,
+                "wq_stall",
+                now,
+                addr.0,
+                (earliest - now).0,
+            );
             self.reap(earliest);
             earliest
         };
         let drains_at = device.schedule(accept_at, addr, AccessKind::Write);
         self.pending.push(Pending { addr, drains_at });
         self.accepted += 1;
+        self.tracer.counter(
+            Category::WriteQueue,
+            "wq_occupancy",
+            accept_at,
+            self.pending.len() as u64,
+        );
         accept_at
     }
 

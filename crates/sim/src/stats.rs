@@ -60,8 +60,9 @@ impl fmt::Display for Counter {
 /// h.record(Cycles(10));
 /// h.record(Cycles(30));
 /// assert_eq!(h.count(), 2);
-/// assert_eq!(h.mean(), Cycles(20));
+/// assert_eq!(h.mean(), Some(Cycles(20)));
 /// assert_eq!(h.max(), Cycles(30));
+/// assert_eq!(Histogram::new().mean(), None);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
@@ -93,12 +94,16 @@ impl Histogram {
         self.count
     }
 
-    /// Exact arithmetic mean (zero if empty).
-    pub fn mean(&self) -> Cycles {
+    /// Exact arithmetic mean, or `None` if no samples were recorded.
+    ///
+    /// An empty histogram has no mean; returning a fabricated zero made
+    /// empty-workload reports indistinguishable from genuinely-zero-latency
+    /// ones, so callers must now decide how to present the absence.
+    pub fn mean(&self) -> Option<Cycles> {
         if self.count == 0 {
-            Cycles::ZERO
+            None
         } else {
-            Cycles((self.sum / self.count as u128) as u64)
+            Some(Cycles((self.sum / self.count as u128) as u64))
         }
     }
 
@@ -123,12 +128,13 @@ impl Histogram {
     }
 
     /// Approximate percentile (`q` in \[0,1\]): the upper bound of the first
-    /// log2 bucket containing the q-quantile sample. Bucketed, so accurate
-    /// to a factor of two — enough for tail-latency reporting.
-    pub fn percentile(&self, q: f64) -> Cycles {
+    /// log2 bucket containing the q-quantile sample, or `None` if no samples
+    /// were recorded. Bucketed, so accurate to a factor of two — enough for
+    /// tail-latency reporting.
+    pub fn percentile(&self, q: f64) -> Option<Cycles> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
         if self.count == 0 {
-            return Cycles::ZERO;
+            return None;
         }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
@@ -136,10 +142,10 @@ impl Histogram {
             seen += c;
             if seen >= target {
                 // Upper bound of bucket b: 2^b - 1 (bucket 0 holds value 0).
-                return Cycles(if *b == 0 { 0 } else { (1u64 << *b) - 1 }).min(self.max);
+                return Some(Cycles(if *b == 0 { 0 } else { (1u64 << *b) - 1 }).min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Merges another histogram into this one.
@@ -158,14 +164,17 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "n={} mean={} min={} max={}",
-            self.count,
-            self.mean(),
-            self.min(),
-            self.max()
-        )
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={} min={} max={}",
+                self.count,
+                mean,
+                self.min(),
+                self.max()
+            ),
+            None => write!(f, "n=0 (no samples)"),
+        }
     }
 }
 
@@ -248,18 +257,21 @@ mod tests {
             h.record(Cycles(v));
         }
         assert_eq!(h.count(), 3);
-        assert_eq!(h.mean(), Cycles(40));
+        assert_eq!(h.mean(), Some(Cycles(40)));
         assert_eq!(h.min(), Cycles(5));
         assert_eq!(h.max(), Cycles(100));
         assert_eq!(h.sum(), Cycles(120));
     }
 
     #[test]
-    fn histogram_empty_is_zero() {
+    fn histogram_empty_has_no_mean_or_percentile() {
         let h = Histogram::new();
-        assert_eq!(h.mean(), Cycles::ZERO);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(1.0), None);
         assert_eq!(h.min(), Cycles::ZERO);
         assert_eq!(h.max(), Cycles::ZERO);
+        assert_eq!(h.to_string(), "n=0 (no samples)");
     }
 
     #[test]
@@ -280,7 +292,7 @@ mod tests {
         b.record(Cycles(30));
         a.merge(&b);
         assert_eq!(a.count(), 2);
-        assert_eq!(a.mean(), Cycles(20));
+        assert_eq!(a.mean(), Some(Cycles(20)));
         assert_eq!(a.min(), Cycles(10));
         assert_eq!(a.max(), Cycles(30));
     }
@@ -291,10 +303,10 @@ mod tests {
         for v in 1..=100u64 {
             h.record(Cycles(v));
         }
-        assert!(h.percentile(0.5) >= Cycles(50));
-        assert!(h.percentile(0.99) >= Cycles(99));
-        assert_eq!(h.percentile(1.0), Cycles(100));
-        assert_eq!(Histogram::new().percentile(0.5), Cycles::ZERO);
+        assert!(h.percentile(0.5).unwrap() >= Cycles(50));
+        assert!(h.percentile(0.99).unwrap() >= Cycles(99));
+        assert_eq!(h.percentile(1.0), Some(Cycles(100)));
+        assert_eq!(Histogram::new().percentile(0.5), None);
     }
 
     #[test]

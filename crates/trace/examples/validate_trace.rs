@@ -1,0 +1,68 @@
+//! Validates a Chrome trace-event JSON file and prints a summary.
+//!
+//! ```text
+//! cargo run -p janus-trace --example validate_trace -- out.json
+//! ```
+//!
+//! Exits non-zero if the file is not well-formed JSON or lacks the
+//! `traceEvents` array — CI runs this against the quickstart's trace
+//! output to keep the exporter honest.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_trace <trace.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match janus_trace::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(events) = doc.get("traceEvents").and_then(|v| v.as_array()) else {
+        eprintln!("error: {path}: missing \"traceEvents\" array");
+        return ExitCode::FAILURE;
+    };
+    let mut complete = 0usize;
+    let mut instants = 0usize;
+    let mut counters = 0usize;
+    let mut other = 0usize;
+    let mut cats: Vec<String> = Vec::new();
+    for ev in events {
+        match ev.get("ph").and_then(|p| p.as_str()) {
+            Some("X") => complete += 1,
+            Some("i") => instants += 1,
+            Some("C") => counters += 1,
+            _ => other += 1,
+        }
+        if let Some(cat) = ev.get("cat").and_then(|c| c.as_str()) {
+            if !cats.iter().any(|c| c == cat) {
+                cats.push(cat.to_string());
+            }
+        }
+    }
+    cats.sort();
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(|d| d.as_f64())
+        .unwrap_or(0.0);
+    println!(
+        "{path}: OK — {} events ({complete} spans, {instants} instants, {counters} counters, \
+         {other} other), {} dropped, categories: {}",
+        events.len(),
+        dropped,
+        cats.join(",")
+    );
+    ExitCode::SUCCESS
+}

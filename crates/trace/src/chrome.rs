@@ -1,0 +1,258 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the [Trace Event Format] consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev). Begin/End pairs are folded into
+//! complete (`"ph":"X"`) events so the viewer never sees unbalanced
+//! B/E stacks; instants become `"i"`, counters `"C"`. Timestamps are
+//! microseconds: at the simulator's 4 GHz clock one cycle is 0.00025 µs,
+//! formatted with five fixed decimals so equal inputs produce byte-equal
+//! output (the determinism tests diff exports byte-for-byte).
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json;
+
+/// Microseconds per cycle at the simulator's 4 GHz clock.
+const US_PER_CYCLE: f64 = 0.000_25;
+
+fn push_ts(out: &mut String, cycles: u64) {
+    // Five decimals exactly covers the 0.00025 µs granularity.
+    out.push_str(&format!("{:.5}", cycles as f64 * US_PER_CYCLE));
+}
+
+fn push_common(out: &mut String, ev: &TraceEvent, ph: &str) {
+    out.push_str("{\"name\":");
+    json::write_str(out, ev.name);
+    out.push_str(",\"cat\":");
+    json::write_str(out, ev.cat.as_str());
+    out.push_str(",\"ph\":\"");
+    out.push_str(ph);
+    out.push_str("\",\"ts\":");
+    push_ts(out, ev.cycle.0);
+    out.push_str(",\"pid\":1,\"tid\":");
+    // One viewer track per category keeps concurrent spans from different
+    // layers off each other's stacks.
+    out.push_str(&format!("{}", track(ev)));
+}
+
+/// Stable per-category track id (Perfetto renders each tid as a lane).
+fn track(ev: &TraceEvent) -> u32 {
+    use crate::event::Category::*;
+    match ev.cat {
+        Controller => 1,
+        Irb => 2,
+        Queue => 3,
+        Engine => 4,
+        Encryption => 5,
+        Integrity => 6,
+        Dedup => 7,
+        Compression => 8,
+        WearLeveling => 9,
+        Nvm => 10,
+        WriteQueue => 11,
+        Sim => 12,
+    }
+}
+
+fn push_args(out: &mut String, ev: &TraceEvent) {
+    out.push_str(",\"args\":{\"id\":");
+    out.push_str(&format!("{}", ev.id));
+    out.push_str(",\"arg\":");
+    out.push_str(&format!("{}", ev.arg));
+    out.push_str(",\"seq\":");
+    out.push_str(&format!("{}", ev.seq));
+    out.push('}');
+}
+
+/// Serializes events (oldest → newest, as produced by
+/// [`crate::ring::RingBuffer::snapshot`]) into a complete Chrome trace
+/// document.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn export(events: &[TraceEvent], dropped: u64, out: &mut impl Write) -> io::Result<()> {
+    // First pass: pair Begin/End on (name, id, track). Ends match the
+    // earliest unmatched begin (spans from the analytic engine never nest
+    // on the same key). Keys are indices into `events`.
+    let mut open: HashMap<(&'static str, u64, u32), Vec<usize>> = HashMap::new();
+    let mut end_for_begin: HashMap<usize, usize> = HashMap::new();
+    let mut matched_end: Vec<bool> = vec![false; events.len()];
+    for (i, ev) in events.iter().enumerate() {
+        match ev.kind {
+            EventKind::Begin => open.entry((ev.name, ev.id, track(ev))).or_default().push(i),
+            EventKind::End => {
+                if let Some(stack) = open.get_mut(&(ev.name, ev.id, track(ev))) {
+                    if let Some(b) = (!stack.is_empty()).then(|| stack.remove(0)) {
+                        end_for_begin.insert(b, i);
+                        matched_end[i] = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = String::with_capacity(events.len() * 96 + 256);
+    body.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (i, ev) in events.iter().enumerate() {
+        let mut entry = String::with_capacity(96);
+        match ev.kind {
+            EventKind::Begin => {
+                if let Some(&e) = end_for_begin.get(&i) {
+                    push_common(&mut entry, ev, "X");
+                    entry.push_str(",\"dur\":");
+                    push_ts(&mut entry, events[e].cycle.0.saturating_sub(ev.cycle.0));
+                } else {
+                    // End fell off the ring (or the run stopped mid-span);
+                    // emit the raw begin so the viewer still shows it.
+                    push_common(&mut entry, ev, "B");
+                }
+            }
+            EventKind::End => {
+                if matched_end[i] {
+                    continue; // folded into its begin's "X"
+                }
+                push_common(&mut entry, ev, "E");
+            }
+            EventKind::Instant => {
+                push_common(&mut entry, ev, "i");
+                entry.push_str(",\"s\":\"t\"");
+            }
+            EventKind::Counter => {
+                push_common(&mut entry, ev, "C");
+            }
+        }
+        if ev.kind == EventKind::Counter {
+            entry.push_str(",\"args\":{\"value\":");
+            entry.push_str(&format!("{}", ev.arg));
+            entry.push('}');
+        } else {
+            push_args(&mut entry, ev);
+        }
+        entry.push('}');
+        if !first {
+            body.push(',');
+        }
+        first = false;
+        body.push_str(&entry);
+    }
+    body.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock_ghz\":4,\"dropped_events\":");
+    body.push_str(&format!("{dropped}"));
+    body.push_str("}}");
+    out.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+    use crate::tracer::{TraceConfig, Tracer};
+    use janus_sim::time::Cycles;
+
+    fn export_str(t: &Tracer) -> String {
+        let mut out = Vec::new();
+        t.export_chrome(&mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn pairs_spans_into_complete_events() {
+        let t = Tracer::new(&TraceConfig::default());
+        t.span(Category::Encryption, "E1", Cycles(40), Cycles(140), 7, 0);
+        let text = export_str(&t);
+        let doc = json::parse(&text).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(evs.len(), 1);
+        let x = &evs[0];
+        assert_eq!(x.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(x.get("name").unwrap().as_str(), Some("E1"));
+        assert_eq!(x.get("cat").unwrap().as_str(), Some("bmo.encryption"));
+        // 40 cycles @4GHz = 10ns = 0.01us; duration 100 cycles = 0.025us.
+        assert_eq!(x.get("ts").unwrap().as_f64(), Some(0.01));
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(0.025));
+        assert_eq!(
+            x.get("args").unwrap().get("id").unwrap().as_f64(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn unpaired_begin_survives_as_raw_b() {
+        let t = Tracer::new(&TraceConfig::default());
+        t.begin(Category::Controller, "write", Cycles(4), 1, 0);
+        let text = export_str(&t);
+        let doc = json::parse(&text).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("B"));
+    }
+
+    #[test]
+    fn instants_and_counters_serialize() {
+        let t = Tracer::new(&TraceConfig::default());
+        t.instant(Category::Irb, "irb_hit", Cycles(8), 3, 0);
+        t.counter(Category::WriteQueue, "wq_occupancy", Cycles(12), 5);
+        let doc = json::parse(&export_str(&t)).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(evs[0].get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            evs[1].get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic_for_equal_inputs() {
+        let build = || {
+            let t = Tracer::new(&TraceConfig::default());
+            for i in 0..50u64 {
+                t.span(Category::Dedup, "D2", Cycles(i * 10), Cycles(i * 10 + 7), i, i % 3);
+                t.instant(Category::Queue, "enq", Cycles(i * 10 + 1), i, 0);
+            }
+            export_str(&t)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn reports_dropped_events() {
+        let t = Tracer::new(&TraceConfig { capacity: 2 });
+        for i in 0..5u64 {
+            t.instant(Category::Sim, "tick", Cycles(i), i, 0);
+        }
+        let doc = json::parse(&export_str(&t)).unwrap();
+        assert_eq!(
+            doc.get("otherData")
+                .unwrap()
+                .get("dropped_events")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn interleaved_same_name_spans_pair_fifo() {
+        // Two pipelined E1 sub-ops for different jobs, overlapping in time.
+        let t = Tracer::new(&TraceConfig::default());
+        t.begin(Category::Encryption, "E1", Cycles(0), 1, 0);
+        t.begin(Category::Encryption, "E1", Cycles(40), 2, 0);
+        t.end(Category::Encryption, "E1", Cycles(100), 1, 0);
+        t.end(Category::Encryption, "E1", Cycles(140), 2, 0);
+        let doc = json::parse(&export_str(&t)).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(evs.len(), 2);
+        for x in evs {
+            assert_eq!(x.get("ph").unwrap().as_str(), Some("X"));
+            assert_eq!(x.get("dur").unwrap().as_f64(), Some(0.025));
+        }
+    }
+}

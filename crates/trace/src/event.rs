@@ -1,0 +1,150 @@
+//! Trace events: the fixed-size, copyable records the ring buffer stores.
+//!
+//! The taxonomy mirrors the simulator's layers. *Spans* ([`EventKind::Begin`]
+//! / [`EventKind::End`]) cover work with duration — a sub-operation on a BMO
+//! unit, a write's arrival-to-persist interval, an NVM array access.
+//! *Instants* ([`EventKind::Instant`]) mark point decisions — an IRB hit, a
+//! dropped pre-execution request. *Counters* ([`EventKind::Counter`]) sample
+//! a level — write-queue occupancy.
+
+use janus_sim::time::Cycles;
+
+/// Which simulator layer an event belongs to.
+///
+/// Categories become the `cat` field of the Chrome trace export, so traces
+/// can be filtered per layer in Perfetto ("show me only `bmo.dedup`").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Memory-controller write/read handling (`janus-core`).
+    Controller,
+    /// Intermediate Result Buffer insert/hit/invalidate (`janus-core`).
+    Irb,
+    /// Pre-execution request queue enqueue/dequeue (`janus-core`).
+    Queue,
+    /// BMO engine job lifecycle: decomposed, deps-ready, committed
+    /// (`janus-bmo`).
+    Engine,
+    /// Counter-mode encryption sub-operations E1–E4 (`janus-bmo`).
+    Encryption,
+    /// Bonsai-Merkle-Tree integrity sub-operations I1–I3 (`janus-bmo`).
+    Integrity,
+    /// Deduplication sub-operations D1–D4 (`janus-bmo`).
+    Dedup,
+    /// Extended-graph compression sub-operation C1 (`janus-bmo`).
+    Compression,
+    /// Extended-graph wear-leveling sub-operation W1 (`janus-bmo`).
+    WearLeveling,
+    /// NVM device array reads/writes (`janus-nvm`).
+    Nvm,
+    /// ADR write queue acceptance/occupancy (`janus-nvm`).
+    WriteQueue,
+    /// Core-side simulator events (`janus-core::system`).
+    Sim,
+}
+
+impl Category {
+    /// The Chrome-trace `cat` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Controller => "controller",
+            Category::Irb => "irb",
+            Category::Queue => "queue",
+            Category::Engine => "bmo.engine",
+            Category::Encryption => "bmo.encryption",
+            Category::Integrity => "bmo.integrity",
+            Category::Dedup => "bmo.dedup",
+            Category::Compression => "bmo.compression",
+            Category::WearLeveling => "bmo.wear",
+            Category::Nvm => "nvm",
+            Category::WriteQueue => "wq",
+            Category::Sim => "sim",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The phase of an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Start of a span (matched by an [`EventKind::End`] with the same
+    /// name and id).
+    Begin,
+    /// End of a span.
+    End,
+    /// A point event.
+    Instant,
+    /// A sampled level; `arg` carries the value.
+    Counter,
+}
+
+/// One recorded event. `Copy` and fixed-size on purpose: recording an event
+/// is a bounds-checked array store, never an allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Interned event name (`"E1"`, `"irb_hit"`, `"nvm_write"`, …).
+    pub name: &'static str,
+    /// Layer the event belongs to.
+    pub cat: Category,
+    /// Span begin/end, instant, or counter.
+    pub kind: EventKind,
+    /// Simulated time of the event.
+    pub cycle: Cycles,
+    /// Correlation id: the BMO job, issuing core, or line address the event
+    /// refers to. Spans match begin↔end on `(name, id)`.
+    pub id: u64,
+    /// One free numeric argument (counter value, latency, line, …).
+    pub arg: u64,
+    /// Monotonic sequence number stamped by the ring buffer (insertion
+    /// order survives wraparound).
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_have_unique_strings() {
+        let all = [
+            Category::Controller,
+            Category::Irb,
+            Category::Queue,
+            Category::Engine,
+            Category::Encryption,
+            Category::Integrity,
+            Category::Dedup,
+            Category::Compression,
+            Category::WearLeveling,
+            Category::Nvm,
+            Category::WriteQueue,
+            Category::Sim,
+        ];
+        let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), all.len());
+        assert_eq!(Category::Dedup.to_string(), "bmo.dedup");
+    }
+
+    #[test]
+    fn event_is_small_and_copy() {
+        // The hot path stores these by value; keep them compact.
+        assert!(std::mem::size_of::<TraceEvent>() <= 64);
+        let e = TraceEvent {
+            name: "x",
+            cat: Category::Sim,
+            kind: EventKind::Instant,
+            cycle: Cycles(1),
+            id: 2,
+            arg: 3,
+            seq: 0,
+        };
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+}

@@ -1,0 +1,241 @@
+//! Machine-readable metrics: a named, ordered registry exportable as JSON
+//! or CSV.
+//!
+//! The simulator's free-text report (`ExecutionReport::dump`) is for eyes;
+//! this registry is for scripts. [`MetricsRegistry::from_stat_set`] lifts a
+//! [`StatSet`]'s counters and histogram summaries into named scalars, and
+//! callers add derived values (speedups, epoch counts) with
+//! [`MetricsRegistry::set`]. Insertion order is preserved so exports diff
+//! cleanly across runs.
+
+use std::fmt;
+
+use janus_sim::stats::StatSet;
+
+use crate::json;
+
+/// One metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// An exact count or cycle value.
+    U64(u64),
+    /// A derived ratio or mean.
+    Float(f64),
+    /// A label (workload name, variant).
+    Str(String),
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::U64(v) => write!(f, "{v}"),
+            MetricValue::Float(v) => write!(f, "{v}"),
+            MetricValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Ordered name → value metric collection. See module docs.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a metric, replacing any previous value under the same name
+    /// (keeping its original position).
+    pub fn set(&mut self, name: impl Into<String>, value: MetricValue) {
+        let name = name.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// Convenience for [`MetricValue::U64`].
+    pub fn set_u64(&mut self, name: impl Into<String>, value: u64) {
+        self.set(name, MetricValue::U64(value));
+    }
+
+    /// Convenience for [`MetricValue::Float`].
+    pub fn set_f64(&mut self, name: impl Into<String>, value: f64) {
+        self.set(name, MetricValue::Float(value));
+    }
+
+    /// Convenience for [`MetricValue::Str`].
+    pub fn set_str(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.set(name, MetricValue::Str(value.into()));
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates metrics in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Imports every counter and histogram summary from a [`StatSet`],
+    /// prefixing names with `prefix` (pass `""` for none).
+    ///
+    /// Each histogram `h` contributes `h.count`, and — when it has samples —
+    /// `h.mean`, `h.min`, `h.max`, `h.p50`, `h.p99` (cycles). Empty
+    /// histograms contribute only their zero count: absent data stays
+    /// absent instead of masquerading as zero latency.
+    pub fn import_stat_set(&mut self, prefix: &str, stats: &StatSet) {
+        for (name, value) in stats.counters() {
+            self.set_u64(format!("{prefix}{name}"), value);
+        }
+        for (name, h) in stats.histograms() {
+            self.set_u64(format!("{prefix}{name}.count"), h.count());
+            if let Some(mean) = h.mean() {
+                self.set_u64(format!("{prefix}{name}.mean"), mean.0);
+                self.set_u64(format!("{prefix}{name}.min"), h.min().0);
+                self.set_u64(format!("{prefix}{name}.max"), h.max().0);
+                if let Some(p50) = h.percentile(0.5) {
+                    self.set_u64(format!("{prefix}{name}.p50"), p50.0);
+                }
+                if let Some(p99) = h.percentile(0.99) {
+                    self.set_u64(format!("{prefix}{name}.p99"), p99.0);
+                }
+            }
+        }
+    }
+
+    /// Builds a registry from a [`StatSet`] alone.
+    pub fn from_stat_set(stats: &StatSet) -> Self {
+        let mut reg = Self::new();
+        reg.import_stat_set("", stats);
+        reg
+    }
+
+    /// Serializes as a single JSON object, keys in insertion order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 32 + 2);
+        out.push('{');
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            out.push(':');
+            match value {
+                MetricValue::U64(v) => out.push_str(&format!("{v}")),
+                MetricValue::Float(v) => json::write_f64(&mut out, *v),
+                MetricValue::Str(s) => json::write_str(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Serializes as long-form CSV (`metric,value` header plus one row per
+    /// metric, insertion order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (name, value) in &self.entries {
+            // Metric names are identifiers and values are scalars; quoting
+            // is only needed for string values that could contain commas.
+            match value {
+                MetricValue::Str(s) if s.contains(',') || s.contains('"') => {
+                    out.push_str(name);
+                    out.push(',');
+                    out.push('"');
+                    out.push_str(&s.replace('"', "\"\""));
+                    out.push_str("\"\n");
+                }
+                _ => {
+                    out.push_str(&format!("{name},{value}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_sim::time::Cycles;
+
+    #[test]
+    fn set_preserves_order_and_replaces() {
+        let mut m = MetricsRegistry::new();
+        m.set_u64("b", 1);
+        m.set_str("a", "x");
+        m.set_u64("b", 2);
+        let names: Vec<_> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+        assert_eq!(m.get("b"), Some(&MetricValue::U64(2)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn imports_stat_set_with_histogram_summaries() {
+        let mut s = StatSet::new();
+        s.counter("writes").add(7);
+        s.histogram("lat").record(Cycles(10));
+        s.histogram("lat").record(Cycles(30));
+        let m = MetricsRegistry::from_stat_set(&s);
+        assert_eq!(m.get("writes"), Some(&MetricValue::U64(7)));
+        assert_eq!(m.get("lat.count"), Some(&MetricValue::U64(2)));
+        assert_eq!(m.get("lat.mean"), Some(&MetricValue::U64(20)));
+        assert_eq!(m.get("lat.min"), Some(&MetricValue::U64(10)));
+        assert_eq!(m.get("lat.max"), Some(&MetricValue::U64(30)));
+        assert!(m.get("lat.p99").is_some());
+    }
+
+    #[test]
+    fn empty_histograms_export_count_only() {
+        let mut s = StatSet::new();
+        s.histogram("never"); // created but no samples
+        let m = MetricsRegistry::from_stat_set(&s);
+        assert_eq!(m.get("never.count"), Some(&MetricValue::U64(0)));
+        assert_eq!(m.get("never.mean"), None, "no fabricated zero mean");
+        assert_eq!(m.get("never.p50"), None);
+    }
+
+    #[test]
+    fn json_export_parses_and_keeps_order() {
+        let mut m = MetricsRegistry::new();
+        m.set_str("workload", "tpcc");
+        m.set_u64("writes", 10);
+        m.set_f64("speedup", 2.05);
+        let text = m.to_json();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("tpcc"));
+        assert_eq!(v.get("writes").unwrap().as_f64(), Some(10.0));
+        assert_eq!(v.get("speedup").unwrap().as_f64(), Some(2.05));
+        assert!(text.find("workload").unwrap() < text.find("speedup").unwrap());
+    }
+
+    #[test]
+    fn csv_export_quotes_when_needed() {
+        let mut m = MetricsRegistry::new();
+        m.set_u64("n", 3);
+        m.set_str("label", "a,b\"c");
+        let csv = m.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "metric,value");
+        assert_eq!(lines[1], "n,3");
+        assert_eq!(lines[2], "label,\"a,b\"\"c\"");
+    }
+}

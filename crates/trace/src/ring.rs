@@ -1,0 +1,155 @@
+//! Fixed-capacity event ring buffer.
+//!
+//! The buffer is allocated once (at [`RingBuffer::new`]) and never grows:
+//! recording an event into a full buffer overwrites the oldest event and
+//! bumps the dropped-event counter. Long runs therefore keep the most
+//! recent window of activity — the part you want when a run ends wrong —
+//! at a fixed memory cost, and the hot path never touches the allocator.
+
+use crate::event::TraceEvent;
+
+/// The ring. See module docs.
+#[derive(Clone, Debug)]
+pub struct RingBuffer {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event when the buffer has wrapped.
+    head: usize,
+    capacity: usize,
+    /// Events overwritten after the buffer filled.
+    dropped: u64,
+    /// Next sequence number to stamp.
+    seq: u64,
+}
+
+impl RingBuffer {
+    /// Creates a ring holding at most `capacity` events (at least one).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            dropped: 0,
+            seq: 0,
+        }
+    }
+
+    /// Records an event, stamping its sequence number. Overwrites the
+    /// oldest event when full.
+    pub fn push(&mut self, mut ev: TraceEvent) {
+        ev.seq = self.seq;
+        self.seq += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events have been recorded (or all were overwritten —
+    /// impossible, the ring keeps the newest).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Iterates events oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, start) = self.buf.split_at(self.head.min(self.buf.len()));
+        start.iter().chain(wrapped.iter())
+    }
+
+    /// Copies the retained events, oldest → newest.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, EventKind};
+    use janus_sim::time::Cycles;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent {
+            name: "e",
+            cat: Category::Sim,
+            kind: EventKind::Instant,
+            cycle: Cycles(i),
+            id: i,
+            arg: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_insertion_order_before_wrap() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        let ids: Vec<u64> = r.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.recorded(), 3);
+    }
+
+    #[test]
+    fn wraparound_evicts_oldest_and_counts_drops() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.recorded(), 10);
+        let ids: Vec<u64> = r.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9], "newest window retained, in order");
+        // Sequence numbers are global, not per-slot.
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let mut r = RingBuffer::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().id, 2);
+    }
+
+    #[test]
+    fn snapshot_matches_iter() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.iter().zip(r.iter()).all(|(a, b)| a == b));
+    }
+}

@@ -1,0 +1,233 @@
+//! The [`Tracer`] handle: cheap to clone, free when disabled.
+//!
+//! Components hold a `Tracer` by value. A disabled tracer is `None` inside —
+//! every recording method starts with one branch and returns. An enabled
+//! tracer shares a [`RingBuffer`] through `Rc<RefCell<…>>`; the simulator is
+//! single-threaded, so the handle is intentionally `!Send`.
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use janus_sim::time::Cycles;
+
+use crate::chrome;
+use crate::event::{Category, EventKind, TraceEvent};
+use crate::ring::RingBuffer;
+
+/// Configuration for an enabled tracer.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in events. Each event is ≤ 64 bytes, so the
+    /// default (65 536) caps trace memory at 4 MiB.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capacity: 1 << 16 }
+    }
+}
+
+/// Shared tracing handle. See module docs.
+///
+/// `Tracer::disabled()` (also `Default`) records nothing and never
+/// allocates; [`Tracer::new`] allocates the ring once, up front.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<RingBuffer>>>,
+}
+
+impl Tracer {
+    /// An enabled tracer with a fresh ring buffer.
+    pub fn new(config: &TraceConfig) -> Self {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(RingBuffer::new(config.capacity)))),
+        }
+    }
+
+    /// A disabled tracer: every recording call is a single branch.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    fn record(&self, ev: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().push(ev);
+        }
+    }
+
+    /// Records a span begin. Match with [`Tracer::end`] on the same
+    /// `(name, id)`.
+    #[inline]
+    pub fn begin(&self, cat: Category, name: &'static str, cycle: Cycles, id: u64, arg: u64) {
+        self.record(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Begin,
+            cycle,
+            id,
+            arg,
+            seq: 0,
+        });
+    }
+
+    /// Records a span end.
+    #[inline]
+    pub fn end(&self, cat: Category, name: &'static str, cycle: Cycles, id: u64, arg: u64) {
+        self.record(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::End,
+            cycle,
+            id,
+            arg,
+            seq: 0,
+        });
+    }
+
+    /// Records a complete span (begin at `start`, end at `end`). The
+    /// simulator's analytic components know a span's full extent at
+    /// scheduling time; this emits both halves in order.
+    #[inline]
+    pub fn span(
+        &self,
+        cat: Category,
+        name: &'static str,
+        start: Cycles,
+        end: Cycles,
+        id: u64,
+        arg: u64,
+    ) {
+        if self.inner.is_some() {
+            self.begin(cat, name, start, id, arg);
+            self.end(cat, name, end, id, arg);
+        }
+    }
+
+    /// Records a point event.
+    #[inline]
+    pub fn instant(&self, cat: Category, name: &'static str, cycle: Cycles, id: u64, arg: u64) {
+        self.record(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Instant,
+            cycle,
+            id,
+            arg,
+            seq: 0,
+        });
+    }
+
+    /// Records a sampled level (e.g. queue occupancy); `value` lands in the
+    /// event's `arg`.
+    #[inline]
+    pub fn counter(&self, cat: Category, name: &'static str, cycle: Cycles, value: u64) {
+        self.record(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Counter,
+            cycle,
+            id: 0,
+            arg: value,
+            seq: 0,
+        });
+    }
+
+    /// Events currently retained (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.borrow().len())
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events lost to ring wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().dropped())
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().recorded())
+    }
+
+    /// Copies the retained events, oldest → newest (empty when disabled).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.borrow().snapshot())
+    }
+
+    /// Serializes the retained events as Chrome trace-event JSON.
+    ///
+    /// A disabled tracer writes a valid, empty trace document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn export_chrome(&self, out: &mut impl Write) -> io::Result<()> {
+        let events = self.snapshot();
+        chrome::export(&events, self.dropped(), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.begin(Category::Sim, "x", Cycles(1), 0, 0);
+        t.instant(Category::Sim, "y", Cycles(2), 0, 0);
+        t.counter(Category::Sim, "z", Cycles(3), 9);
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 0);
+        let mut out = Vec::new();
+        t.export_chrome(&mut out).unwrap();
+        assert!(crate::json::parse(std::str::from_utf8(&out).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = Tracer::new(&TraceConfig { capacity: 8 });
+        let b = a.clone();
+        a.instant(Category::Irb, "hit", Cycles(5), 1, 0);
+        b.instant(Category::Irb, "miss", Cycles(6), 2, 0);
+        assert_eq!(a.len(), 2);
+        let snap = a.snapshot();
+        assert_eq!(snap[0].name, "hit");
+        assert_eq!(snap[1].name, "miss");
+        assert_eq!(snap[0].seq, 0);
+        assert_eq!(snap[1].seq, 1);
+    }
+
+    #[test]
+    fn span_emits_begin_then_end() {
+        let t = Tracer::new(&TraceConfig { capacity: 8 });
+        t.span(Category::Encryption, "E1", Cycles(10), Cycles(50), 3, 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].kind, EventKind::Begin);
+        assert_eq!(snap[0].cycle, Cycles(10));
+        assert_eq!(snap[1].kind, EventKind::End);
+        assert_eq!(snap[1].cycle, Cycles(50));
+        assert_eq!(snap[0].id, snap[1].id);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Tracer::default().enabled());
+        assert!(Tracer::new(&TraceConfig::default()).enabled());
+    }
+}

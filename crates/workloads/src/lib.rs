@@ -85,6 +85,20 @@ impl Workload {
         }
     }
 
+    /// Machine-readable name for file paths and JSON keys (lower-case,
+    /// underscore-separated, stable across releases).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Workload::ArraySwap => "array_swap",
+            Workload::Queue => "queue",
+            Workload::HashTable => "hash_table",
+            Workload::RbTree => "rb_tree",
+            Workload::BTree => "btree",
+            Workload::Tatp => "tatp",
+            Workload::Tpcc => "tpcc",
+        }
+    }
+
     /// All seven workloads, in the paper's figure order.
     pub fn all() -> [Workload; 7] {
         [
@@ -134,10 +148,14 @@ impl std::str::FromStr for Workload {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Ok(match s.to_ascii_lowercase().as_str() {
-            "array" | "array-swap" | "array swap" | "arrayswap" => Workload::ArraySwap,
+            "array" | "array-swap" | "array swap" | "array_swap" | "arrayswap" => {
+                Workload::ArraySwap
+            }
             "queue" => Workload::Queue,
-            "hash" | "hash-table" | "hash table" | "hashtable" => Workload::HashTable,
-            "rbtree" | "rb-tree" | "rb tree" => Workload::RbTree,
+            "hash" | "hash-table" | "hash table" | "hash_table" | "hashtable" => {
+                Workload::HashTable
+            }
+            "rbtree" | "rb-tree" | "rb tree" | "rb_tree" => Workload::RbTree,
             "btree" | "b-tree" | "b tree" => Workload::BTree,
             "tatp" => Workload::Tatp,
             "tpcc" | "tpc-c" => Workload::Tpcc,
@@ -340,5 +358,17 @@ mod tests {
         }
         assert_eq!("b-tree".parse::<Workload>(), Ok(Workload::BTree));
         assert!("nope".parse::<Workload>().is_err());
+    }
+
+    #[test]
+    fn slugs_are_machine_safe_and_round_trip() {
+        for w in Workload::all() {
+            let slug = w.slug();
+            assert!(
+                slug.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{w}: slug {slug:?} is not machine-safe"
+            );
+            assert_eq!(slug.parse::<Workload>(), Ok(w), "{w}");
+        }
     }
 }

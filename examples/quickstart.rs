@@ -2,11 +2,17 @@
 //! see what pre-execution does to the critical path.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Observability: `--trace out.json` records every controller, IRB, BMO
+//! sub-op, and NVM event of the Janus run and writes a Chrome trace-event
+//! file (load it at <https://ui.perfetto.dev>). `--metrics out.json` writes
+//! the run's metrics registry as a single JSON object.
 
 use janus::core::config::{JanusConfig, SystemMode};
 use janus::core::ir::ProgramBuilder;
 use janus::core::system::System;
 use janus::nvm::{addr::LineAddr, line::Line};
+use janus::trace::TraceConfig;
 
 fn build_program(pre_execute: bool) -> janus::core::ir::Program {
     let mut b = ProgramBuilder::new();
@@ -19,7 +25,14 @@ fn build_program(pre_execute: bool) -> janus::core::ir::Program {
             // backend memory operations (dedup hash, AES pad, Merkle
             // update) start now instead of when the write arrives.
             let obj = b.pre_init();
-            b.pre_both(obj, line, vec![value]);
+            if i % 5 == 0 {
+                // Every fifth transaction announces a value that the store
+                // then contradicts — the speculative data sub-ops are
+                // invalidated and redone, the address sub-ops still hit.
+                b.pre_both(obj, line, vec![Line::from_words(&[i + 1, 7])]);
+            } else {
+                b.pre_both(obj, line, vec![value]);
+            }
         }
         b.compute(4000); // the rest of the transaction's work
         b.store(line, value);
@@ -30,6 +43,15 @@ fn build_program(pre_execute: bool) -> janus::core::ir::Program {
     b.build()
 }
 
+/// Reads `--name path` from the process arguments.
+fn arg_path(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
     // Baseline: every write pays the serialized BMO latency on its fence.
     let mut baseline = System::new(JanusConfig::paper(SystemMode::Serialized, 1));
@@ -37,6 +59,10 @@ fn main() {
 
     // Janus: parallelized sub-operations + pre-execution.
     let mut janus = System::new(JanusConfig::paper(SystemMode::Janus, 1));
+    let trace_path = arg_path("--trace");
+    if trace_path.is_some() {
+        janus.enable_trace(&TraceConfig::default());
+    }
     let report = janus.run(vec![build_program(true)]);
 
     println!(
@@ -49,6 +75,25 @@ fn main() {
         base.cycles.0 as f64 / report.cycles.0 as f64,
         report.fully_preexecuted_fraction * 100.0
     );
+
+    if let Some(path) = &trace_path {
+        let mut out = Vec::new();
+        janus
+            .tracer()
+            .export_chrome(&mut out)
+            .expect("serializing trace");
+        std::fs::write(path, out).expect("writing trace file");
+        println!(
+            "trace      : {} events -> {path} (open in ui.perfetto.dev)",
+            janus.tracer().len()
+        );
+    }
+    if let Some(path) = arg_path("--metrics") {
+        let mut out = Vec::new();
+        report.dump_json(&mut out).expect("serializing metrics");
+        std::fs::write(&path, out).expect("writing metrics file");
+        println!("metrics    : -> {path}");
+    }
 
     // The data really is there, encrypted + integrity-protected in NVM.
     for i in 0..8u64 {

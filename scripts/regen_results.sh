@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Regenerates every figure/table result under results/, in both formats:
+#
+#   results/<name>.txt        — the binary's human-readable table (as before)
+#   results/json/<name>.jsonl — one JSON object per simulation run, emitted
+#                               by the janus-bench harness via the
+#                               JANUS_RESULTS_JSON_DIR sink
+#
+# plus the quickstart observability artifacts:
+#
+#   results/quickstart.trace.json   — Chrome trace-event file (Perfetto)
+#   results/quickstart.metrics.json — the run's metrics registry
+#
+# Extra arguments are forwarded to every figure binary (e.g.
+# `scripts/regen_results.sh --tx 40` for a quick pass). Hermetic: builds and
+# runs with --locked --offline only.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BINS="fig1 fig3 fig6 fig9 fig10 fig11 fig12 fig13 fig14 table1 table4 overhead ablation endurance extended misuse skew"
+
+echo "==> building janus-bench (release, locked, offline)"
+cargo build --release --locked --offline -p janus-bench
+
+mkdir -p results/json
+rm -f results/json/*.jsonl
+
+for bin in $BINS; do
+    echo "==> $bin"
+    JANUS_RESULTS_JSON_DIR=results/json \
+        cargo run --release --locked --offline -p janus-bench --bin "$bin" -- "$@" \
+        > "results/$bin.txt"
+done
+
+echo "==> quickstart trace + metrics"
+cargo run --release --locked --offline --example quickstart -- \
+    --trace results/quickstart.trace.json \
+    --metrics results/quickstart.metrics.json > /dev/null
+cargo run --release --locked --offline -p janus-trace --example validate_trace -- \
+    results/quickstart.trace.json
+
+echo "==> results regenerated: results/*.txt, results/json/*.jsonl"

@@ -17,6 +17,7 @@
 //!   memory controller, full-system simulator).
 //! * [`instrument`] — the automated "compiler pass".
 //! * [`workloads`] — the seven transactional NVM workloads.
+//! * [`trace`] — cycle-stamped event tracing and machine-readable metrics.
 
 pub use janus_bmo as bmo;
 pub use janus_core as core;
@@ -24,4 +25,5 @@ pub use janus_crypto as crypto;
 pub use janus_instrument as instrument;
 pub use janus_nvm as nvm;
 pub use janus_sim as sim;
+pub use janus_trace as trace;
 pub use janus_workloads as workloads;

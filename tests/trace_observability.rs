@@ -1,0 +1,228 @@
+//! Integration tests for the janus-trace observability pipeline: golden
+//! determinism of the Chrome export, event-taxonomy coverage, span
+//! well-formedness (property-tested), ring eviction, and the
+//! tracing-disabled parity guarantee.
+
+use janus::core::config::{JanusConfig, SystemMode};
+use janus::core::ir::{Program, ProgramBuilder};
+use janus::core::system::{ExecutionReport, System};
+use janus::nvm::{addr::LineAddr, line::Line};
+use janus::trace::{json, Category, EventKind, TraceConfig, TraceEvent, Tracer};
+use janus_check::{forall_cfg, gen, Config};
+
+/// A quickstart-style program: `txs` pre-announced persistent writes, every
+/// fifth announcing a value the store then contradicts (exercising the IRB
+/// data-invalidation path).
+fn program(txs: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    for i in 0..txs {
+        b.tx_begin();
+        let line = LineAddr(i % 8);
+        let value = Line::from_words(&[i, i * i]);
+        let obj = b.pre_init();
+        if i % 5 == 0 {
+            b.pre_both(obj, line, vec![Line::from_words(&[i + 1, 7])]);
+        } else {
+            b.pre_both(obj, line, vec![value]);
+        }
+        b.compute(4000);
+        b.store(line, value);
+        b.clwb(line);
+        b.fence();
+        b.tx_commit();
+    }
+    b.build()
+}
+
+fn traced_run(txs: u64, capacity: usize) -> (Tracer, ExecutionReport) {
+    let mut sys = System::new(JanusConfig::paper(SystemMode::Janus, 1));
+    let tracer = sys.enable_trace(&TraceConfig { capacity });
+    let report = sys.run(vec![program(txs)]);
+    (tracer, report)
+}
+
+fn export(tracer: &Tracer) -> Vec<u8> {
+    let mut out = Vec::new();
+    tracer.export_chrome(&mut out).unwrap();
+    out
+}
+
+/// Same program, same seed, two fresh systems: the exported traces must be
+/// byte-identical — the golden-determinism guarantee scripts rely on.
+#[test]
+fn same_run_exports_byte_identical_traces() {
+    let (a, _) = traced_run(20, 1 << 16);
+    let (b, _) = traced_run(20, 1 << 16);
+    let (ea, eb) = (export(&a), export(&b));
+    assert!(!ea.is_empty());
+    assert_eq!(ea, eb, "same-seed exports diverged");
+}
+
+/// The trace covers the advertised taxonomy: IRB lifecycle instants, job
+/// lifecycle instants, and sub-op spans for all three evaluated BMOs.
+#[test]
+fn trace_covers_irb_job_and_bmo_taxonomy() {
+    let (tracer, _) = traced_run(20, 1 << 16);
+    let events = tracer.snapshot();
+    let has = |name: &str| events.iter().any(|e| e.name == name);
+    for name in [
+        "irb_insert",
+        "irb_hit",
+        "irb_inval_data",
+        "job_decomposed",
+        "job_pre_executed",
+        "job_committed",
+        "pre_req_enqueue",
+        "nvm_write",
+        "wq_occupancy",
+        "write",
+    ] {
+        assert!(has(name), "missing event {name:?}");
+    }
+    for (cat, first_subop) in [
+        (Category::Encryption, "E1"),
+        (Category::Integrity, "I1"),
+        (Category::Dedup, "D1"),
+    ] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.cat == cat && e.name == first_subop && e.kind == EventKind::Begin),
+            "missing {first_subop} span in {cat}"
+        );
+    }
+}
+
+/// Tracing must be observation-only: the report of a traced run equals the
+/// report of an untraced run of the same program.
+#[test]
+fn disabled_tracing_yields_identical_report() {
+    let (_, traced) = traced_run(20, 1 << 16);
+    let mut plain_sys = System::new(JanusConfig::paper(SystemMode::Janus, 1));
+    let plain = plain_sys.run(vec![program(20)]);
+    assert_eq!(traced.cycles, plain.cycles);
+    assert_eq!(traced.transactions, plain.transactions);
+    assert_eq!(traced.writes, plain.writes);
+    assert_eq!(
+        traced.fully_preexecuted_fraction,
+        plain.fully_preexecuted_fraction
+    );
+    assert!(!plain_sys.tracer().enabled());
+}
+
+/// The export parses as strict JSON, has a non-empty `traceEvents` array
+/// with completed ("X") spans, and reports the drop count.
+#[test]
+fn export_is_valid_chrome_trace_json() {
+    let (tracer, _) = traced_run(20, 1 << 16);
+    let text = String::from_utf8(export(&tracer)).unwrap();
+    let doc = json::parse(&text).unwrap();
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let complete = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .count();
+    let instants = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+        .count();
+    assert!(complete > 0, "no completed spans");
+    assert!(instants > 0, "no instants");
+    for e in events {
+        let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        assert!(ts >= 0.0);
+    }
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(|d| d.as_f64())
+        .expect("dropped_events");
+    assert_eq!(dropped, tracer.dropped() as f64);
+}
+
+/// A deliberately tiny ring drops the oldest events but the export stays
+/// valid and honest about the loss.
+#[test]
+fn tiny_ring_evicts_oldest_but_export_stays_valid() {
+    let (tracer, _) = traced_run(20, 32);
+    assert!(tracer.dropped() > 0, "expected wraparound");
+    assert!(tracer.len() <= 32);
+    let text = String::from_utf8(export(&tracer)).unwrap();
+    let doc = json::parse(&text).unwrap();
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(|d| d.as_f64())
+        .unwrap();
+    assert_eq!(dropped, tracer.dropped() as f64);
+}
+
+/// Checks FIFO begin/end pairing per `(category, name, id)` key: ends never
+/// outnumber begins, every end's cycle is ≥ its matched begin's cycle, and
+/// nothing is left open at the end of a drop-free run.
+fn assert_spans_well_formed(events: &[TraceEvent]) {
+    use std::collections::HashMap;
+    let mut open: HashMap<(Category, &'static str, u64), Vec<u64>> = HashMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Begin => open.entry((e.cat, e.name, e.id)).or_default().push(e.cycle.0),
+            EventKind::End => {
+                let stack = open
+                    .get_mut(&(e.cat, e.name, e.id))
+                    .unwrap_or_else(|| panic!("end without begin: {} id={}", e.name, e.id));
+                assert!(!stack.is_empty(), "end without begin: {} id={}", e.name, e.id);
+                let begin = stack.remove(0);
+                assert!(
+                    e.cycle.0 >= begin,
+                    "{} id={} ends at {} before it begins at {begin}",
+                    e.name,
+                    e.id,
+                    e.cycle.0
+                );
+            }
+            EventKind::Instant | EventKind::Counter => {}
+        }
+    }
+    for ((_, name, id), stack) in open {
+        assert!(stack.is_empty(), "unclosed span {name} id={id}");
+    }
+}
+
+/// Property: for arbitrary pre-announced write sequences, every span in a
+/// drop-free trace is well-formed.
+#[test]
+fn spans_are_well_formed_for_arbitrary_programs() {
+    let writes = gen::vec_of(
+        &gen::pair(&gen::range_u64(0..16), &gen::range_u64(0..4)),
+        1..30,
+    );
+    let g = gen::pair(&writes, &gen::range_u64(2..7));
+    forall_cfg(&Config::with_cases(12), &g, |(writes, stale_every)| {
+        let mut b = ProgramBuilder::new();
+        for (i, (addr, word)) in writes.iter().enumerate() {
+            b.tx_begin();
+            let line = LineAddr(*addr);
+            let value = Line::from_words(&[*word, i as u64]);
+            let obj = b.pre_init();
+            if (i as u64).is_multiple_of(*stale_every) {
+                b.pre_both(obj, line, vec![Line::from_words(&[*word + 1, 9])]);
+            } else {
+                b.pre_both(obj, line, vec![value]);
+            }
+            b.compute(1000);
+            b.store(line, value);
+            b.clwb(line);
+            b.fence();
+            b.tx_commit();
+        }
+        let mut sys = System::new(JanusConfig::paper(SystemMode::Janus, 1));
+        let tracer = sys.enable_trace(&TraceConfig { capacity: 1 << 16 });
+        sys.run(vec![b.build()]);
+        assert_eq!(tracer.dropped(), 0, "ring too small for the property");
+        assert_spans_well_formed(&tracer.snapshot());
+    });
+}

@@ -23,7 +23,9 @@ fn main() {
 
     h.group("trace_overhead_tatp_20tx");
     let off = h.bench("tracing_disabled", || run(spec(None)));
-    let on = h.bench("tracing_enabled", || run(spec(Some(TraceConfig::default()))));
+    let on = h.bench("tracing_enabled", || {
+        run(spec(Some(TraceConfig::default())))
+    });
     let export = h.bench("enabled_plus_export", || {
         let r = run(spec(Some(TraceConfig::default())));
         let mut out = Vec::new();

@@ -33,7 +33,9 @@ fn run(w: Workload, mode: SystemMode, manual: bool, auto: bool, extended: bool, 
         out.program
     };
     let mut config = JanusConfig::paper(mode, 1);
-    config.extended_bmos = extended;
+    if extended {
+        config.bmo_stack = janus_bmo::BmoStack::extended().members().to_vec();
+    }
     let mut sys = System::new(config);
     sys.warm_caches(out.expected.iter().map(|(a, _)| a));
     for (first, n) in &out.resident {

@@ -10,9 +10,11 @@
 //! `--variant <serialized|parallelized|janus|auto|pgo|ideal>`, `--cores N`,
 //! `--tx N`, `--size BYTES`, `--dedup RATIO`, `--seed N`, `--crc32`,
 //! `--scale <N|unlimited>`, `--skew THETA`, `--aux FRACTION`,
+//! `--bmos <id,...|none>` (BMO stack override; see `--list-bmos`),
 //! `--dump` (gem5-style stats to stdout).
 
 use janus_bench::{run, RunSpec, Variant};
+use janus_bmo::BmoStack;
 use janus_workloads::Workload;
 
 fn arg(name: &str) -> Option<String> {
@@ -28,6 +30,22 @@ fn flag(name: &str) -> bool {
 }
 
 fn main() {
+    if flag("--list-bmos") {
+        println!(
+            "Registered BMOs (stack with --bmos id,id,...; default: {}):",
+            BmoStack::paper()
+        );
+        for id in janus_bmo::BmoId::ALL {
+            let spec = id.spec();
+            println!(
+                "  {:<6} {:<40} pre-exec: {:?}",
+                id.as_str(),
+                spec.name(),
+                spec.pre_exec()
+            );
+        }
+        return;
+    }
     let workload: Workload = match arg("--workload").as_deref().unwrap_or("tatp").parse() {
         Ok(w) => w,
         Err(e) => {
@@ -79,6 +97,15 @@ fn main() {
         } else {
             v.parse().expect("--scale N|unlimited")
         });
+    }
+    if let Some(v) = arg("--bmos") {
+        match BmoStack::parse(&v) {
+            Ok(stack) => spec.bmo_stack = Some(stack.members().to_vec()),
+            Err(e) => {
+                eprintln!("--bmos {v}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     let result = run(spec.clone());

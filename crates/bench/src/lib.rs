@@ -89,6 +89,10 @@ pub struct RunSpec {
     /// Event tracing for this run (`None` = disabled, the zero-overhead
     /// default). When set, [`RunResult::tracer`] holds the captured events.
     pub trace: Option<TraceConfig>,
+    /// BMO stack override (`None` = the paper's default trio). Published
+    /// figures assume the default; non-default stacks label their metrics
+    /// with `spec.bmo_stack`.
+    pub bmo_stack: Option<Vec<janus_bmo::BmoId>>,
 }
 
 impl RunSpec {
@@ -107,6 +111,7 @@ impl RunSpec {
             key_skew: None,
             aux_tx_fraction: 0.0,
             trace: None,
+            bmo_stack: None,
         }
     }
 
@@ -119,6 +124,9 @@ impl RunSpec {
             None => {}
             Some(usize::MAX) => c = c.unlimited(),
             Some(k) => c = c.scale_resources(k),
+        }
+        if let Some(stack) = &self.bmo_stack {
+            c.bmo_stack = stack.clone();
         }
         c
     }
@@ -183,6 +191,12 @@ impl RunResult {
         m.set_u64("spec.tx_size_bytes", self.spec.tx_size_bytes as u64);
         m.set_u64("spec.seed", self.spec.seed);
         m.set_f64("spec.dedup_ratio", self.spec.dedup_ratio);
+        // Only non-default stacks are labeled, so default-stack JSONL
+        // output stays byte-identical to the published results.
+        if let Some(stack) = &self.spec.bmo_stack {
+            let ids: Vec<&str> = stack.iter().map(|id| id.as_str()).collect();
+            m.set_str("spec.bmo_stack", ids.join(","));
+        }
         for (name, value) in self.report.to_metrics().iter() {
             m.set(name, value.clone());
         }
@@ -216,7 +230,10 @@ fn sink_results_jsonl(result: &RunResult) {
         writeln!(f, "{line}")
     };
     if let Err(e) = append() {
-        eprintln!("warning: could not append metrics to {}: {e}", path.display());
+        eprintln!(
+            "warning: could not append metrics to {}: {e}",
+            path.display()
+        );
     }
 }
 
@@ -358,6 +375,27 @@ mod tests {
         // Untraced runs stay untraced.
         let plain = run(RunSpec::new(Workload::Queue, Variant::JanusManual));
         assert!(!plain.tracer.enabled());
+    }
+
+    #[test]
+    fn stack_override_runs_and_labels_metrics() {
+        let mut spec = RunSpec::new(Workload::ArraySwap, Variant::JanusManual);
+        spec.transactions = 8;
+        spec.bmo_stack = Some(
+            janus_bmo::BmoStack::parse("enc,ecc")
+                .unwrap()
+                .members()
+                .to_vec(),
+        );
+        let r = run(spec);
+        assert_eq!(
+            r.metrics().get("spec.bmo_stack"),
+            Some(&janus_trace::MetricValue::Str("enc,ecc".into()))
+        );
+        // Default runs stay unlabeled (published JSONL compatibility).
+        let mut plain = RunSpec::new(Workload::ArraySwap, Variant::JanusManual);
+        plain.transactions = 8;
+        assert_eq!(run(plain).metrics().get("spec.bmo_stack"), None);
     }
 
     #[test]

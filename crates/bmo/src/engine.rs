@@ -70,6 +70,8 @@ fn category_of(kind: BmoKind) -> Category {
         BmoKind::Dedup => Category::Dedup,
         BmoKind::Compression => Category::Compression,
         BmoKind::WearLeveling => Category::WearLeveling,
+        BmoKind::Ecc => Category::Ecc,
+        BmoKind::Oram => Category::Oram,
     }
 }
 

@@ -21,8 +21,12 @@
 //!   state of the three evaluated BMOs: co-located counter/remap metadata
 //!   (the DeWrite scheme), counter-mode AES with per-line MACs, a sparse
 //!   SHA-1 Bonsai Merkle Tree, and a reference-counted dedup store.
-//! * [`pipeline`] — composes the three into a functional write/read pipeline
-//!   with end-to-end verification and crash recovery.
+//! * [`stack`] — the BMO registry: each BMO contributes its graph fragment,
+//!   functional transform, footprint, and pre-executability through one
+//!   [`stack::Bmo`] trait; a [`stack::BmoStack`] is an ordered subset that
+//!   every layer (timing graph, pipeline, controller, CLI) consumes.
+//! * [`pipeline`] — composes a stack's transforms into a functional
+//!   write/read pipeline with end-to-end verification and crash recovery.
 //!
 //! # Example: the Figure 6 dependency analysis
 //!
@@ -47,10 +51,12 @@ pub mod latency;
 pub mod metadata;
 pub mod oram;
 pub mod pipeline;
+pub mod stack;
 pub mod subop;
 pub mod wear;
 
 pub use engine::{BmoEngine, BmoMode, JobId};
 pub use latency::BmoLatencies;
 pub use pipeline::BmoPipeline;
+pub use stack::{Bmo, BmoId, BmoStack, Footprint, StackError, Transform};
 pub use subop::{DepGraph, ExternalClass, NodeId};

@@ -38,6 +38,39 @@ pub const ENTRIES_PER_LINE: u64 = 8;
 pub const META_LINES: u64 = (DATA_LINES + SLOT_LINES) / ENTRIES_PER_LINE;
 /// First line of the MAC region (one line per slot).
 pub const MAC_BASE: u64 = META_BASE + META_LINES;
+/// First line of the auxiliary BMO region (wear/ORAM persistent state).
+pub const AUX_BASE: u64 = MAC_BASE + SLOT_LINES;
+/// The Start-Gap spare frame: physical frame index [`SLOT_LINES`] lives
+/// here (the slot region holds frames `0..SLOT_LINES`).
+pub const WEAR_SPARE_ADDR: LineAddr = LineAddr(AUX_BASE);
+/// The persisted Start-Gap registers (start/gap/interval/…, see
+/// [`crate::wear::StartGap::save`]).
+pub const WEAR_REG_ADDR: LineAddr = LineAddr(AUX_BASE + 1);
+/// The persisted ORAM relocation epoch register.
+pub const ORAM_REG_ADDR: LineAddr = LineAddr(AUX_BASE + 2);
+/// First line of the persisted ORAM position map (8 entries per line; an
+/// entry stores `frame + 1`, zero meaning "identity, never relocated").
+pub const ORAM_MAP_BASE: u64 = AUX_BASE + 3;
+
+/// NVM line address of a slot-region physical frame. Frames `0..SLOT_LINES`
+/// are the slot region itself; frame [`SLOT_LINES`] is the Start-Gap spare.
+pub fn frame_data_addr(frame: u64) -> LineAddr {
+    if frame < SLOT_LINES {
+        LineAddr(SLOT_BASE + frame)
+    } else {
+        assert_eq!(frame, SLOT_LINES, "frame out of range: {frame}");
+        WEAR_SPARE_ADDR
+    }
+}
+
+/// Position-map location (line + byte offset) of a slot's ORAM entry.
+pub fn oram_map_loc(slot: u64) -> MetaLoc {
+    assert!(slot < SLOT_LINES, "slot out of range: {slot}");
+    MetaLoc {
+        line: LineAddr(ORAM_MAP_BASE + slot / ENTRIES_PER_LINE),
+        offset: (slot % ENTRIES_PER_LINE) as usize * 8,
+    }
+}
 
 /// One 8-byte co-located metadata entry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -1,0 +1,747 @@
+//! The BMO stack registry: one description per backend memory operation,
+//! consumed by every layer.
+//!
+//! Each BMO registers a [`Bmo`] implementation contributing four things:
+//!
+//! * **(a)** its sub-operation graph fragment ([`Bmo::sub_ops`], chained by
+//!   intra edges in declaration order) plus the inter-BMO edges it provides
+//!   ([`Bmo::inter_edges`], named source → sink pairs);
+//! * **(b)** its functional read/write transform ([`Bmo::transform`]), the
+//!   stage [`crate::pipeline::BmoPipeline`] enables when the BMO is present;
+//! * **(c)** its metadata/cache footprint ([`Bmo::footprint`]);
+//! * **(d)** its pre-executability classification ([`Bmo::pre_exec`]):
+//!   whether the BMO's sub-operations can start from the write's address,
+//!   its data, or need both (§4.2).
+//!
+//! A [`BmoStack`] is an ordered subset of registered BMOs. The timing graph
+//! ([`BmoStack::graph`]), the functional pipeline, the controller's
+//! pre-execution paths, and the CLI all derive from the same stack, so any
+//! subset and ordering — encryption-only, integrity+ECC, the full
+//! seven-BMO stack — is selectable from config or `janus-cli --bmos`.
+//!
+//! Graph composition happens in two phases so that a stack's graph is
+//! independent of *which* BMOs are absent: first every member's fragment is
+//! added (nodes + intra chain) in stack order, then every member's declared
+//! inter edges are added in stack order, silently skipping edges whose
+//! endpoint belongs to a BMO not in the stack. For the default paper stack
+//! this reproduces [`DepGraph::standard`] node-for-node and
+//! adjacency-for-adjacency, which is what pins the paper's figures.
+
+use std::fmt;
+
+use janus_sim::time::Cycles;
+
+use crate::latency::BmoLatencies;
+use crate::subop::{BmoKind, DepGraph, EdgeKind, ExternalClass, SubOp};
+
+/// Identifier of a registered BMO.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BmoId {
+    /// Counter-mode encryption (E1–E4).
+    Encryption,
+    /// Bonsai-Merkle-Tree integrity verification (I1–I3).
+    Integrity,
+    /// Fingerprint deduplication (D1–D4).
+    Dedup,
+    /// Inline compression (C1).
+    Compression,
+    /// Start-Gap wear-leveling (W1).
+    WearLeveling,
+    /// SECDED error correction (EC1).
+    Ecc,
+    /// Oblivious frame relocation (O1).
+    Oram,
+}
+
+impl BmoId {
+    /// Every registered BMO, in canonical (paper Table 1) order.
+    pub const ALL: [BmoId; 7] = [
+        BmoId::Encryption,
+        BmoId::Integrity,
+        BmoId::Dedup,
+        BmoId::Compression,
+        BmoId::WearLeveling,
+        BmoId::Ecc,
+        BmoId::Oram,
+    ];
+
+    /// The short id used by config files and `--bmos` lists.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BmoId::Encryption => "enc",
+            BmoId::Integrity => "int",
+            BmoId::Dedup => "dedup",
+            BmoId::Compression => "comp",
+            BmoId::WearLeveling => "wear",
+            BmoId::Ecc => "ecc",
+            BmoId::Oram => "oram",
+        }
+    }
+
+    /// Parses a single id (short form or full name), case-insensitive.
+    pub fn parse(s: &str) -> Result<BmoId, StackError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "enc" | "encryption" => Ok(BmoId::Encryption),
+            "int" | "integrity" => Ok(BmoId::Integrity),
+            "dedup" | "dedupe" | "deduplication" => Ok(BmoId::Dedup),
+            "comp" | "compression" => Ok(BmoId::Compression),
+            "wear" | "wl" | "wear-leveling" => Ok(BmoId::WearLeveling),
+            "ecc" => Ok(BmoId::Ecc),
+            "oram" => Ok(BmoId::Oram),
+            _ => Err(StackError::UnknownId(s.trim().to_string())),
+        }
+    }
+
+    /// The registry entry for this id.
+    pub fn spec(self) -> &'static dyn Bmo {
+        match self {
+            BmoId::Encryption => &Encryption,
+            BmoId::Integrity => &Integrity,
+            BmoId::Dedup => &Dedup,
+            BmoId::Compression => &Compression,
+            BmoId::WearLeveling => &WearLeveling,
+            BmoId::Ecc => &Ecc,
+            BmoId::Oram => &Oram,
+        }
+    }
+}
+
+impl fmt::Display for BmoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The functional stage a BMO contributes to the write/read transform —
+/// [`crate::pipeline::BmoPipeline`] enables exactly the stages of its stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Transform {
+    /// Content-addressed slot allocation; duplicate writes are cancelled.
+    DedupSlots,
+    /// Payload compression before any cipher stage.
+    CompressPayload,
+    /// Counter-mode encryption plus a keyed MAC of the stored payload.
+    EncryptPayload,
+    /// SECDED check bytes over the stored payload.
+    EccPayload,
+    /// Merkle tree over the co-located counter/remap metadata region.
+    MerkleMetadata,
+    /// Start-Gap remap of slot frames to level write wear.
+    WearRemap,
+    /// Oblivious relocation of slot frames on every fresh write.
+    OramRelocate,
+}
+
+/// Metadata/cache footprint of one BMO (§5 overhead discussion).
+#[derive(Clone, Copy, Debug)]
+pub struct Footprint {
+    /// Bytes of co-located per-line NVM metadata the BMO consumes.
+    pub meta_bytes_per_line: u32,
+    /// Controller-side SRAM (caches, registers, stash) in bytes.
+    pub sram_bytes: u64,
+    /// One-line description of what the footprint holds.
+    pub note: &'static str,
+}
+
+/// One registered backend memory operation.
+///
+/// Implementations are unit structs; the registry hands out `&'static dyn
+/// Bmo` via [`BmoId::spec`]. Everything a layer needs to know about a BMO —
+/// timing fragment, functional stage, footprint, pre-executability — comes
+/// from here, so adding a BMO means adding one impl and one `BmoId`.
+pub trait Bmo {
+    /// The BMO's registry id.
+    fn id(&self) -> BmoId;
+    /// Human-readable name (for `--list-bmos` and docs).
+    fn name(&self) -> &'static str;
+    /// The sub-op fragment, in intra-chain order: consecutive sub-ops are
+    /// linked by [`EdgeKind::Intra`] edges when the graph is composed.
+    fn sub_ops(&self, lat: &BmoLatencies) -> Vec<SubOp>;
+    /// Inter-BMO edges this BMO *provides* (its own node is the source),
+    /// as `(from, to)` sub-op names. Edges whose sink belongs to a BMO
+    /// absent from the stack are skipped during composition.
+    fn inter_edges(&self) -> &'static [(&'static str, &'static str)];
+    /// The functional stage the pipeline enables for this BMO.
+    fn transform(&self) -> Transform;
+    /// Metadata/cache footprint.
+    fn footprint(&self) -> Footprint;
+    /// Pre-executability class: the union of the direct external inputs of
+    /// the BMO's own sub-ops (before ancestor merging).
+    fn pre_exec(&self) -> ExternalClass;
+}
+
+fn op(
+    name: &'static str,
+    bmo: BmoKind,
+    latency: Cycles,
+    needs_addr: bool,
+    needs_data: bool,
+    skip_if_dup: bool,
+) -> SubOp {
+    SubOp {
+        name,
+        bmo,
+        latency,
+        needs_addr,
+        needs_data,
+        skip_if_dup,
+    }
+}
+
+struct Encryption;
+
+impl Bmo for Encryption {
+    fn id(&self) -> BmoId {
+        BmoId::Encryption
+    }
+    fn name(&self) -> &'static str {
+        "counter-mode encryption"
+    }
+    fn sub_ops(&self, lat: &BmoLatencies) -> Vec<SubOp> {
+        use BmoKind::Encryption as E;
+        vec![
+            op("E1", E, lat.counter_gen, true, false, false),
+            op("E2", E, lat.aes, false, false, false),
+            op("E3", E, lat.xor, false, true, true),
+            op("E4", E, lat.sha1, false, false, true),
+        ]
+    }
+    fn inter_edges(&self) -> &'static [(&'static str, &'static str)] {
+        // E1→D4: the address mapping co-locates with the counter.
+        // E1→I1: the Merkle tree covers the latest counter.
+        // E3→EC1: check bytes protect the ciphertext actually stored.
+        &[("E1", "D4"), ("E1", "I1"), ("E3", "EC1")]
+    }
+    fn transform(&self) -> Transform {
+        Transform::EncryptPayload
+    }
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            meta_bytes_per_line: 8,
+            sram_bytes: 64 * 1024,
+            note: "per-line write counter (co-located) + counter cache",
+        }
+    }
+    fn pre_exec(&self) -> ExternalClass {
+        ExternalClass::Both // E1 needs the address, E3 needs the data.
+    }
+}
+
+struct Integrity;
+
+impl Bmo for Integrity {
+    fn id(&self) -> BmoId {
+        BmoId::Integrity
+    }
+    fn name(&self) -> &'static str {
+        "Merkle-tree integrity"
+    }
+    fn sub_ops(&self, lat: &BmoLatencies) -> Vec<SubOp> {
+        use BmoKind::Integrity as I;
+        vec![
+            op("I1", I, lat.sha1, false, false, false),
+            op(
+                "I2",
+                I,
+                lat.sha1 * lat.merkle_levels.saturating_sub(2) as u64,
+                false,
+                false,
+                false,
+            ),
+            op("I3", I, lat.sha1, false, false, false),
+        ]
+    }
+    fn inter_edges(&self) -> &'static [(&'static str, &'static str)] {
+        &[] // The tree root is terminal; other BMOs feed it.
+    }
+    fn transform(&self) -> Transform {
+        Transform::MerkleMetadata
+    }
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            meta_bytes_per_line: 0,
+            sram_bytes: 128 * 1024,
+            note: "tree nodes over the metadata region + node cache",
+        }
+    }
+    fn pre_exec(&self) -> ExternalClass {
+        ExternalClass::None // Driven purely through inter edges (E1/D2 → I1).
+    }
+}
+
+struct Dedup;
+
+impl Bmo for Dedup {
+    fn id(&self) -> BmoId {
+        BmoId::Dedup
+    }
+    fn name(&self) -> &'static str {
+        "fingerprint deduplication"
+    }
+    fn sub_ops(&self, lat: &BmoLatencies) -> Vec<SubOp> {
+        use BmoKind::Dedup as D;
+        vec![
+            op("D1", D, lat.dedup_hash, false, true, false),
+            op("D2", D, lat.dedup_lookup, false, false, false),
+            op("D3", D, lat.map_update, true, false, false),
+            op("D4", D, lat.aes, false, false, false),
+        ]
+    }
+    fn inter_edges(&self) -> &'static [(&'static str, &'static str)] {
+        // D2→E3: duplicate writes are not encrypted.
+        // D2→I1: the tree covers the remap entry.
+        // D2→EC1: duplicates store no line, so no check bytes either.
+        &[("D2", "E3"), ("D2", "I1"), ("D2", "EC1")]
+    }
+    fn transform(&self) -> Transform {
+        Transform::DedupSlots
+    }
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            meta_bytes_per_line: 8,
+            sram_bytes: 256 * 1024,
+            note: "remap entry (co-located) + fingerprint store",
+        }
+    }
+    fn pre_exec(&self) -> ExternalClass {
+        ExternalClass::Both // D1 needs the data, D3 needs the address.
+    }
+}
+
+struct Compression;
+
+impl Bmo for Compression {
+    fn id(&self) -> BmoId {
+        BmoId::Compression
+    }
+    fn name(&self) -> &'static str {
+        "inline compression"
+    }
+    fn sub_ops(&self, _lat: &BmoLatencies) -> Vec<SubOp> {
+        vec![op(
+            "C1",
+            BmoKind::Compression,
+            Cycles::from_ns(20),
+            false,
+            true,
+            true,
+        )]
+    }
+    fn inter_edges(&self) -> &'static [(&'static str, &'static str)] {
+        // C1→E3: the compressed data is what gets encrypted.
+        // C1→EC1: …and what the check bytes protect when unencrypted.
+        &[("C1", "E3"), ("C1", "EC1")]
+    }
+    fn transform(&self) -> Transform {
+        Transform::CompressPayload
+    }
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            meta_bytes_per_line: 1,
+            sram_bytes: 0,
+            note: "scheme tag in the per-slot auxiliary line",
+        }
+    }
+    fn pre_exec(&self) -> ExternalClass {
+        ExternalClass::Data
+    }
+}
+
+struct WearLeveling;
+
+impl Bmo for WearLeveling {
+    fn id(&self) -> BmoId {
+        BmoId::WearLeveling
+    }
+    fn name(&self) -> &'static str {
+        "Start-Gap wear-leveling"
+    }
+    fn sub_ops(&self, _lat: &BmoLatencies) -> Vec<SubOp> {
+        vec![op(
+            "W1",
+            BmoKind::WearLeveling,
+            Cycles::from_ns(1),
+            true,
+            false,
+            false,
+        )]
+    }
+    fn inter_edges(&self) -> &'static [(&'static str, &'static str)] {
+        // W1→D3: the mapping update uses the wear-leveled address.
+        &[("W1", "D3")]
+    }
+    fn transform(&self) -> Transform {
+        Transform::WearRemap
+    }
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            meta_bytes_per_line: 0,
+            sram_bytes: 48,
+            note: "start/gap registers (persisted to one NVM line)",
+        }
+    }
+    fn pre_exec(&self) -> ExternalClass {
+        ExternalClass::Addr
+    }
+}
+
+struct Ecc;
+
+impl Bmo for Ecc {
+    fn id(&self) -> BmoId {
+        BmoId::Ecc
+    }
+    fn name(&self) -> &'static str {
+        "SECDED error correction"
+    }
+    fn sub_ops(&self, _lat: &BmoLatencies) -> Vec<SubOp> {
+        vec![op(
+            "EC1",
+            BmoKind::Ecc,
+            Cycles::from_ns(2),
+            false,
+            true,
+            true,
+        )]
+    }
+    fn inter_edges(&self) -> &'static [(&'static str, &'static str)] {
+        &[] // Terminal: consumes the stored payload, feeds nothing.
+    }
+    fn transform(&self) -> Transform {
+        Transform::EccPayload
+    }
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            meta_bytes_per_line: 8,
+            sram_bytes: 0,
+            note: "8 SECDED check bytes in the per-slot auxiliary line",
+        }
+    }
+    fn pre_exec(&self) -> ExternalClass {
+        ExternalClass::Data
+    }
+}
+
+struct Oram;
+
+impl Bmo for Oram {
+    fn id(&self) -> BmoId {
+        BmoId::Oram
+    }
+    fn name(&self) -> &'static str {
+        "oblivious frame relocation"
+    }
+    fn sub_ops(&self, _lat: &BmoLatencies) -> Vec<SubOp> {
+        vec![op(
+            "O1",
+            BmoKind::Oram,
+            Cycles::from_ns(1000),
+            true,
+            false,
+            true,
+        )]
+    }
+    fn inter_edges(&self) -> &'static [(&'static str, &'static str)] {
+        // O1→W1: wear-leveling remaps the already-relocated frame.
+        &[("O1", "W1")]
+    }
+    fn transform(&self) -> Transform {
+        Transform::OramRelocate
+    }
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            meta_bytes_per_line: 8,
+            sram_bytes: 8,
+            note: "position-map entries (persisted) + epoch register",
+        }
+    }
+    fn pre_exec(&self) -> ExternalClass {
+        ExternalClass::Addr
+    }
+}
+
+/// Errors from building or parsing a [`BmoStack`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StackError {
+    /// An id string matched no registered BMO.
+    UnknownId(String),
+    /// The same BMO appeared twice in one stack.
+    Duplicate(BmoId),
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::UnknownId(s) => {
+                let valid: Vec<&str> = BmoId::ALL.iter().map(|b| b.as_str()).collect();
+                write!(
+                    f,
+                    "unknown BMO id \"{s}\" (valid ids: {}, or \"none\")",
+                    valid.join(", ")
+                )
+            }
+            StackError::Duplicate(id) => write!(f, "BMO \"{id}\" listed twice in the stack"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// An ordered subset of registered BMOs — the single source of truth for
+/// the timing graph, the functional pipeline, and pre-execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BmoStack {
+    members: Vec<BmoId>,
+}
+
+impl BmoStack {
+    /// Builds a stack from an ordered list of ids. Duplicates are rejected;
+    /// an empty stack is valid (raw NVM, no backend operations).
+    pub fn new(members: impl IntoIterator<Item = BmoId>) -> Result<BmoStack, StackError> {
+        let members: Vec<BmoId> = members.into_iter().collect();
+        for (i, id) in members.iter().enumerate() {
+            if members[..i].contains(id) {
+                return Err(StackError::Duplicate(*id));
+            }
+        }
+        Ok(BmoStack { members })
+    }
+
+    /// The paper's evaluated trio: encryption, integrity, deduplication.
+    pub fn paper() -> BmoStack {
+        BmoStack {
+            members: vec![BmoId::Encryption, BmoId::Integrity, BmoId::Dedup],
+        }
+    }
+
+    /// The ablation study's five-BMO stack: the paper trio plus inline
+    /// compression and wear-leveling.
+    pub fn extended() -> BmoStack {
+        BmoStack {
+            members: vec![
+                BmoId::Encryption,
+                BmoId::Integrity,
+                BmoId::Dedup,
+                BmoId::Compression,
+                BmoId::WearLeveling,
+            ],
+        }
+    }
+
+    /// Every registered BMO, in canonical order.
+    pub fn all() -> BmoStack {
+        BmoStack {
+            members: BmoId::ALL.to_vec(),
+        }
+    }
+
+    /// Parses a comma-separated id list (`"enc,int,dedup"`). The literal
+    /// `"none"` yields the empty stack.
+    pub fn parse(s: &str) -> Result<BmoStack, StackError> {
+        if s.trim().eq_ignore_ascii_case("none") {
+            return BmoStack::new([]);
+        }
+        let ids: Result<Vec<BmoId>, StackError> = s.split(',').map(BmoId::parse).collect();
+        BmoStack::new(ids?)
+    }
+
+    /// The members in stack order.
+    pub fn members(&self) -> &[BmoId] {
+        &self.members
+    }
+
+    /// Whether `id` is in the stack.
+    pub fn contains(&self, id: BmoId) -> bool {
+        self.members.contains(&id)
+    }
+
+    /// Whether any member contributes the given functional transform.
+    pub fn has_transform(&self, t: Transform) -> bool {
+        self.members.iter().any(|m| m.spec().transform() == t)
+    }
+
+    /// The comma-separated id list (`parse` round-trips it).
+    pub fn id_list(&self) -> String {
+        if self.members.is_empty() {
+            return "none".to_string();
+        }
+        let ids: Vec<&str> = self.members.iter().map(|m| m.as_str()).collect();
+        ids.join(",")
+    }
+
+    /// Composes the stack's sub-operation dependency graph.
+    ///
+    /// Phase 1 adds each member's fragment (nodes chained by intra edges)
+    /// in stack order; phase 2 adds each member's provided inter edges in
+    /// stack order, skipping edges whose endpoint is not in the graph.
+    pub fn graph(&self, lat: &BmoLatencies) -> DepGraph {
+        let mut g = DepGraph::new();
+        for id in &self.members {
+            let mut prev = None;
+            for sub in id.spec().sub_ops(lat) {
+                let n = g.add_node(sub);
+                if let Some(p) = prev {
+                    g.add_edge(p, n, EdgeKind::Intra);
+                }
+                prev = Some(n);
+            }
+        }
+        for id in &self.members {
+            for &(from, to) in id.spec().inter_edges() {
+                if let (Some(f), Some(t)) = (g.node_by_name(from), g.node_by_name(to)) {
+                    g.add_edge(f, t, EdgeKind::Inter);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Display for BmoStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id_list())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The linchpin of the byte-for-byte acceptance criterion: the default
+    /// stack's composed graph is *identical* to the legacy hand-written
+    /// Figure 6 graph — same nodes in the same order, same adjacency-list
+    /// order (which drives topological order, hence unit scheduling, hence
+    /// every figure), same topo order.
+    #[test]
+    fn paper_stack_graph_matches_legacy_standard() {
+        let lat = BmoLatencies::paper();
+        let g = BmoStack::paper().graph(&lat);
+
+        let names: Vec<&str> = g.node_ids().map(|n| g.node(n).name).collect();
+        assert_eq!(
+            names,
+            ["E1", "E2", "E3", "E4", "I1", "I2", "I3", "D1", "D2", "D3", "D4"]
+        );
+        let by = |n: &str| g.node_by_name(n).unwrap();
+        // Adjacency-list order (insertion order of edges per endpoint).
+        let succ_names =
+            |n: &str| -> Vec<&str> { g.succs(by(n)).iter().map(|&s| g.node(s).name).collect() };
+        let pred_names =
+            |n: &str| -> Vec<&str> { g.preds(by(n)).iter().map(|&p| g.node(p).name).collect() };
+        assert_eq!(succ_names("E1"), ["E2", "D4", "I1"]);
+        assert_eq!(succ_names("D2"), ["D3", "E3", "I1"]);
+        assert_eq!(pred_names("E3"), ["E2", "D2"]);
+        assert_eq!(pred_names("I1"), ["E1", "D2"]);
+        assert_eq!(pred_names("D4"), ["D3", "E1"]);
+        // Topological order drives the engine's list scheduling directly.
+        let topo: Vec<&str> = g.topo_order().iter().map(|&n| g.node(n).name).collect();
+        assert_eq!(
+            topo,
+            ["D1", "D2", "D3", "E1", "I1", "I2", "I3", "D4", "E2", "E3", "E4"]
+        );
+        assert_eq!(g.critical_path(), Cycles(2764));
+        assert_eq!(g.serial_sum(), lat.serialized_total());
+    }
+
+    #[test]
+    fn extended_stack_graph_matches_legacy_extended() {
+        let lat = BmoLatencies::paper();
+        let g = BmoStack::extended().graph(&lat);
+        assert_eq!(g.len(), 13);
+        let by = |n: &str| g.node_by_name(n).unwrap();
+        let pred_names =
+            |n: &str| -> Vec<&str> { g.preds(by(n)).iter().map(|&p| g.node(p).name).collect() };
+        assert_eq!(pred_names("E3"), ["E2", "D2", "C1"]);
+        assert_eq!(pred_names("D3"), ["D2", "W1"]);
+    }
+
+    #[test]
+    fn declared_pre_exec_matches_fragment_inputs() {
+        // (d) must agree with (a): the declared class is the union of the
+        // direct external inputs of the BMO's own sub-ops.
+        let lat = BmoLatencies::paper();
+        for id in BmoId::ALL {
+            let ops = id.spec().sub_ops(&lat);
+            let addr = ops.iter().any(|o| o.needs_addr);
+            let data = ops.iter().any(|o| o.needs_data);
+            let derived = match (addr, data) {
+                (true, true) => ExternalClass::Both,
+                (true, false) => ExternalClass::Addr,
+                (false, true) => ExternalClass::Data,
+                (false, false) => ExternalClass::None,
+            };
+            assert_eq!(id.spec().pre_exec(), derived, "{id}");
+        }
+    }
+
+    #[test]
+    fn every_subset_and_order_composes() {
+        let lat = BmoLatencies::paper();
+        // All 128 subsets in canonical order compose into acyclic graphs
+        // with serialized ≥ parallelized latency.
+        for mask in 0u32..128 {
+            let members: Vec<BmoId> = BmoId::ALL
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &id)| id)
+                .collect();
+            let stack = BmoStack::new(members).unwrap();
+            let g = stack.graph(&lat);
+            assert_eq!(g.topo_order().len(), g.len(), "cycle in {stack}");
+            assert!(g.serial_sum() >= g.critical_path(), "{stack}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_typos() {
+        let s = BmoStack::parse("enc,int,dedup").unwrap();
+        assert_eq!(s, BmoStack::paper());
+        assert_eq!(BmoStack::parse(&s.id_list()).unwrap(), s);
+        assert_eq!(BmoStack::parse("none").unwrap().members().len(), 0);
+        assert_eq!(
+            BmoStack::parse("NONE").unwrap(),
+            BmoStack::parse("none").unwrap()
+        );
+
+        let err = BmoStack::parse("enc,intt").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("intt"), "{msg}");
+        for id in BmoId::ALL {
+            assert!(msg.contains(id.as_str()), "{msg} missing {id}");
+        }
+
+        assert_eq!(
+            BmoStack::parse("enc,enc"),
+            Err(StackError::Duplicate(BmoId::Encryption))
+        );
+    }
+
+    #[test]
+    fn ids_round_trip_through_parse() {
+        for id in BmoId::ALL {
+            assert_eq!(BmoId::parse(id.as_str()).unwrap(), id);
+            assert_eq!(BmoId::parse(&id.as_str().to_uppercase()).unwrap(), id);
+        }
+        assert!(BmoId::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn transforms_are_one_to_one() {
+        let mut ts: Vec<Transform> = BmoId::ALL.iter().map(|id| id.spec().transform()).collect();
+        let n = ts.len();
+        ts.dedup();
+        assert_eq!(ts.len(), n, "two BMOs claim the same transform");
+        assert!(BmoStack::paper().has_transform(Transform::EncryptPayload));
+        assert!(!BmoStack::paper().has_transform(Transform::EccPayload));
+    }
+
+    #[test]
+    fn footprints_are_described() {
+        for id in BmoId::ALL {
+            assert!(!id.spec().footprint().note.is_empty(), "{id}");
+            assert_eq!(id.spec().id(), id);
+            assert!(!id.spec().name().is_empty());
+        }
+    }
+}

@@ -36,6 +36,10 @@ pub enum BmoKind {
     Compression,
     /// Optional extension: wear-leveling remap (W1).
     WearLeveling,
+    /// Optional extension: SECDED check-byte generation (EC1).
+    Ecc,
+    /// Optional extension: oblivious frame relocation (O1).
+    Oram,
 }
 
 /// Index of a sub-operation node within its graph.
@@ -276,147 +280,20 @@ impl DepGraph {
 
     /// Builds the standard three-BMO graph of Figure 6 (encryption E1–E4,
     /// integrity I1–I3, deduplication D1–D4) with the given latencies.
+    ///
+    /// Equivalent to `BmoStack::paper().graph(lat)` — the fragments and
+    /// inter-BMO edges live with each BMO in the [`crate::stack`] registry.
     pub fn standard(lat: &BmoLatencies) -> DepGraph {
-        let mut g = DepGraph::new();
-        use BmoKind::*;
-        use EdgeKind::*;
-
-        let e1 = g.add_node(SubOp {
-            name: "E1",
-            bmo: Encryption,
-            latency: lat.counter_gen,
-            needs_addr: true,
-            needs_data: false,
-            skip_if_dup: false,
-        });
-        let e2 = g.add_node(SubOp {
-            name: "E2",
-            bmo: Encryption,
-            latency: lat.aes,
-            needs_addr: false,
-            needs_data: false,
-            skip_if_dup: false,
-        });
-        let e3 = g.add_node(SubOp {
-            name: "E3",
-            bmo: Encryption,
-            latency: lat.xor,
-            needs_addr: false,
-            needs_data: true,
-            skip_if_dup: true,
-        });
-        let e4 = g.add_node(SubOp {
-            name: "E4",
-            bmo: Encryption,
-            latency: lat.sha1,
-            needs_addr: false,
-            needs_data: false,
-            skip_if_dup: true,
-        });
-        let i1 = g.add_node(SubOp {
-            name: "I1",
-            bmo: Integrity,
-            latency: lat.sha1,
-            needs_addr: false,
-            needs_data: false,
-            skip_if_dup: false,
-        });
-        let i2 = g.add_node(SubOp {
-            name: "I2",
-            bmo: Integrity,
-            latency: lat.sha1 * lat.merkle_levels.saturating_sub(2) as u64,
-            needs_addr: false,
-            needs_data: false,
-            skip_if_dup: false,
-        });
-        let i3 = g.add_node(SubOp {
-            name: "I3",
-            bmo: Integrity,
-            latency: lat.sha1,
-            needs_addr: false,
-            needs_data: false,
-            skip_if_dup: false,
-        });
-        let d1 = g.add_node(SubOp {
-            name: "D1",
-            bmo: Dedup,
-            latency: lat.dedup_hash,
-            needs_addr: false,
-            needs_data: true,
-            skip_if_dup: false,
-        });
-        let d2 = g.add_node(SubOp {
-            name: "D2",
-            bmo: Dedup,
-            latency: lat.dedup_lookup,
-            needs_addr: false,
-            needs_data: false,
-            skip_if_dup: false,
-        });
-        let d3 = g.add_node(SubOp {
-            name: "D3",
-            bmo: Dedup,
-            latency: lat.map_update,
-            needs_addr: true,
-            needs_data: false,
-            skip_if_dup: false,
-        });
-        let d4 = g.add_node(SubOp {
-            name: "D4",
-            bmo: Dedup,
-            latency: lat.aes,
-            needs_addr: false,
-            needs_data: false,
-            skip_if_dup: false,
-        });
-
-        // Intra-operation chains.
-        g.add_edge(e1, e2, Intra);
-        g.add_edge(e2, e3, Intra);
-        g.add_edge(e3, e4, Intra);
-        g.add_edge(i1, i2, Intra);
-        g.add_edge(i2, i3, Intra);
-        g.add_edge(d1, d2, Intra);
-        g.add_edge(d2, d3, Intra);
-        g.add_edge(d3, d4, Intra);
-
-        // Inter-operation edges (Figure 6).
-        g.add_edge(d2, e3, Inter); // duplicates are not encrypted
-        g.add_edge(e1, d4, Inter); // mapping co-locates with counter
-        g.add_edge(e1, i1, Inter); // tree covers latest counter
-        g.add_edge(d2, i1, Inter); // …or the remap address
-
-        g
+        crate::stack::BmoStack::paper().graph(lat)
     }
 
     /// The extended graph for the ablation study: the standard three BMOs
     /// plus inline compression (C1, data-dependent, before encryption) and
     /// wear-leveling (W1, address-dependent, before the mapping update).
+    ///
+    /// Equivalent to `BmoStack::extended().graph(lat)`.
     pub fn extended(lat: &BmoLatencies) -> DepGraph {
-        let mut g = Self::standard(lat);
-        use BmoKind::*;
-        use EdgeKind::*;
-        let c1 = g.add_node(SubOp {
-            name: "C1",
-            bmo: Compression,
-            latency: Cycles::from_ns(20),
-            needs_addr: false,
-            needs_data: true,
-            skip_if_dup: true,
-        });
-        let w1 = g.add_node(SubOp {
-            name: "W1",
-            bmo: WearLeveling,
-            latency: Cycles::from_ns(1),
-            needs_addr: true,
-            needs_data: false,
-            skip_if_dup: false,
-        });
-        let e3 = g.node_by_name("E3").expect("standard node");
-        let d3 = g.node_by_name("D3").expect("standard node");
-        g.add_edge(c1, e3, Inter); // compressed data is what gets encrypted
-        g.add_edge(w1, d3, Inter); // mapping uses the wear-leveled address
-        g
+        crate::stack::BmoStack::extended().graph(lat)
     }
 }
 

@@ -71,8 +71,7 @@ fn merkle_root_is_content_addressed() {
             incremental.update_leaf(*leaf, &Line::splat(*v));
             finals.insert(*leaf, *v);
         }
-        let rebuilt =
-            MerkleTree::from_leaves(4, finals.iter().map(|(l, v)| (*l, Line::splat(*v))));
+        let rebuilt = MerkleTree::from_leaves(4, finals.iter().map(|(l, v)| (*l, Line::splat(*v))));
         assert_eq!(incremental.root(), rebuilt.root());
         // And every final leaf verifies.
         for (leaf, v) in finals {
@@ -115,6 +114,56 @@ fn dedup_refcount_consistency() {
         }
         let live_expected = refs.values().filter(|(_, c)| *c > 0).count();
         assert_eq!(d.live_slots(), live_expected);
+    });
+}
+
+/// Any subset of registered BMOs, in any order, composes into a valid
+/// stack: the graph is acyclic (a topological order covers every node),
+/// the serialized chain is never shorter than the critical path, and the
+/// serialized engine never completes before the parallelized one.
+#[test]
+fn any_stack_permutation_composes_validly() {
+    use janus_bmo::{BmoId, BmoStack};
+    // A random sequence of BMO indices, deduped keeping first occurrence,
+    // is a random (subset, order) pair over the registry.
+    let g = gen::pair(
+        &gen::vec_of(&gen::range_usize(0..7), 0..14),
+        &gen::range_u64(0..10_000),
+    );
+    forall(&g, |(picks, submit)| {
+        let mut ids: Vec<BmoId> = Vec::new();
+        for i in picks {
+            let id = BmoId::ALL[*i];
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        let stack = BmoStack::new(ids.iter().copied()).expect("distinct ids form a stack");
+        let lat = BmoLatencies::paper();
+        let graph = stack.graph(&lat);
+        // Acyclic: topo_order only emits nodes whose preds are all placed,
+        // so covering every node proves there is no cycle.
+        assert_eq!(
+            graph.topo_order().len(),
+            graph.len(),
+            "stack [{stack}] graph has a cycle"
+        );
+        assert!(
+            graph.serial_sum() >= graph.critical_path(),
+            "stack [{stack}]: serial sum below critical path"
+        );
+        if graph.is_empty() {
+            return;
+        }
+        let t = Cycles(*submit);
+        let mut ser = BmoEngine::new(stack.graph(&lat), BmoMode::Serialized, 4);
+        let mut par = BmoEngine::new(stack.graph(&lat), BmoMode::Parallelized, 4);
+        let js = ser.submit(t, Some(t), Some(t), false);
+        let jp = par.submit(t, Some(t), Some(t), false);
+        assert!(
+            ser.completion(js).unwrap() >= par.completion(jp).unwrap(),
+            "stack [{stack}]: serialized beat parallelized"
+        );
     });
 }
 

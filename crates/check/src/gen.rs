@@ -125,9 +125,8 @@ pub fn tuple4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clo
     c: &Gen<C>,
     d: &Gen<D>,
 ) -> Gen<(A, B, C, D)> {
-    pair(&pair(a, b), &pair(c, d)).map(|((a, b), (c, d))| {
-        (a.clone(), b.clone(), c.clone(), d.clone())
-    })
+    pair(&pair(a, b), &pair(c, d))
+        .map(|((a, b), (c, d))| (a.clone(), b.clone(), c.clone(), d.clone()))
 }
 
 /// Five independent generators.
@@ -145,9 +144,8 @@ pub fn tuple5<
     d: &Gen<D>,
     e: &Gen<E>,
 ) -> Gen<(A, B, C, D, E)> {
-    pair(&tuple4(a, b, c, d), e).map(|((a, b, c, d), e)| {
-        (a.clone(), b.clone(), c.clone(), d.clone(), e.clone())
-    })
+    pair(&tuple4(a, b, c, d), e)
+        .map(|((a, b, c, d), e)| (a.clone(), b.clone(), c.clone(), d.clone(), e.clone()))
 }
 
 /// Seven independent generators (the instrumenter's routine grammar).

@@ -106,7 +106,10 @@ fn towards(lo: u64, v: u64) -> Vec<u64> {
 /// An integer that shrinks toward `lo`.
 pub fn int_toward(lo: u64, v: u64) -> Shrinkable<u64> {
     Shrinkable::with_children(v, move || {
-        towards(lo, v).into_iter().map(|c| int_toward(lo, c)).collect()
+        towards(lo, v)
+            .into_iter()
+            .map(|c| int_toward(lo, c))
+            .collect()
     })
 }
 

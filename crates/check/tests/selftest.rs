@@ -37,8 +37,8 @@ fn shrink_minimizes_pairs_componentwise() {
     // Fails iff a + b >= 40; minimal failing pair under toward-zero
     // shrinking is on the boundary a + b == 40.
     let g = gen::pair(&gen::range_u64(0..100), &gen::range_u64(0..100));
-    let failure = check(&cfg(13), &g, |(a, b)| assert!(a + b < 40))
-        .expect_err("predicate must fail");
+    let failure =
+        check(&cfg(13), &g, |(a, b)| assert!(a + b < 40)).expect_err("predicate must fail");
     let (a, b) = failure.minimal;
     assert_eq!(a + b, 40, "minimal pair ({a}, {b}) not on the boundary");
 }
@@ -48,8 +48,7 @@ fn shrink_works_through_map() {
     // Mapped generator (doubling) still shrinks to the smallest even value
     // failing the predicate.
     let g = gen::range_u64(0..1_000).map(|v| v * 2);
-    let failure =
-        check(&cfg(14), &g, |v| assert!(*v < 100)).expect_err("predicate must fail");
+    let failure = check(&cfg(14), &g, |v| assert!(*v < 100)).expect_err("predicate must fail");
     assert_eq!(failure.minimal, 100);
 }
 

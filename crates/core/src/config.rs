@@ -1,7 +1,7 @@
 //! System configuration (paper Table 3) and evaluated design points.
 
 use janus_bmo::latency::BmoLatencies;
-use janus_bmo::BmoMode;
+use janus_bmo::{BmoId, BmoMode, BmoStack};
 use janus_nvm::device::NvmTiming;
 use janus_sim::resource::UnitPool;
 use janus_sim::time::Cycles;
@@ -135,11 +135,11 @@ pub struct JanusConfig {
     /// Stricter serialized-baseline interpretation: the controller
     /// processes one write's BMOs at a time (ablation; DESIGN.md §5a).
     pub serialized_global: bool,
-    /// Use the extended five-BMO set (encryption, integrity, dedup +
-    /// compression and wear-leveling) instead of the paper's evaluated
-    /// three — demonstrates the framework's extensibility (§4.4
-    /// requirement 3: programs need no changes when BMOs change).
-    pub extended_bmos: bool,
+    /// The BMO stack to run, in stack order. Any subset and ordering of the
+    /// registered BMOs composes into a working system (§4.4 requirement 3:
+    /// programs need no changes when BMOs change); the default is the
+    /// paper's evaluated trio (encryption, integrity, dedup).
+    pub bmo_stack: Vec<BmoId>,
 }
 
 impl JanusConfig {
@@ -165,8 +165,15 @@ impl JanusConfig {
             wq_coalescing: true,
             pre_admission_backlog: Cycles::from_ns(500),
             serialized_global: false,
-            extended_bmos: false,
+            bmo_stack: BmoStack::paper().members().to_vec(),
         }
+    }
+
+    /// The configured BMO stack, validated (panics on duplicate members —
+    /// construction via [`BmoStack::parse`] or [`BmoStack::new`] can't
+    /// produce one, but a hand-edited `bmo_stack` field could).
+    pub fn stack(&self) -> BmoStack {
+        BmoStack::new(self.bmo_stack.iter().copied()).expect("valid BMO stack")
     }
 
     /// Scales the pre-execution resources (BMO units + buffers) by `factor`
@@ -279,6 +286,20 @@ mod tests {
     fn crc_switch() {
         let c = JanusConfig::paper(SystemMode::Janus, 1).with_crc32();
         assert_eq!(c.latencies.dedup_algo, janus_crypto::FingerprintAlgo::Crc32);
+    }
+
+    #[test]
+    fn default_stack_is_the_paper_trio() {
+        let c = JanusConfig::paper(SystemMode::Janus, 1);
+        assert_eq!(c.bmo_stack, BmoStack::paper().members());
+        assert_eq!(c.stack().to_string(), "enc,int,dedup");
+    }
+
+    #[test]
+    fn any_stack_is_configurable() {
+        let mut c = JanusConfig::paper(SystemMode::Janus, 1);
+        c.bmo_stack = BmoStack::parse("ecc,enc").unwrap().members().to_vec();
+        assert_eq!(c.stack().members(), [BmoId::Ecc, BmoId::Encryption]);
     }
 
     #[test]

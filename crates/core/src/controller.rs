@@ -22,8 +22,8 @@
 
 use janus_bmo::engine::{BmoEngine, JobId};
 use janus_bmo::integrity::NodeHash;
-use janus_bmo::pipeline::{BmoPipeline, IntegrityError};
-use janus_bmo::subop::DepGraph;
+use janus_bmo::pipeline::{BmoPipeline, IntegrityError, DEFAULT_KEY};
+use janus_bmo::{BmoId, BmoStack};
 use janus_nvm::addr::LineAddr;
 use janus_nvm::cache::{CacheConfig, SetAssocCache};
 use janus_nvm::device::{AccessKind, NvmDevice};
@@ -51,6 +51,7 @@ pub struct WriteOutcome {
 /// The controller. See module docs.
 pub struct MemoryController {
     config: JanusConfig,
+    stack: BmoStack,
     engine: BmoEngine,
     pipeline: BmoPipeline,
     irb: Irb,
@@ -76,17 +77,14 @@ pub struct MemoryController {
 impl MemoryController {
     /// Builds the controller for a configuration.
     pub fn new(config: JanusConfig) -> Self {
-        let graph = if config.extended_bmos {
-            DepGraph::extended(&config.latencies)
-        } else {
-            DepGraph::standard(&config.latencies)
-        };
+        let stack = config.stack();
+        let graph = stack.graph(&config.latencies);
         let engine = BmoEngine::new(
             graph,
             config.mode.bmo_mode_with(config.serialized_global),
             config.total_bmo_units(),
         );
-        let pipeline = BmoPipeline::new(config.latencies.dedup_algo);
+        let pipeline = BmoPipeline::for_stack(&stack, config.latencies.dedup_algo);
         let secure_root = pipeline.root();
         let mut wq = AdrWriteQueue::new(config.wq_capacity);
         wq.set_coalescing(config.wq_coalescing);
@@ -105,8 +103,15 @@ impl MemoryController {
             stats: StatSet::new(),
             tracer: Tracer::disabled(),
             pipeline,
+            stack,
             config,
         }
+    }
+
+    /// The BMO stack this controller runs (timing and functional paths both
+    /// derive from it).
+    pub fn stack(&self) -> &BmoStack {
+        &self.stack
     }
 
     /// Attaches a tracer, sharing its buffer with the BMO engine, the NVM
@@ -439,8 +444,14 @@ impl MemoryController {
             .record(persist_at.saturating_sub(now));
         // The write's arrival → persistence interval, the latency the paper
         // optimizes. `arg` carries the issuing core.
-        self.tracer
-            .span(Category::Controller, "write", now, persist_at, line.0, core as u64);
+        self.tracer.span(
+            Category::Controller,
+            "write",
+            now,
+            persist_at,
+            line.0,
+            core as u64,
+        );
         if fx.dup {
             self.tracer
                 .instant(Category::Controller, "write_dup", now, line.0, core as u64);
@@ -507,8 +518,13 @@ impl MemoryController {
                         // Clean hit — nothing to re-run.
                     } else {
                         self.stats.counter("inval_meta").incr();
-                        self.tracer
-                            .instant(Category::Irb, "irb_inval_meta", now, job.raw(), line.0);
+                        self.tracer.instant(
+                            Category::Irb,
+                            "irb_inval_meta",
+                            now,
+                            job.raw(),
+                            line.0,
+                        );
                         self.engine.invalidate_all(job, now, fx.dup);
                     }
                 }
@@ -558,8 +574,13 @@ impl MemoryController {
             self.stats.counter("bmo_wasted_cycles").add(wasted.0);
         }
         self.engine.retire(job);
-        self.tracer
-            .instant(Category::Engine, "job_committed", done.max(now), job.raw(), line.0);
+        self.tracer.instant(
+            Category::Engine,
+            "job_committed",
+            done.max(now),
+            job.raw(),
+            line.0,
+        );
         done.max(now + IRB_LOOKUP)
     }
 
@@ -583,23 +604,28 @@ impl MemoryController {
             self.device.schedule(now, meta_line, AccessKind::Read)
         };
 
-        // Data fetch (from the mapped slot if any; cold lines read zero
+        // Data fetch (from the mapped frame if any; cold lines read zero
         // without a device access — they have no slot).
-        let data_ready = match self.pipeline.slot_of(line) {
-            Some(slot) => {
-                let addr = janus_bmo::metadata::slot_data_addr(slot);
-                self.device.schedule(meta_ready, addr, AccessKind::Read)
-            }
+        let data_ready = match self.pipeline.data_addr_of(line) {
+            Some(addr) => self.device.schedule(meta_ready, addr, AccessKind::Read),
             None => now,
         };
 
-        // Decryption: OTP (AES) overlaps the data fetch when the counter
-        // was cached; otherwise it starts after the metadata arrives.
-        let otp_ready = meta_ready + lat.aes;
-        let decrypted = data_ready.max(otp_ready) + lat.xor;
+        // Decryption (when stacked): OTP (AES) overlaps the data fetch when
+        // the counter was cached; otherwise it starts after the metadata
+        // arrives.
+        let decrypted = if self.stack.contains(BmoId::Encryption) {
+            let otp_ready = meta_ready + lat.aes;
+            data_ready.max(otp_ready) + lat.xor
+        } else {
+            data_ready
+        };
 
-        // Integrity verification, truncated by the Merkle Tree cache.
-        let verified = if self.merkle_cache.access(meta_line, false).is_hit() {
+        // Integrity verification (when stacked), truncated by the Merkle
+        // Tree cache.
+        let verified = if !self.stack.contains(BmoId::Integrity) {
+            decrypted
+        } else if self.merkle_cache.access(meta_line, false).is_hit() {
             decrypted + lat.sha1 // MAC check only
         } else {
             decrypted + lat.sha1 * lat.merkle_levels as u64
@@ -639,10 +665,11 @@ impl MemoryController {
         config: JanusConfig,
         secure_root: NodeHash,
     ) -> Result<Self, IntegrityError> {
-        let pipeline = BmoPipeline::recover(
+        let pipeline = BmoPipeline::recover_stack(
+            &config.stack(),
             snapshot,
             config.latencies.dedup_algo,
-            *b"janus-memory-key",
+            DEFAULT_KEY,
             secure_root,
         )?;
         let mut mc = MemoryController::new(config);
@@ -693,6 +720,7 @@ impl std::fmt::Debug for MemoryController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use janus_bmo::subop::DepGraph;
 
     fn mc(mode: SystemMode) -> MemoryController {
         MemoryController::new(JanusConfig::paper(mode, 1))
@@ -916,6 +944,36 @@ mod tests {
         assert_eq!(inserted, 1);
         let out = m.handle_write(Cycles(30_000), 0, LineAddr(5), Line::splat(3), false);
         assert!(out.persist_at <= Cycles(30_016));
+    }
+
+    #[test]
+    fn non_default_stack_runs_end_to_end() {
+        // Encryption-only stack: no integrity, no dedup; reads skip the
+        // Merkle verification latency and writes never dedup.
+        let mut config = JanusConfig::paper(SystemMode::Janus, 1);
+        config.bmo_stack = BmoStack::parse("enc").unwrap().members().to_vec();
+        let mut m = MemoryController::new(config.clone());
+        m.handle_write(Cycles(0), 0, LineAddr(1), Line::splat(7), true);
+        let out = m.handle_write(Cycles(50_000), 0, LineAddr(2), Line::splat(7), true);
+        assert!(!out.dup, "no dedup BMO stacked");
+        let (snapshot, root) = m.crash();
+        assert_eq!(root, [0u8; 20], "no Merkle tree without integrity");
+        let r = MemoryController::recover(&snapshot, config, root).expect("recovery");
+        assert_eq!(r.read_value(LineAddr(1)), Line::splat(7));
+        assert_eq!(r.read_value(LineAddr(2)), Line::splat(7));
+    }
+
+    #[test]
+    fn stackless_reads_skip_bmo_latency() {
+        let mut full = mc(SystemMode::Janus);
+        let mut config = JanusConfig::paper(SystemMode::Janus, 1);
+        config.bmo_stack = Vec::new();
+        let mut bare = MemoryController::new(config);
+        full.handle_write(Cycles(0), 0, LineAddr(1), Line::splat(1), false);
+        bare.handle_write(Cycles(0), 0, LineAddr(1), Line::splat(1), false);
+        let t_full = full.handle_read(Cycles(1_000_000), LineAddr(1));
+        let t_bare = bare.handle_read(Cycles(1_000_000), LineAddr(1));
+        assert!(t_bare < t_full, "no decrypt/verify latency without BMOs");
     }
 
     #[test]

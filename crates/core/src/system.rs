@@ -601,67 +601,91 @@ impl System {
     }
 }
 
+/// One report field's value, tagged with how each exporter renders it.
+///
+/// `dump`, `to_metrics`, and `dump_json` all iterate the same
+/// [`ExecutionReport::fields`] list, so a field added there appears in the
+/// text dump, the metrics registry, and the JSON export consistently —
+/// they cannot drift apart.
+enum ReportField {
+    /// An exact count or cycle value.
+    U64(u64),
+    /// A derived fraction (text-dumped with four decimals).
+    Frac(f64),
+    /// A derived value present only in machine-readable exports (the text
+    /// dump skips it).
+    MetricsOnlyF64(f64),
+    /// A count present only in machine-readable exports.
+    MetricsOnlyU64(u64),
+}
+
 impl ExecutionReport {
+    /// The single ordered field list every exporter derives from.
+    fn fields(&self) -> Vec<(String, ReportField)> {
+        use ReportField::*;
+        let mut f: Vec<(String, ReportField)> = vec![
+            ("sim.cycles".into(), U64(self.cycles.0)),
+            ("sim.transactions".into(), U64(self.transactions)),
+            (
+                "sim.tx_per_mcycle".into(),
+                MetricsOnlyF64(self.tx_per_mcycle()),
+            ),
+            ("sim.writes".into(), U64(self.writes)),
+            ("sim.dup_writes".into(), U64(self.dup_writes)),
+            (
+                "janus.fully_preexecuted_fraction".into(),
+                Frac(self.fully_preexecuted_fraction),
+            ),
+        ];
+        let (ins, cons, drop, exp, stale) = self.irb;
+        f.push(("irb.inserted".into(), U64(ins)));
+        f.push(("irb.consumed".into(), U64(cons)));
+        f.push(("irb.dropped".into(), U64(drop)));
+        f.push(("irb.expired".into(), U64(exp)));
+        f.push(("irb.stale".into(), U64(stale)));
+        f.push(("cache.l1_hits".into(), U64(self.l1.0)));
+        f.push(("cache.l1_misses".into(), U64(self.l1.1)));
+        f.push(("cache.l2_hits".into(), U64(self.l2.0)));
+        f.push(("cache.l2_misses".into(), U64(self.l2.1)));
+        f.push((
+            "lat.write_mean_cycles".into(),
+            U64(self.mean_write_latency.0),
+        ));
+        f.push(("lat.read_mean_cycles".into(), U64(self.mean_read_latency.0)));
+        for (i, c) in self.core_cycles.iter().enumerate() {
+            f.push((format!("sim.core{i}_cycles"), MetricsOnlyU64(c.0)));
+        }
+        for (name, v) in &self.counters {
+            f.push((format!("mc.{name}"), U64(*v)));
+        }
+        f
+    }
+
     /// Writes a gem5-style statistics dump (one `name value` pair per
     /// line) for scripting against experiment output.
     pub fn dump(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
-        writeln!(out, "sim.cycles {}", self.cycles.0)?;
-        writeln!(out, "sim.transactions {}", self.transactions)?;
-        writeln!(out, "sim.writes {}", self.writes)?;
-        writeln!(out, "sim.dup_writes {}", self.dup_writes)?;
-        writeln!(
-            out,
-            "janus.fully_preexecuted_fraction {:.4}",
-            self.fully_preexecuted_fraction
-        )?;
-        let (ins, cons, drop, exp, stale) = self.irb;
-        writeln!(out, "irb.inserted {ins}")?;
-        writeln!(out, "irb.consumed {cons}")?;
-        writeln!(out, "irb.dropped {drop}")?;
-        writeln!(out, "irb.expired {exp}")?;
-        writeln!(out, "irb.stale {stale}")?;
-        writeln!(out, "cache.l1_hits {}", self.l1.0)?;
-        writeln!(out, "cache.l1_misses {}", self.l1.1)?;
-        writeln!(out, "cache.l2_hits {}", self.l2.0)?;
-        writeln!(out, "cache.l2_misses {}", self.l2.1)?;
-        writeln!(out, "lat.write_mean_cycles {}", self.mean_write_latency.0)?;
-        writeln!(out, "lat.read_mean_cycles {}", self.mean_read_latency.0)?;
-        for (name, v) in &self.counters {
-            writeln!(out, "mc.{name} {v}")?;
+        for (name, value) in self.fields() {
+            match value {
+                ReportField::U64(v) => writeln!(out, "{name} {v}")?,
+                ReportField::Frac(v) => writeln!(out, "{name} {v:.4}")?,
+                ReportField::MetricsOnlyF64(_) | ReportField::MetricsOnlyU64(_) => {}
+            }
         }
         Ok(())
     }
 
     /// The report as a machine-readable [`MetricsRegistry`] (same names as
-    /// [`ExecutionReport::dump`]), for JSON/CSV export.
+    /// [`ExecutionReport::dump`], plus derived machine-only fields), for
+    /// JSON/CSV export.
     pub fn to_metrics(&self) -> MetricsRegistry {
         let mut m = MetricsRegistry::new();
-        m.set_u64("sim.cycles", self.cycles.0);
-        m.set_u64("sim.transactions", self.transactions);
-        m.set_f64("sim.tx_per_mcycle", self.tx_per_mcycle());
-        m.set_u64("sim.writes", self.writes);
-        m.set_u64("sim.dup_writes", self.dup_writes);
-        m.set(
-            "janus.fully_preexecuted_fraction",
-            MetricValue::Float(self.fully_preexecuted_fraction),
-        );
-        let (ins, cons, drop, exp, stale) = self.irb;
-        m.set_u64("irb.inserted", ins);
-        m.set_u64("irb.consumed", cons);
-        m.set_u64("irb.dropped", drop);
-        m.set_u64("irb.expired", exp);
-        m.set_u64("irb.stale", stale);
-        m.set_u64("cache.l1_hits", self.l1.0);
-        m.set_u64("cache.l1_misses", self.l1.1);
-        m.set_u64("cache.l2_hits", self.l2.0);
-        m.set_u64("cache.l2_misses", self.l2.1);
-        m.set_u64("lat.write_mean_cycles", self.mean_write_latency.0);
-        m.set_u64("lat.read_mean_cycles", self.mean_read_latency.0);
-        for (i, c) in self.core_cycles.iter().enumerate() {
-            m.set_u64(format!("sim.core{i}_cycles"), c.0);
-        }
-        for (name, v) in &self.counters {
-            m.set_u64(format!("mc.{name}"), *v);
+        for (name, value) in self.fields() {
+            match value {
+                ReportField::U64(v) | ReportField::MetricsOnlyU64(v) => m.set_u64(name, v),
+                ReportField::Frac(v) | ReportField::MetricsOnlyF64(v) => {
+                    m.set(name, MetricValue::Float(v))
+                }
+            }
         }
         m
     }
@@ -717,6 +741,44 @@ mod tests {
         let report = sys.run(vec![persist_program(40, with_pre)]);
         let values = (0..32).map(|i| sys.read_value(LineAddr(i))).collect();
         (report, values)
+    }
+
+    #[test]
+    fn report_exporters_share_one_field_list() {
+        let (report, _) = run_mode(SystemMode::Janus, true);
+        // Every text-dump line's key must appear in the metrics registry,
+        // in the same relative order (the dump is a subsequence of the
+        // metrics key list — they derive from one field list).
+        let mut text = Vec::new();
+        report.dump(&mut text).unwrap();
+        let dump_keys: Vec<String> = String::from_utf8(text)
+            .unwrap()
+            .lines()
+            .map(|l| l.split_whitespace().next().unwrap().to_string())
+            .collect();
+        let metrics = report.to_metrics();
+        let metric_keys: Vec<String> = metrics.iter().map(|(n, _)| n.to_string()).collect();
+        let mut it = metric_keys.iter();
+        for k in &dump_keys {
+            assert!(
+                it.any(|m| m == k),
+                "dump key {k} missing (or out of order) in metrics"
+            );
+        }
+        // Machine-only fields exist in metrics but not in the text dump.
+        assert!(metrics.get("sim.tx_per_mcycle").is_some());
+        assert!(metrics.get("sim.core0_cycles").is_some());
+        assert!(!dump_keys.iter().any(|k| k == "sim.tx_per_mcycle"));
+        // And the JSON export carries exactly the metrics key set.
+        let mut json_out = Vec::new();
+        report.dump_json(&mut json_out).unwrap();
+        let json_text = String::from_utf8(json_out).unwrap();
+        for k in &metric_keys {
+            assert!(
+                json_text.contains(&format!("\"{k}\"")),
+                "{k} missing in JSON"
+            );
+        }
     }
 
     #[test]

@@ -55,6 +55,8 @@ fn track(ev: &TraceEvent) -> u32 {
         Nvm => 10,
         WriteQueue => 11,
         Sim => 12,
+        Ecc => 13,
+        Oram => 14,
     }
 }
 
@@ -142,7 +144,9 @@ pub fn export(events: &[TraceEvent], dropped: u64, out: &mut impl Write) -> io::
         first = false;
         body.push_str(&entry);
     }
-    body.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock_ghz\":4,\"dropped_events\":");
+    body.push_str(
+        "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock_ghz\":4,\"dropped_events\":",
+    );
     body.push_str(&format!("{dropped}"));
     body.push_str("}}");
     out.write_all(body.as_bytes())
@@ -214,7 +218,14 @@ mod tests {
         let build = || {
             let t = Tracer::new(&TraceConfig::default());
             for i in 0..50u64 {
-                t.span(Category::Dedup, "D2", Cycles(i * 10), Cycles(i * 10 + 7), i, i % 3);
+                t.span(
+                    Category::Dedup,
+                    "D2",
+                    Cycles(i * 10),
+                    Cycles(i * 10 + 7),
+                    i,
+                    i % 3,
+                );
                 t.instant(Category::Queue, "enq", Cycles(i * 10 + 1), i, 0);
             }
             export_str(&t)

@@ -34,6 +34,10 @@ pub enum Category {
     Compression,
     /// Extended-graph wear-leveling sub-operation W1 (`janus-bmo`).
     WearLeveling,
+    /// Extended-graph ECC encode sub-operation EC1 (`janus-bmo`).
+    Ecc,
+    /// Extended-graph ORAM relocation sub-operation O1 (`janus-bmo`).
+    Oram,
     /// NVM device array reads/writes (`janus-nvm`).
     Nvm,
     /// ADR write queue acceptance/occupancy (`janus-nvm`).
@@ -55,6 +59,8 @@ impl Category {
             Category::Dedup => "bmo.dedup",
             Category::Compression => "bmo.compression",
             Category::WearLeveling => "bmo.wear",
+            Category::Ecc => "bmo.ecc",
+            Category::Oram => "bmo.oram",
             Category::Nvm => "nvm",
             Category::WriteQueue => "wq",
             Category::Sim => "sim",
@@ -120,6 +126,8 @@ mod tests {
             Category::Dedup,
             Category::Compression,
             Category::WearLeveling,
+            Category::Ecc,
+            Category::Oram,
             Category::Nvm,
             Category::WriteQueue,
             Category::Sim,

@@ -53,8 +53,7 @@ pub fn generate(core: usize, cfg: &WorkloadConfig) -> WorkloadOutput {
                 old.read_u64(16) + 1,
             ]);
             let old_d = ctx.current(district);
-            let new_district =
-                Line::from_words(&[old_d.read_u64(0), old_d.read_u64(8) + amount]);
+            let new_district = Line::from_words(&[old_d.read_u64(0), old_d.read_u64(8) + amount]);
 
             ctx.b.push(Op::FuncBegin("tpcc_payment"));
             ctx.begin_tx();

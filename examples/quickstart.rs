@@ -6,7 +6,9 @@
 //! Observability: `--trace out.json` records every controller, IRB, BMO
 //! sub-op, and NVM event of the Janus run and writes a Chrome trace-event
 //! file (load it at <https://ui.perfetto.dev>). `--metrics out.json` writes
-//! the run's metrics registry as a single JSON object.
+//! the run's metrics registry as a single JSON object. `--bmos id,...`
+//! selects the BMO stack (see `janus-cli --list-bmos`), e.g.
+//! `--bmos enc,ecc` or `--bmos none`.
 
 use janus::core::config::{JanusConfig, SystemMode};
 use janus::core::ir::ProgramBuilder;
@@ -52,13 +54,27 @@ fn arg_path(name: &str) -> Option<String> {
         .cloned()
 }
 
+fn config(mode: SystemMode) -> JanusConfig {
+    let mut c = JanusConfig::paper(mode, 1);
+    if let Some(list) = arg_path("--bmos") {
+        match janus::bmo::BmoStack::parse(&list) {
+            Ok(stack) => c.bmo_stack = stack.members().to_vec(),
+            Err(e) => {
+                eprintln!("--bmos {list}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    c
+}
+
 fn main() {
     // Baseline: every write pays the serialized BMO latency on its fence.
-    let mut baseline = System::new(JanusConfig::paper(SystemMode::Serialized, 1));
+    let mut baseline = System::new(config(SystemMode::Serialized));
     let base = baseline.run(vec![build_program(false)]);
 
     // Janus: parallelized sub-operations + pre-execution.
-    let mut janus = System::new(JanusConfig::paper(SystemMode::Janus, 1));
+    let mut janus = System::new(config(SystemMode::Janus));
     let trace_path = arg_path("--trace");
     if trace_path.is_some() {
         janus.enable_trace(&TraceConfig::default());

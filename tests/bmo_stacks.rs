@@ -1,0 +1,130 @@
+//! Composability integration tests: non-default BMO stacks through the
+//! full system — build, run a workload, crash, recover, verify contents.
+//!
+//! The registry promise (§4.4 requirement 3) is that programs need no
+//! changes when the hardware's BMO set changes: the same workload programs
+//! run unmodified under every stack here, and every stack's persistent
+//! image recovers to the same functional contents.
+
+use janus::bmo::BmoStack;
+use janus::core::config::{JanusConfig, SystemMode};
+use janus::core::controller::MemoryController;
+use janus::core::system::System;
+use janus::sim::time::Cycles;
+use janus::workloads::{generate, Instrumentation, Workload, WorkloadConfig};
+
+fn config_for(stack: &str, mode: SystemMode) -> JanusConfig {
+    let mut c = JanusConfig::paper(mode, 1);
+    c.bmo_stack = BmoStack::parse(stack)
+        .unwrap_or_else(|e| panic!("stack {stack:?}: {e}"))
+        .members()
+        .to_vec();
+    c
+}
+
+/// Runs a workload to completion under `stack`, crashes, recovers, and
+/// verifies every line of the workload's oracle.
+fn run_crash_recover_verify(stack: &str, w: Workload, tx: usize) {
+    let out = generate(
+        w,
+        0,
+        &WorkloadConfig {
+            transactions: tx,
+            instrumentation: Instrumentation::Manual,
+            ..WorkloadConfig::default()
+        },
+    );
+    let cfg = config_for(stack, SystemMode::Janus);
+    let mut sys = System::new(cfg.clone());
+    let (snapshot, root) = sys.run_until_crash(vec![out.program], Cycles(u64::MAX / 2));
+    let rec = MemoryController::recover(&snapshot, cfg, root)
+        .unwrap_or_else(|e| panic!("stack [{stack}] {w}: recovery failed: {e}"));
+    for (line, expected) in out.expected.iter() {
+        assert_eq!(
+            &rec.read_value(line),
+            expected,
+            "stack [{stack}] {w}: line {line} after crash"
+        );
+    }
+}
+
+#[test]
+fn encryption_only_stack_end_to_end() {
+    run_crash_recover_verify("enc", Workload::ArraySwap, 12);
+}
+
+#[test]
+fn integrity_plus_ecc_stack_end_to_end() {
+    run_crash_recover_verify("int,ecc", Workload::Queue, 12);
+}
+
+#[test]
+fn dedup_only_stack_end_to_end() {
+    run_crash_recover_verify("dedup", Workload::HashTable, 12);
+}
+
+#[test]
+fn extended_five_bmo_stack_end_to_end() {
+    run_crash_recover_verify("enc,int,dedup,comp,wear", Workload::BTree, 12);
+}
+
+#[test]
+fn all_seven_bmo_stack_end_to_end() {
+    run_crash_recover_verify("enc,int,dedup,comp,wear,ecc,oram", Workload::Tatp, 12);
+}
+
+#[test]
+fn empty_stack_end_to_end() {
+    run_crash_recover_verify("none", Workload::ArraySwap, 8);
+}
+
+#[test]
+fn stacks_agree_functionally_with_the_default() {
+    // One workload, many stacks: final NVM contents must be identical —
+    // BMOs transform the representation, never the values.
+    let out = generate(
+        Workload::RbTree,
+        0,
+        &WorkloadConfig {
+            transactions: 15,
+            instrumentation: Instrumentation::Manual,
+            ..WorkloadConfig::default()
+        },
+    );
+    for stack in ["enc,int,dedup", "enc", "int,ecc", "comp,wear", "oram,dedup"] {
+        let mut sys = System::new(config_for(stack, SystemMode::Janus));
+        sys.run(vec![out.program.clone()]);
+        for (line, expected) in out.expected.iter() {
+            assert_eq!(
+                &sys.read_value(line),
+                expected,
+                "stack [{stack}]: line {line} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn stack_order_does_not_change_results() {
+    // Stack *order* affects sub-op scheduling, never functional results.
+    let out = generate(
+        Workload::Queue,
+        0,
+        &WorkloadConfig {
+            transactions: 10,
+            instrumentation: Instrumentation::Manual,
+            ..WorkloadConfig::default()
+        },
+    );
+    for stack in ["dedup,int,enc", "int,enc,dedup", "dedup,enc,int"] {
+        let mut sys = System::new(config_for(stack, SystemMode::Serialized));
+        sys.run(vec![out.program.clone()]);
+        for (line, expected) in out.expected.iter() {
+            assert_eq!(
+                &sys.read_value(line),
+                expected,
+                "stack [{stack}]: line {line} diverged"
+            );
+        }
+    }
+}

@@ -82,15 +82,17 @@ fn figure10_slowdown_bands() {
     let mut janus = Vec::new();
     for w in Workload::all() {
         let ideal = cycles(w, SystemMode::Ideal, Instrumentation::None, false);
-        serialized
-            .push(cycles(w, SystemMode::Serialized, Instrumentation::None, false) / ideal);
+        serialized.push(cycles(w, SystemMode::Serialized, Instrumentation::None, false) / ideal);
         janus.push(cycles(w, SystemMode::Janus, Instrumentation::Manual, false) / ideal);
     }
     let s = geomean(&serialized);
     let j = geomean(&janus);
     assert!((3.5..8.0).contains(&s), "serialized slowdown = {s:.2}");
     assert!((1.5..3.5).contains(&j), "janus slowdown = {j:.2}");
-    assert!(s / j > 1.7, "janus must recover most of the gap: {s:.2}/{j:.2}");
+    assert!(
+        s / j > 1.7,
+        "janus must recover most of the gap: {s:.2}/{j:.2}"
+    );
 }
 
 #[test]
@@ -123,4 +125,34 @@ fn serialized_write_latency_matches_table1_arithmetic() {
     // 818 ns of serialized BMO latency per write (Table 1 sums).
     use janus::bmo::latency::BmoLatencies;
     assert_eq!(BmoLatencies::paper().serialized_total().as_ns(), 818.0);
+}
+
+#[test]
+fn golden_default_stack_critical_write_latencies() {
+    // Exact pins, not bands: the registry-composed default stack must
+    // reproduce the hard-wired pipeline's numbers cycle-for-cycle.
+    // Serialized = Table 1's 818 ns chain = 3272 cycles @4 GHz; the
+    // composed dependency graph parallelizes it to a 691 ns = 2764-cycle
+    // critical path; full pre-execution leaves zero residual BMO latency
+    // at write arrival.
+    use janus::bmo::engine::BmoEngine;
+    use janus::bmo::latency::BmoLatencies;
+    use janus::bmo::{BmoMode, BmoStack};
+    use janus::sim::time::Cycles;
+
+    let lat = BmoLatencies::paper();
+    let graph = BmoStack::paper().graph(&lat);
+    assert_eq!(graph.serial_sum(), Cycles(3272));
+    assert_eq!(graph.critical_path(), Cycles(2764));
+
+    let mut serial = BmoEngine::new(BmoStack::paper().graph(&lat), BmoMode::Serialized, 4);
+    let j = serial.submit(Cycles(0), Some(Cycles(0)), Some(Cycles(0)), false);
+    assert_eq!(serial.completion(j), Some(Cycles(3272)));
+
+    let mut par = BmoEngine::new(BmoStack::paper().graph(&lat), BmoMode::Parallelized, 4);
+    let j = par.submit(Cycles(0), Some(Cycles(0)), Some(Cycles(0)), false);
+    let done = par.completion(j).expect("inputs supplied");
+    assert_eq!(done, Cycles(2764));
+    // A write arriving after the pre-execution finished sees residual 0.
+    assert_eq!(done.saturating_sub(Cycles(20_000)), Cycles::ZERO);
 }

@@ -169,12 +169,20 @@ fn assert_spans_well_formed(events: &[TraceEvent]) {
     let mut open: HashMap<(Category, &'static str, u64), Vec<u64>> = HashMap::new();
     for e in events {
         match e.kind {
-            EventKind::Begin => open.entry((e.cat, e.name, e.id)).or_default().push(e.cycle.0),
+            EventKind::Begin => open
+                .entry((e.cat, e.name, e.id))
+                .or_default()
+                .push(e.cycle.0),
             EventKind::End => {
                 let stack = open
                     .get_mut(&(e.cat, e.name, e.id))
                     .unwrap_or_else(|| panic!("end without begin: {} id={}", e.name, e.id));
-                assert!(!stack.is_empty(), "end without begin: {} id={}", e.name, e.id);
+                assert!(
+                    !stack.is_empty(),
+                    "end without begin: {} id={}",
+                    e.name,
+                    e.id
+                );
                 let begin = stack.remove(0);
                 assert!(
                     e.cycle.0 >= begin,

@@ -12,7 +12,7 @@
 //! * **Start-Gap wear-leveling** — write amplification of the gap copies
 //!   and the hot-line spreading it buys.
 
-use janus_bench::{arg_usize, banner, run, RunSpec, Variant};
+use janus_bench::{arg_usize, banner, run_all, RunSpec, Variant};
 use janus_bmo::wear::StartGap;
 use janus_nvm::line::LINE_BYTES;
 use janus_sim::rng::SimRng;
@@ -30,10 +30,16 @@ fn main() {
         "workload", "writes", "dup-saved", "device-wr", "BDI ratio", "est. life x"
     );
     println!("{}", "-".repeat(70));
+    let mut specs = Vec::new();
     for w in Workload::all() {
         let mut spec = RunSpec::new(w, Variant::JanusManual);
         spec.transactions = tx;
-        let r = run(spec);
+        specs.push(spec);
+    }
+    let mut results = run_all(specs).into_iter();
+
+    for w in Workload::all() {
+        let r = results.next().expect("one result per spec");
         let writes = r.report.writes;
         let dup = r.report.dup_writes;
         let device = r.report.counter("nvm_device_writes");

@@ -6,8 +6,10 @@
 //! a 2.09× slowdown compared to the ideal scenario", and "on average only
 //! 45.13% of BMOs have been completely pre-executed".
 
-use janus_bench::{arg_usize, banner, geomean, row, run, speedup, RunSpec, Variant};
+use janus_bench::{arg_usize, banner, geomean, row, run_all, speedup, RunSpec, Variant};
 use janus_workloads::Workload;
+
+const VARIANTS: [Variant; 3] = [Variant::Ideal, Variant::Serialized, Variant::JanusManual];
 
 fn main() {
     let tx = arg_usize("--tx", 150);
@@ -28,18 +30,23 @@ fn main() {
             &widths
         )
     );
+    let mut specs = Vec::new();
+    for w in Workload::all() {
+        for variant in VARIANTS {
+            let mut s = RunSpec::new(w, variant);
+            s.transactions = tx;
+            specs.push(s);
+        }
+    }
+    let mut results = run_all(specs).into_iter();
+
     let mut s_all = Vec::new();
     let mut j_all = Vec::new();
     let mut frac_all = Vec::new();
     for w in Workload::all() {
-        let mk = |variant| {
-            let mut s = RunSpec::new(w, variant);
-            s.transactions = tx;
-            run(s)
-        };
-        let ideal = mk(Variant::Ideal);
-        let serialized = mk(Variant::Serialized);
-        let janus = mk(Variant::JanusManual);
+        let ideal = results.next().expect("one result per spec");
+        let serialized = results.next().expect("one result per spec");
+        let janus = results.next().expect("one result per spec");
         let s_slow = speedup(&serialized, &ideal); // slowdown = cycles ratio
         let j_slow = speedup(&janus, &ideal);
         let frac = janus.report.fully_preexecuted_fraction;

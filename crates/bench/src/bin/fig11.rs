@@ -6,9 +6,16 @@
 //! pointers); "on average, the automated solution is only 13.3% slower than
 //! our best-effort manual instrumentation".
 
-use janus_bench::{arg_usize, banner, geomean, row, run, speedup, RunSpec, Variant};
+use janus_bench::{arg_usize, banner, geomean, row, run_all, speedup, RunSpec, Variant};
 use janus_instrument::instrument;
 use janus_workloads::{generate, Workload, WorkloadConfig};
+
+const VARIANTS: [Variant; 4] = [
+    Variant::Serialized,
+    Variant::JanusManual,
+    Variant::JanusAuto,
+    Variant::JanusAutoPgo,
+];
 
 fn main() {
     let tx = arg_usize("--tx", 150);
@@ -30,19 +37,24 @@ fn main() {
             &widths
         )
     );
+    let mut specs = Vec::new();
+    for w in Workload::all() {
+        for variant in VARIANTS {
+            let mut s = RunSpec::new(w, variant);
+            s.transactions = tx;
+            specs.push(s);
+        }
+    }
+    let mut results = run_all(specs).into_iter();
+
     let mut manual_all = Vec::new();
     let mut auto_all = Vec::new();
     let mut pgo_all = Vec::new();
     for w in Workload::all() {
-        let mk = |variant| {
-            let mut s = RunSpec::new(w, variant);
-            s.transactions = tx;
-            run(s)
-        };
-        let serialized = mk(Variant::Serialized);
-        let manual = speedup(&serialized, &mk(Variant::JanusManual));
-        let auto = speedup(&serialized, &mk(Variant::JanusAuto));
-        let pgo = speedup(&serialized, &mk(Variant::JanusAutoPgo));
+        let serialized = results.next().expect("one result per spec");
+        let manual = speedup(&serialized, &results.next().expect("one result per spec"));
+        let auto = speedup(&serialized, &results.next().expect("one result per spec"));
+        let pgo = speedup(&serialized, &results.next().expect("one result per spec"));
         // Instrumentation coverage report from the pass itself.
         let plain = generate(
             w,

@@ -7,8 +7,15 @@
 //! the increase in speedup is small because BMOs contribute to most of the
 //! overhead."
 
-use janus_bench::{arg_usize, banner, row, run, speedup, RunSpec, Variant};
+use janus_bench::{arg_usize, banner, row, run_all, speedup, RunSpec, Variant};
 use janus_workloads::Workload;
+
+const POINTS: [(Variant, bool); 4] = [
+    (Variant::Serialized, false),
+    (Variant::JanusManual, false),
+    (Variant::Serialized, true),
+    (Variant::JanusManual, true),
+];
 
 fn main() {
     let tx = arg_usize("--tx", 120);
@@ -31,21 +38,27 @@ fn main() {
             &widths
         )
     );
+    let mut specs = Vec::new();
     for w in Workload::all() {
         for &ratio in &ratios {
-            let mk = |variant, crc: bool| {
+            for (variant, crc) in POINTS {
                 let mut s = RunSpec::new(w, variant);
                 s.transactions = tx;
                 s.dedup_ratio = ratio;
                 s.crc32 = crc;
-                run(s)
-            };
-            let md5 = speedup(
-                &mk(Variant::Serialized, false),
-                &mk(Variant::JanusManual, false),
-            );
-            let crc_base = mk(Variant::Serialized, true);
-            let crc_janus = mk(Variant::JanusManual, true);
+                specs.push(s);
+            }
+        }
+    }
+    let mut results = run_all(specs).into_iter();
+
+    for w in Workload::all() {
+        for &ratio in &ratios {
+            let md5_base = results.next().expect("one result per spec");
+            let md5_janus = results.next().expect("one result per spec");
+            let crc_base = results.next().expect("one result per spec");
+            let crc_janus = results.next().expect("one result per spec");
+            let md5 = speedup(&md5_base, &md5_janus);
             let crc = speedup(&crc_base, &crc_janus);
             let observed =
                 crc_janus.report.dup_writes as f64 / crc_janus.report.writes.max(1) as f64;

@@ -6,8 +6,14 @@
 //! full. In comparison, the speedup from parallelization keeps increasing
 //! but at a slow rate."
 
-use janus_bench::{arg_usize, banner, row, run, speedup, RunSpec, Variant};
+use janus_bench::{arg_usize, banner, row, run_all, speedup, RunSpec, Variant};
 use janus_workloads::Workload;
+
+const VARIANTS: [Variant; 3] = [
+    Variant::Serialized,
+    Variant::Parallelized,
+    Variant::JanusManual,
+];
 
 fn main() {
     let base_tx = arg_usize("--tx", 96);
@@ -29,19 +35,26 @@ fn main() {
             &widths
         )
     );
+    let mut specs = Vec::new();
     for w in Workload::scalable() {
         for &size in &sizes {
             // Keep total work roughly constant across the sweep.
             let tx = (base_tx * 256 / (size / 64 + 16)).clamp(24, base_tx);
-            let mk = |variant| {
+            for variant in VARIANTS {
                 let mut s = RunSpec::new(w, variant);
                 s.transactions = tx;
                 s.tx_size_bytes = size;
-                run(s)
-            };
-            let serialized = mk(Variant::Serialized);
-            let par = speedup(&serialized, &mk(Variant::Parallelized));
-            let pre = speedup(&serialized, &mk(Variant::JanusManual));
+                specs.push(s);
+            }
+        }
+    }
+    let mut results = run_all(specs).into_iter();
+
+    for w in Workload::scalable() {
+        for &size in &sizes {
+            let serialized = results.next().expect("one result per spec");
+            let par = speedup(&serialized, &results.next().expect("one result per spec"));
+            let pre = speedup(&serialized, &results.next().expect("one result per spec"));
             println!(
                 "{}",
                 row(

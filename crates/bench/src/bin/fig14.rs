@@ -7,7 +7,7 @@
 //! bottleneck. B-Tree is an exception \[and\] can gain a significant benefit
 //! with unlimited resources."
 
-use janus_bench::{arg_usize, banner, geomean, row, run, speedup, RunSpec, Variant};
+use janus_bench::{arg_usize, banner, geomean, row, run_all, speedup, RunSpec, Variant};
 use janus_workloads::Workload;
 
 fn main() {
@@ -30,17 +30,26 @@ fn main() {
             &widths
         )
     );
-    let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); scales.len()];
+    let mut specs = Vec::new();
     for w in Workload::scalable() {
-        for (si, (scale, label)) in scales.iter().enumerate() {
-            let mk = |variant| {
+        for (scale, _) in &scales {
+            for variant in [Variant::Serialized, Variant::JanusManual] {
                 let mut s = RunSpec::new(w, variant);
                 s.transactions = tx;
                 s.tx_size_bytes = 8192;
                 s.resource_scale = *scale;
-                run(s)
-            };
-            let sp = speedup(&mk(Variant::Serialized), &mk(Variant::JanusManual));
+                specs.push(s);
+            }
+        }
+    }
+    let mut results = run_all(specs).into_iter();
+
+    let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); scales.len()];
+    for w in Workload::scalable() {
+        for (si, (_, label)) in scales.iter().enumerate() {
+            let serialized = results.next().expect("one result per spec");
+            let janus = results.next().expect("one result per spec");
+            let sp = speedup(&serialized, &janus);
             per_scale[si].push(sp);
             println!(
                 "{}",

@@ -28,7 +28,14 @@ fn main() {
         );
     }
     println!("\nedges:");
-    for &(from, to, kind) in g.edges() {
+    // Pin the listing order: intra edges first, then inter, each sorted by
+    // (from, to) node id. The composed graph stores edges in registration
+    // order, which is a property of the BMO registry, not of the figure —
+    // sorting keeps `results/fig6.txt` byte-identical however the stack is
+    // assembled.
+    let mut edges: Vec<_> = g.edges().to_vec();
+    edges.sort_by_key(|&(from, to, kind)| (matches!(kind, EdgeKind::Inter), from, to));
+    for (from, to, kind) in edges {
         let k = match kind {
             EdgeKind::Intra => "intra",
             EdgeKind::Inter => "INTER",

@@ -6,8 +6,14 @@
 //! systems", with B-Tree/TATP/TPCC above Hash Table/RB-Tree, and
 //! parallelization alone delivering a lower speedup than pre-execution.
 
-use janus_bench::{arg_usize, banner, geomean, row, run, RunSpec, Variant};
+use janus_bench::{arg_usize, banner, geomean, row, run_all, RunSpec, Variant};
 use janus_workloads::Workload;
+
+const VARIANTS: [Variant; 3] = [
+    Variant::Serialized,
+    Variant::Parallelized,
+    Variant::JanusManual,
+];
 
 fn main() {
     let tx = arg_usize("--tx", 150);
@@ -30,19 +36,30 @@ fn main() {
         )
     );
 
+    // The whole figure as one batch, fanned across `--jobs` workers;
+    // spec order mirrors the original sequential run order exactly.
+    let mut specs = Vec::new();
+    for w in Workload::all() {
+        for &cores in &cores_list {
+            for variant in VARIANTS {
+                let mut s = RunSpec::new(w, variant);
+                s.cores = cores;
+                s.transactions = tx;
+                specs.push(s);
+            }
+        }
+    }
+    let mut results = run_all(specs).into_iter();
+
     let mut avg_par: Vec<Vec<f64>> = vec![Vec::new(); cores_list.len()];
     let mut avg_pre: Vec<Vec<f64>> = vec![Vec::new(); cores_list.len()];
     for w in Workload::all() {
         for (ci, &cores) in cores_list.iter().enumerate() {
-            let mk = |variant| {
-                let mut s = RunSpec::new(w, variant);
-                s.cores = cores;
-                s.transactions = tx;
-                run(s)
-            };
-            let serialized = mk(Variant::Serialized);
-            let par = speed(&serialized, &mk(Variant::Parallelized));
-            let pre = speed(&serialized, &mk(Variant::JanusManual));
+            let serialized = results.next().expect("one result per spec");
+            let parallelized = results.next().expect("one result per spec");
+            let janus = results.next().expect("one result per spec");
+            let par = speed(&serialized, &parallelized);
+            let pre = speed(&serialized, &janus);
             avg_par[ci].push(par);
             avg_pre[ci].push(pre);
             println!(

@@ -7,13 +7,16 @@
 //! ```
 //!
 //! Flags: `--workload <array|queue|hash|rbtree|btree|tatp|tpcc>`,
-//! `--variant <serialized|parallelized|janus|auto|pgo|ideal>`, `--cores N`,
-//! `--tx N`, `--size BYTES`, `--dedup RATIO`, `--seed N`, `--crc32`,
-//! `--scale <N|unlimited>`, `--skew THETA`, `--aux FRACTION`,
+//! `--variant <serialized|parallelized|janus|auto|pgo|ideal>` (accepts a
+//! comma-separated list to sweep several variants in one invocation),
+//! `--cores N`, `--tx N`, `--size BYTES`, `--dedup RATIO`, `--seed N`,
+//! `--crc32`, `--scale <N|unlimited>`, `--skew THETA`, `--aux FRACTION`,
 //! `--bmos <id,...|none>` (BMO stack override; see `--list-bmos`),
+//! `--jobs N` (worker threads for multi-variant sweeps; also honours the
+//! `JANUS_JOBS` environment variable; output is identical at any value),
 //! `--dump` (gem5-style stats to stdout).
 
-use janus_bench::{run, RunSpec, Variant};
+use janus_bench::{run_all, RunSpec, Variant};
 use janus_bmo::BmoStack;
 use janus_workloads::Workload;
 
@@ -53,20 +56,24 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let variant = match arg("--variant").as_deref().unwrap_or("janus") {
-        "serialized" => Variant::Serialized,
-        "parallelized" => Variant::Parallelized,
-        "janus" | "manual" => Variant::JanusManual,
-        "auto" | "compiler" => Variant::JanusAuto,
-        "pgo" | "profile" => Variant::JanusAutoPgo,
-        "ideal" => Variant::Ideal,
-        other => {
-            eprintln!("unknown variant {other:?}");
-            std::process::exit(2);
-        }
-    };
+    let variants: Vec<Variant> = arg("--variant")
+        .unwrap_or_else(|| "janus".into())
+        .split(',')
+        .map(|v| match v.trim() {
+            "serialized" => Variant::Serialized,
+            "parallelized" => Variant::Parallelized,
+            "janus" | "manual" => Variant::JanusManual,
+            "auto" | "compiler" => Variant::JanusAuto,
+            "pgo" | "profile" => Variant::JanusAutoPgo,
+            "ideal" => Variant::Ideal,
+            other => {
+                eprintln!("unknown variant {other:?}");
+                std::process::exit(2);
+            }
+        })
+        .collect();
 
-    let mut spec = RunSpec::new(workload, variant);
+    let mut spec = RunSpec::new(workload, variants[0]);
     if let Some(v) = arg("--cores") {
         spec.cores = v.parse().expect("--cores N");
     }
@@ -108,25 +115,34 @@ fn main() {
         }
     }
 
-    let result = run(spec.clone());
-    if flag("--dump") {
-        result
-            .report
-            .dump(&mut std::io::stdout())
-            .expect("write stats");
-    } else {
-        println!(
-            "{} [{}] cores={} tx={}: {} cycles, {:.2} tx/Mcycle, \
-             {:.0}% fully pre-executed, {} writes ({} dup)",
-            spec.workload,
-            spec.variant.label(),
-            spec.cores,
-            spec.transactions,
-            result.report.cycles,
-            result.report.tx_per_mcycle(),
-            result.report.fully_preexecuted_fraction * 100.0,
-            result.report.writes,
-            result.report.dup_writes,
-        );
+    let specs: Vec<RunSpec> = variants
+        .iter()
+        .map(|&v| {
+            let mut s = spec.clone();
+            s.variant = v;
+            s
+        })
+        .collect();
+    for result in run_all(specs) {
+        if flag("--dump") {
+            result
+                .report
+                .dump(&mut std::io::stdout())
+                .expect("write stats");
+        } else {
+            println!(
+                "{} [{}] cores={} tx={}: {} cycles, {:.2} tx/Mcycle, \
+                 {:.0}% fully pre-executed, {} writes ({} dup)",
+                result.spec.workload,
+                result.spec.variant.label(),
+                result.spec.cores,
+                result.spec.transactions,
+                result.report.cycles,
+                result.report.tx_per_mcycle(),
+                result.report.fully_preexecuted_fraction * 100.0,
+                result.report.writes,
+                result.report.dup_writes,
+            );
+        }
     }
 }

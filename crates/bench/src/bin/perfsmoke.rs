@@ -1,0 +1,180 @@
+//! perfsmoke — self-benchmark that pins the simulator's performance
+//! trajectory (not a paper figure).
+//!
+//! Three measurements, each median-of-k wall-clock with a warmup run:
+//!
+//! 1. **Event-loop throughput** — simulated events retired per second of
+//!    host time over a full TATP run (`ExecutionReport::events` / wall).
+//! 2. **Raw queue throughput** — schedule/pop operations per second through
+//!    the calendar [`EventQueue`] and through the reference
+//!    [`HeapEventQueue`] on the same synthetic trace, so the hot-path
+//!    speedup over the old binary-heap implementation stays measurable.
+//! 3. **Sweep wall-clock** — a fig9-style 9-spec sweep at `--jobs 1` vs
+//!    `--jobs N` (`N` from `--jobs`/`JANUS_JOBS`, else the host's available
+//!    parallelism), pinning the thread-pool speedup.
+//!
+//! Results go to stdout and, machine-readably, to `BENCH_perfsmoke.json`
+//! (`--out PATH` to override). The JSON schema is stable: the keys
+//! `events_per_sec`, `sweep_wall_ms`, and `jobs` are always present.
+//!
+//! Knobs: `--tx N` (transactions per spec), `--samples K`, `--warmup K`,
+//! `--jobs N`, `--out PATH`.
+
+use janus_bench::timing::median_wall_ms;
+use janus_bench::{arg_usize, banner, jobs, run_all_jobs, run_quiet, RunSpec, Variant};
+use janus_sim::event::{EventQueue, HeapEventQueue};
+use janus_sim::time::Cycles;
+use janus_trace::metrics::MetricsRegistry;
+use janus_workloads::Workload;
+
+fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn sweep_specs(tx: usize) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for w in [Workload::Tatp, Workload::HashTable, Workload::ArraySwap] {
+        for v in [
+            Variant::Serialized,
+            Variant::Parallelized,
+            Variant::JanusManual,
+        ] {
+            let mut s = RunSpec::new(w, v);
+            s.transactions = tx;
+            specs.push(s);
+        }
+    }
+    specs
+}
+
+/// The two queue implementations under one microbenchmark interface.
+trait Queue {
+    fn reset(&mut self);
+    fn push(&mut self, at: Cycles, payload: u64);
+    fn take(&mut self) -> Option<(Cycles, u64)>;
+}
+
+impl Queue for EventQueue<u64> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+    fn push(&mut self, at: Cycles, payload: u64) {
+        self.schedule(at, payload);
+    }
+    fn take(&mut self) -> Option<(Cycles, u64)> {
+        self.pop()
+    }
+}
+
+impl Queue for HeapEventQueue<u64> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+    fn push(&mut self, at: Cycles, payload: u64) {
+        self.schedule(at, payload);
+    }
+    fn take(&mut self) -> Option<(Cycles, u64)> {
+        self.pop()
+    }
+}
+
+/// Drives `ops` schedule/pop pairs through a queue with the simulator's
+/// delay mix: bursts at the current cycle, short device delays, occasional
+/// long (beyond-wheel) refresh horizons. Returns a checksum so the work
+/// cannot be optimized away.
+fn queue_trace(q: &mut impl Queue, ops: u64) -> u64 {
+    q.reset();
+    let mut now = 0u64; // tracks the queue clock (last popped timestamp)
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut sum = 0u64;
+    for i in 0..ops {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let delay = match state % 16 {
+            0..=5 => 0,                  // same-cycle burst
+            6..=12 => state % 64,        // short device delay
+            13 | 14 => 64 + state % 960, // queue/bank latency
+            _ => 5000 + state % 4096,    // refresh horizon (overflow path)
+        };
+        q.push(Cycles(now + delay), i);
+        if i % 2 == 1 {
+            let (t, p) = q.take().expect("queue nonempty");
+            sum = sum.wrapping_add(p);
+            now = now.max(t.0);
+        }
+    }
+    sum
+}
+
+fn main() {
+    let tx = arg_usize("--tx", 200);
+    let samples = arg_usize("--samples", 5);
+    let warmup = arg_usize("--warmup", 1);
+    let out_path = arg_str("--out", "BENCH_perfsmoke.json");
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n_jobs = match jobs() {
+        1 => host,
+        n => n,
+    };
+    banner(
+        "perfsmoke — simulator self-benchmark",
+        &format!("{tx} tx per spec, median of {samples} (warmup {warmup}), host cores {host}"),
+    );
+
+    // 1. Event-loop throughput on a full simulation.
+    let mut spec = RunSpec::new(Workload::Tatp, Variant::JanusManual);
+    spec.transactions = tx;
+    let events = run_quiet(spec.clone()).report.events;
+    let run_ms = median_wall_ms(warmup, samples, || run_quiet(spec.clone()));
+    let events_per_sec = events as f64 / (run_ms / 1e3);
+    println!(
+        "event loop:   {events} events in {run_ms:.2} ms  ->  {:.2} M events/s",
+        events_per_sec / 1e6
+    );
+
+    // 2. Raw queue schedule+pop throughput, calendar vs reference heap.
+    let ops: u64 = 1_000_000;
+    let mut cal: EventQueue<u64> = EventQueue::with_capacity(4096);
+    let cal_ms = median_wall_ms(warmup, samples, || queue_trace(&mut cal, ops));
+    let mut heap: HeapEventQueue<u64> = HeapEventQueue::with_capacity(4096);
+    let heap_ms = median_wall_ms(warmup, samples, || queue_trace(&mut heap, ops));
+    let queue_ops_per_sec = ops as f64 / (cal_ms / 1e3);
+    let heap_ops_per_sec = ops as f64 / (heap_ms / 1e3);
+    println!(
+        "queue:        calendar {:.2} M ops/s vs heap {:.2} M ops/s  ({:.2}x)",
+        queue_ops_per_sec / 1e6,
+        heap_ops_per_sec / 1e6,
+        queue_ops_per_sec / heap_ops_per_sec
+    );
+
+    // 3. Sweep wall-clock, serial vs fanned out.
+    let sweep_serial_ms = median_wall_ms(warmup, samples, || run_all_jobs(sweep_specs(tx), 1));
+    let sweep_wall_ms = median_wall_ms(warmup, samples, || run_all_jobs(sweep_specs(tx), n_jobs));
+    println!(
+        "sweep (9 specs): {sweep_serial_ms:.1} ms at --jobs 1 vs {sweep_wall_ms:.1} ms at --jobs {n_jobs}  ({:.2}x)",
+        sweep_serial_ms / sweep_wall_ms
+    );
+
+    let mut m = MetricsRegistry::new();
+    m.set_f64("events_per_sec", events_per_sec);
+    m.set_f64("sweep_wall_ms", sweep_wall_ms);
+    m.set_u64("jobs", n_jobs as u64);
+    m.set_f64("sweep_wall_ms_serial", sweep_serial_ms);
+    m.set_f64("sweep_speedup", sweep_serial_ms / sweep_wall_ms);
+    m.set_f64("queue_ops_per_sec", queue_ops_per_sec);
+    m.set_f64("heap_queue_ops_per_sec", heap_ops_per_sec);
+    m.set_f64(
+        "queue_speedup_vs_heap",
+        queue_ops_per_sec / heap_ops_per_sec,
+    );
+    m.set_u64("events", events);
+    m.set_u64("host_cores", host as u64);
+    std::fs::write(&out_path, m.to_json() + "\n").expect("write perfsmoke json");
+    println!("wrote {out_path}");
+}

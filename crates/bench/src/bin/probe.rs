@@ -1,27 +1,43 @@
 //! Calibration probe (not a paper figure): raw cycle counts per variant.
 
-use janus_bench::{arg_usize, run, RunSpec, Variant};
+use janus_bench::{arg_usize, run_all, RunSpec, Variant};
 use janus_workloads::Workload;
+
+const VARIANTS: [Variant; 4] = [
+    Variant::Serialized,
+    Variant::Parallelized,
+    Variant::JanusManual,
+    Variant::Ideal,
+];
 
 fn main() {
     let tx = arg_usize("--tx", 60);
     let size = arg_usize("--size", 64);
+    let maxcores = arg_usize("--maxcores", 8);
+    let mut specs = Vec::new();
     for w in [Workload::ArraySwap, Workload::Tatp] {
         for cores in [1usize, 2, 4, 8] {
-            if cores > arg_usize("--maxcores", 8) {
+            if cores > maxcores {
                 continue;
             }
-            for v in [
-                Variant::Serialized,
-                Variant::Parallelized,
-                Variant::JanusManual,
-                Variant::Ideal,
-            ] {
+            for v in VARIANTS {
                 let mut s = RunSpec::new(w, v);
                 s.cores = cores;
                 s.transactions = tx;
                 s.tx_size_bytes = size;
-                let r = run(s);
+                specs.push(s);
+            }
+        }
+    }
+    let mut results = run_all(specs).into_iter();
+
+    for w in [Workload::ArraySwap, Workload::Tatp] {
+        for cores in [1usize, 2, 4, 8] {
+            if cores > maxcores {
+                continue;
+            }
+            for v in VARIANTS {
+                let r = results.next().expect("one result per spec");
                 println!(
                     "{:<11} c{} {:<16} cycles={:>10} cyc/tx={:>8.0} full_pre={:.2} wq_stall={:>9} invd={} invm={}",
                     w.name(),

@@ -5,8 +5,11 @@
 //! its own transaction, so hot keys neither help nor hurt — the counters
 //! confirm no extra §4.3.1 invalidations and the speedup stays flat.
 
-use janus_bench::{arg_usize, banner, row, run, speedup, RunSpec, Variant};
+use janus_bench::{arg_usize, banner, row, run_all, speedup, RunSpec, Variant};
 use janus_workloads::Workload;
+
+const WORKLOADS: [Workload; 3] = [Workload::Tatp, Workload::HashTable, Workload::ArraySwap];
+const SKEWS: [Option<f64>; 4] = [None, Some(0.6), Some(0.9), Some(0.99)];
 
 fn main() {
     let tx = arg_usize("--tx", 150);
@@ -28,16 +31,23 @@ fn main() {
             &widths
         )
     );
-    for w in [Workload::Tatp, Workload::HashTable, Workload::ArraySwap] {
-        for skew in [None, Some(0.6), Some(0.9), Some(0.99)] {
-            let mk = |variant| {
+    let mut specs = Vec::new();
+    for w in WORKLOADS {
+        for skew in SKEWS {
+            for variant in [Variant::Serialized, Variant::JanusManual] {
                 let mut s = RunSpec::new(w, variant);
                 s.transactions = tx;
                 s.key_skew = skew;
-                run(s)
-            };
-            let base = mk(Variant::Serialized);
-            let janus = mk(Variant::JanusManual);
+                specs.push(s);
+            }
+        }
+    }
+    let mut results = run_all(specs).into_iter();
+
+    for w in WORKLOADS {
+        for skew in SKEWS {
+            let base = results.next().expect("one result per spec");
+            let janus = results.next().expect("one result per spec");
             println!(
                 "{}",
                 row(

@@ -7,6 +7,7 @@
 //! runs the simulation, verifies functional correctness against the
 //! workload's oracle, and returns the execution report.
 
+pub mod pool;
 pub mod timing;
 
 use std::io::Write as _;
@@ -244,6 +245,16 @@ fn sink_results_jsonl(result: &RunResult) {
 /// Panics if the simulated NVM contents differ from the workload's expected
 /// final state — the harness refuses to report numbers from a broken run.
 pub fn run(spec: RunSpec) -> RunResult {
+    let result = run_quiet(spec);
+    sink_results_jsonl(&result);
+    result
+}
+
+/// [`run`] without the JSONL side effect: the sweep engine executes specs
+/// on worker threads with this and sinks metrics from the coordinating
+/// thread in spec order, keeping exported files byte-identical at any
+/// worker count.
+pub fn run_quiet(spec: RunSpec) -> RunResult {
     let mut sys = System::new(spec.config());
     let tracer = match &spec.trace {
         Some(cfg) => sys.enable_trace(cfg),
@@ -274,13 +285,69 @@ pub fn run(spec: RunSpec) -> RunResult {
             );
         }
     }
-    let result = RunResult {
+    RunResult {
         report,
         spec,
         tracer,
-    };
-    sink_results_jsonl(&result);
-    result
+    }
+}
+
+/// Worker count for sweep fan-out: `--jobs N` process argument, else the
+/// `JANUS_JOBS` environment variable, else 1 (serial). Every figure/table
+/// binary funnels its sweep through [`run_all`], so
+/// `cargo run --release --bin fig9 -- --jobs 8` (or `JANUS_JOBS=8` for a
+/// whole `scripts/regen_results.sh` invocation) parallelizes it.
+pub fn jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .or_else(|| {
+            std::env::var("JANUS_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .filter(|&j| j >= 1)
+        .unwrap_or(1)
+}
+
+/// Runs a batch of independent specs fanned across [`jobs`] worker threads,
+/// returning results in spec order.
+pub fn run_all(specs: Vec<RunSpec>) -> Vec<RunResult> {
+    run_all_jobs(specs, jobs())
+}
+
+/// [`run_all`] with an explicit worker count.
+///
+/// Output is byte-identical at any worker count: each simulation is a
+/// sealed deterministic timeline (parallelism never reaches inside one),
+/// results come back in spec order, and JSONL metrics are sunk from the
+/// coordinating thread in that same order. Traced specs hold a non-`Send`
+/// ring buffer, so a batch containing one falls back to in-order sequential
+/// execution — identical output, just not fanned out.
+pub fn run_all_jobs(specs: Vec<RunSpec>, jobs: usize) -> Vec<RunResult> {
+    if jobs <= 1 || specs.len() <= 1 || specs.iter().any(|s| s.trace.is_some()) {
+        return specs.into_iter().map(run).collect();
+    }
+    // Workers return only `Send` parts; the tracer slot is refilled with a
+    // disabled handle on the way out (untraced runs never record anyway).
+    let reports = pool::parallel_map(specs, jobs, |spec| {
+        let r = run_quiet(spec);
+        (r.report, r.spec)
+    });
+    reports
+        .into_iter()
+        .map(|(report, spec)| {
+            let result = RunResult {
+                report,
+                spec,
+                tracer: Tracer::disabled(),
+            };
+            sink_results_jsonl(&result);
+            result
+        })
+        .collect()
 }
 
 /// Speedup of `fast` over `slow` (cycles ratio).

@@ -1,0 +1,138 @@
+//! Hermetic work-stealing thread pool (std-only, no crates.io).
+//!
+//! The sweep engine fans independent [`crate::RunSpec`]s across OS threads:
+//! each worker owns a deque dealt a round-robin share of the items and pops
+//! from its front; when it runs dry it steals from the back of the other
+//! workers' deques. Simulations vary widely in cost (an 8-core TPC-C run is
+//! ~50× an `array_swap` point), so stealing — not static partitioning — is
+//! what keeps all cores busy until the sweep's tail.
+//!
+//! Determinism: items are tagged with their index and results are returned
+//! in input order, so callers observe output identical to a sequential run
+//! no matter how many workers raced. Scheduling only decides *when* each
+//! item runs, never *what* it computes — items must be independent.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Applies `f` to every item on `workers` threads, returning results in
+/// input order.
+///
+/// With `workers <= 1` (or fewer than two items) everything runs inline on
+/// the calling thread — no threads are spawned, so non-`Send` state inside
+/// `f`'s returns-by-construction path behaves identically.
+///
+/// # Panics
+///
+/// A panic inside `f` on any worker is propagated to the caller once the
+/// pool joins (the remaining workers drain their queues first).
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = workers.min(n);
+
+    // Deal items round-robin: worker w starts on items w, w+workers, …
+    // The front is the owner's pop end; thieves take from the back, so an
+    // owner and a thief contend on a deque's lock only when it is nearly
+    // empty.
+    let deques: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % workers].lock().unwrap().push_back((i, item));
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let deques = &deques;
+            let results = &results;
+            let f = &f;
+            s.spawn(move || loop {
+                let task = {
+                    let own = deques[w].lock().unwrap().pop_front();
+                    own.or_else(|| steal(deques, w))
+                };
+                // No task anywhere: every remaining item is already being
+                // executed by some worker (items are never re-queued), so
+                // this worker is done.
+                let Some((i, item)) = task else { break };
+                *results[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("pool completed with a missing result")
+        })
+        .collect()
+}
+
+/// Takes one task from the back of another worker's deque, scanning victims
+/// round-robin from the caller's right neighbour.
+fn steal<T>(deques: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize, T)> {
+    let n = deques.len();
+    (1..n).find_map(|k| deques[(me + k) % n].lock().unwrap().pop_back())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..137).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 200] {
+            let got = parallel_map(items.clone(), workers, |x| x * x);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn uneven_task_costs_are_balanced_by_stealing() {
+        // Front-loaded cost: worker 0's round-robin share would dominate a
+        // static partition; stealing must still complete every item.
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i % 8 == 0 { 200_000 } else { 10 })
+            .collect();
+        let got = parallel_map(items.clone(), 4, |spin| {
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i).rotate_left(1);
+            }
+            (spin, acc)
+        });
+        assert_eq!(got.len(), 64);
+        for (out, inp) in got.iter().zip(&items) {
+            assert_eq!(out.0, *inp);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        assert_eq!(parallel_map(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
+        assert_eq!(parallel_map(vec![7u8], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map((0..16).collect::<Vec<u32>>(), 4, |x| {
+                assert!(x != 11, "injected failure");
+                x
+            })
+        });
+        assert!(r.is_err(), "a worker panic must reach the caller");
+    }
+}

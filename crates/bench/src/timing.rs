@@ -110,6 +110,27 @@ impl BenchHarness {
     }
 }
 
+/// Times `f` over `samples` runs after `warmup` untimed runs, returning the
+/// median wall-clock milliseconds.
+///
+/// For macro-scale measurements — whole simulations or sweeps — where
+/// [`BenchHarness`]'s calibration loop (which repeats the body until a
+/// target batch duration is reached) would multiply an already-long run.
+pub fn median_wall_ms<R>(warmup: usize, samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut ms: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ms[ms.len() / 2]
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")

@@ -110,6 +110,14 @@ pub struct BmoEngine {
     jobs: HashMap<u64, Job>,
     next_id: u64,
     topo: Vec<NodeId>,
+    /// Graph-static: per-node latency, indexed by `NodeId`.
+    node_latencies: Vec<Cycles>,
+    /// Graph-static: `(node, latency)` of every data-dependent node
+    /// (external class `Data` or `Both`).
+    data_nodes: Vec<(NodeId, Cycles)>,
+    /// Recycled `node_end` buffers from retired jobs; `submit` reuses them
+    /// so the steady-state job lifecycle does not allocate.
+    spare_node_end: Vec<Vec<Option<Cycles>>>,
     jobs_submitted: u64,
     /// Completion time of the last job in `SerializedGlobal` mode.
     serial_tail: Cycles,
@@ -121,6 +129,17 @@ impl BmoEngine {
     /// ([`UnitPool::UNLIMITED`] for the Figure 14 "Unlimited" point).
     pub fn new(graph: DepGraph, mode: BmoMode, units: usize) -> Self {
         let topo = graph.topo_order();
+        let node_latencies: Vec<Cycles> = graph.node_ids().map(|n| graph.node(n).latency).collect();
+        let data_nodes: Vec<(NodeId, Cycles)> = graph
+            .node_ids()
+            .filter(|&n| {
+                matches!(
+                    graph.external_class(n),
+                    crate::subop::ExternalClass::Data | crate::subop::ExternalClass::Both
+                )
+            })
+            .map(|n| (n, graph.node(n).latency))
+            .collect();
         BmoEngine {
             graph,
             mode,
@@ -128,6 +147,9 @@ impl BmoEngine {
             jobs: HashMap::new(),
             next_id: 0,
             topo,
+            node_latencies,
+            data_nodes,
+            spare_node_end: Vec::new(),
             jobs_submitted: 0,
             serial_tail: Cycles::ZERO,
             tracer: Tracer::disabled(),
@@ -173,6 +195,14 @@ impl BmoEngine {
         } else {
             submit
         };
+        let node_end = match self.spare_node_end.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(self.graph.len(), None);
+                buf
+            }
+            None => vec![None; self.graph.len()],
+        };
         self.jobs.insert(
             id,
             Job {
@@ -180,7 +210,7 @@ impl BmoEngine {
                 addr_at: addr_at.map(|t| t.max(submit)),
                 data_at: data_at.map(|t| t.max(submit)),
                 dup,
-                node_end: vec![None; self.graph.len()],
+                node_end,
                 wasted: Cycles::ZERO,
             },
         );
@@ -240,22 +270,8 @@ impl BmoEngine {
     /// results are reused. `dup` is the duplicate outcome under the *new*
     /// data.
     pub fn invalidate_data(&mut self, id: JobId, now: Cycles, dup: bool) {
-        let data_nodes: Vec<NodeId> = self
-            .graph
-            .node_ids()
-            .filter(|&n| {
-                matches!(
-                    self.graph.external_class(n),
-                    crate::subop::ExternalClass::Data | crate::subop::ExternalClass::Both
-                )
-            })
-            .collect();
-        let graph_latencies: Vec<Cycles> = data_nodes
-            .iter()
-            .map(|&n| self.graph.node(n).latency)
-            .collect();
-        let job = self.job_mut(id);
-        for (&n, &lat) in data_nodes.iter().zip(&graph_latencies) {
+        let job = self.jobs.get_mut(&id.0).expect("unknown or retired job");
+        for &(n, lat) in &self.data_nodes {
             if job.node_end[n.0].take().is_some() {
                 job.wasted += lat;
             }
@@ -270,15 +286,10 @@ impl BmoEngine {
     /// BMO metadata the job depended on changed (§4.3.1 case 2): all results
     /// are stale; everything re-runs from `now`.
     pub fn invalidate_all(&mut self, id: JobId, now: Cycles, dup: bool) {
-        let latencies: Vec<Cycles> = self
-            .graph
-            .node_ids()
-            .map(|n| self.graph.node(n).latency)
-            .collect();
-        let job = self.job_mut(id);
-        for (i, lat) in latencies.iter().enumerate() {
+        let job = self.jobs.get_mut(&id.0).expect("unknown or retired job");
+        for (i, &lat) in self.node_latencies.iter().enumerate() {
             if job.node_end[i].take().is_some() {
-                job.wasted += *lat;
+                job.wasted += lat;
             }
         }
         job.addr_at = Some(now);
@@ -407,9 +418,14 @@ impl BmoEngine {
         self.job(id).wasted
     }
 
-    /// Releases the job's bookkeeping (results consumed by the write).
+    /// Releases the job's bookkeeping (results consumed by the write),
+    /// recycling its buffers for future submissions.
     pub fn retire(&mut self, id: JobId) {
-        self.jobs.remove(&id.0);
+        if let Some(job) = self.jobs.remove(&id.0) {
+            if self.spare_node_end.len() < 64 {
+                self.spare_node_end.push(job.node_end);
+            }
+        }
     }
 
     /// Number of live (un-retired) jobs.

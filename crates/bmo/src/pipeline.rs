@@ -197,6 +197,10 @@ pub struct BmoPipeline {
     aux: HashMap<u64, SlotAux>,
     wear: Option<StartGap>,
     oram: Option<OramState>,
+    /// Recycled line-write buffer: [`BmoPipeline::write`] takes it, the
+    /// caller hands it back via [`BmoPipeline::recycle`], so the
+    /// steady-state write path performs no heap allocation.
+    spare: Vec<(LineAddr, Line)>,
 }
 
 impl BmoPipeline {
@@ -235,6 +239,7 @@ impl BmoPipeline {
                 epoch: 0,
                 map: LineStore::new(),
             }),
+            spare: Vec::new(),
         }
     }
 
@@ -354,7 +359,8 @@ impl BmoPipeline {
     /// Panics if `logical` is outside the data region.
     pub fn write(&mut self, logical: LineAddr, data: Line) -> WriteEffects {
         assert!(logical.0 < DATA_LINES, "write outside data region");
-        let mut line_writes: Vec<(LineAddr, Line)> = Vec::new();
+        let mut line_writes = std::mem::take(&mut self.spare);
+        line_writes.clear();
 
         // Release the line's previous value (refcount drop; D3 prelude).
         // Without dedup a line owns its identity slot forever, so there is
@@ -433,9 +439,9 @@ impl BmoPipeline {
                     aux_line.write_bytes(0, m);
                 }
                 if self.caps.ecc {
-                    let checks = crate::ecc::encode_line(&stored_line);
-                    let check_bytes: Vec<u8> = checks.iter().map(|c| c.0).collect();
-                    aux_line.write_bytes(AUX_ECC_OFFSET, &check_bytes);
+                    for (i, c) in crate::ecc::encode_line(&stored_line).iter().enumerate() {
+                        aux_line.write_bytes(AUX_ECC_OFFSET + i, &[c.0]);
+                    }
                 }
                 if self.caps.compress {
                     aux_line.write_bytes(AUX_COMP_TAG_OFFSET, &[comp_tag]);
@@ -460,6 +466,14 @@ impl BmoPipeline {
             freed_slot,
             line_writes,
             new_root: self.root(),
+        }
+    }
+
+    /// Hands a consumed [`WriteEffects`]'s line-write buffer back to the
+    /// pipeline so the next [`BmoPipeline::write`] reuses its allocation.
+    pub fn recycle(&mut self, fx: WriteEffects) {
+        if fx.line_writes.capacity() > self.spare.capacity() {
+            self.spare = fx.line_writes;
         }
     }
 
@@ -710,6 +724,7 @@ impl BmoPipeline {
             aux: HashMap::new(),
             wear,
             oram,
+            spare: Vec::new(),
         };
 
         // Rebuild slots: ECC-correct, MAC-check, decrypt, decompress,

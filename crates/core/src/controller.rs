@@ -36,7 +36,7 @@ use janus_trace::{Category, TraceConfig, Tracer};
 
 use crate::config::{JanusConfig, SystemMode};
 use crate::irb::{Irb, IrbEntry, IrbKey};
-use crate::queues::{decode, LineOp, PreFunc, PreRequest, RequestQueue};
+use crate::queues::{decode_into, LineOp, PreFunc, PreRequest, RequestQueue};
 
 /// Result of processing a write at the controller.
 #[derive(Clone, Copy, Debug)]
@@ -70,6 +70,11 @@ pub struct MemoryController {
     /// chains in-flight dedup outcomes rather than re-reading stale
     /// metadata).
     pending_fresh: std::collections::HashMap<Line, u32>,
+    /// Reused decoder output buffer (steady-state pre-request decoding is
+    /// allocation-free).
+    decode_scratch: Vec<LineOp>,
+    /// Reused job-id collection buffer for address-bind fan-out.
+    job_scratch: Vec<JobId>,
     stats: StatSet,
     tracer: Tracer,
 }
@@ -100,6 +105,8 @@ impl MemoryController {
             merkle_cache: SetAssocCache::new(CacheConfig::merkle_cache()),
             inflight_ops: Vec::new(),
             pending_fresh: std::collections::HashMap::new(),
+            decode_scratch: Vec::new(),
+            job_scratch: Vec::new(),
             stats: StatSet::new(),
             tracer: Tracer::disabled(),
             pipeline,
@@ -207,9 +214,12 @@ impl MemoryController {
         );
         // Decode into cache-line-sized operations (one cycle each — small
         // against BMO latencies, charged as part of the issue path).
-        for op in decode(&req) {
+        let mut ops = std::mem::take(&mut self.decode_scratch);
+        decode_into(&req, &mut ops);
+        for op in ops.drain(..) {
             self.admit_line_op(now, op, req.func);
         }
+        self.decode_scratch = ops;
     }
 
     /// Buffers a deferred (`*_BUF`) request.
@@ -236,9 +246,12 @@ impl MemoryController {
                 req.key.core as u64,
                 req.nlines as u64,
             );
-            for op in decode(&req) {
+            let mut ops = std::mem::take(&mut self.decode_scratch);
+            decode_into(&req, &mut ops);
+            for op in ops.drain(..) {
                 self.admit_line_op(now, op, func);
             }
+            self.decode_scratch = ops;
         }
     }
 
@@ -269,15 +282,17 @@ impl MemoryController {
                     .irb
                     .bind_addr(op.key, op.line.expect("addr request"), 1);
                 if bound > 0 {
-                    let jobs: Vec<JobId> = self
-                        .irb
-                        .entries_for(op.key)
-                        .filter(|e| e.line == op.line)
-                        .map(|e| e.job)
-                        .collect();
-                    for job in jobs {
+                    let mut jobs = std::mem::take(&mut self.job_scratch);
+                    jobs.extend(
+                        self.irb
+                            .entries_for(op.key)
+                            .filter(|e| e.line == op.line)
+                            .map(|e| e.job),
+                    );
+                    for job in jobs.drain(..) {
                         self.engine.provide_addr(job, now);
                     }
+                    self.job_scratch = jobs;
                     return;
                 }
             }
@@ -456,10 +471,9 @@ impl MemoryController {
             self.tracer
                 .instant(Category::Controller, "write_dup", now, line.0, core as u64);
         }
-        WriteOutcome {
-            persist_at,
-            dup: fx.dup,
-        }
+        let dup = fx.dup;
+        self.pipeline.recycle(fx);
+        WriteOutcome { persist_at, dup }
     }
 
     /// Janus-mode timing for a write: consult the IRB and reuse, finish, or

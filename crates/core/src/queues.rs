@@ -77,15 +77,23 @@ pub struct LineOp {
 
 /// Decodes a request into per-line operations.
 pub fn decode(req: &PreRequest) -> Vec<LineOp> {
+    let mut out = Vec::new();
+    decode_into(req, &mut out);
+    out
+}
+
+/// Decodes a request into `out` (cleared first), reusing its allocation.
+/// The controller keeps one scratch buffer across requests so steady-state
+/// decoding never allocates.
+pub fn decode_into(req: &PreRequest, out: &mut Vec<LineOp>) {
+    out.clear();
     let n = req.nlines.max(req.values.len() as u32).max(1) as usize;
-    (0..n)
-        .map(|i| LineOp {
-            key: req.key,
-            tx_id: req.tx_id,
-            line: req.line.map(|l| l.offset(i as u64)),
-            value: req.values.get(i).copied(),
-        })
-        .collect()
+    out.extend((0..n).map(|i| LineOp {
+        key: req.key,
+        tx_id: req.tx_id,
+        line: req.line.map(|l| l.offset(i as u64)),
+        value: req.values.get(i).copied(),
+    }));
 }
 
 /// The bounded request queue with deferred-request buffering.

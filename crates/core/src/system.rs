@@ -100,6 +100,12 @@ pub struct ExecutionReport {
     pub mean_write_latency: Cycles,
     /// Mean demand-read (L2 miss) latency.
     pub mean_read_latency: Cycles,
+    /// Discrete events processed by the simulation loop — the denominator
+    /// of the `perfsmoke` events/sec metric. Deliberately excluded from
+    /// [`ExecutionReport::fields`]: it describes the simulator, not the
+    /// simulated machine, and the exported result files must stay
+    /// byte-identical.
+    pub events: u64,
 }
 
 impl ExecutionReport {
@@ -133,6 +139,7 @@ pub struct System {
     overlay: Vec<LineStore>,
     cores: Vec<CoreState>,
     events: EventQueue<Ev>,
+    events_processed: u64,
     sampler: Option<MetricsSampler>,
 }
 
@@ -140,6 +147,16 @@ impl System {
     /// Builds a system for the configuration.
     pub fn new(config: JanusConfig) -> Self {
         let mc = MemoryController::new(config.clone());
+        // Pre-size the event queue for the peak concurrent events a run can
+        // sustain: per core, one core-step event plus a full write queue and
+        // a full pre-execution operation queue. The per-core knobs are used
+        // directly (the `total_*` accessors saturate under
+        // `unlimited_resources`), clamped to keep pathological configs from
+        // reserving unbounded memory up front.
+        let pending = config
+            .cores
+            .saturating_mul(1 + config.wq_capacity + config.op_queue_per_core)
+            .min(1 << 20);
         System {
             l1: (0..config.cores)
                 .map(|_| SetAssocCache::new(CacheConfig::l1d()))
@@ -147,7 +164,8 @@ impl System {
             l2: SetAssocCache::new(CacheConfig::l2()),
             overlay: (0..config.cores).map(|_| LineStore::new()).collect(),
             cores: Vec::new(),
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(pending),
+            events_processed: 0,
             sampler: None,
             mc,
             config,
@@ -266,6 +284,7 @@ impl System {
         let Some((t, ev)) = self.events.pop() else {
             return false;
         };
+        self.events_processed += 1;
         if let Some(sampler) = &mut self.sampler {
             sampler.maybe_sample(t, self.mc.stats());
         }
@@ -597,6 +616,7 @@ impl System {
                 .histogram_ref("read_latency")
                 .and_then(|h| h.mean())
                 .unwrap_or(Cycles::ZERO),
+            events: self.events_processed,
         }
     }
 }

@@ -6,13 +6,337 @@
 //! cycle are delivered in the order they were scheduled (stable FIFO), which
 //! keeps the simulation deterministic regardless of hash-map iteration order
 //! or other incidental sources of nondeterminism.
+//!
+//! # Implementation
+//!
+//! Almost every delay in the simulator is short and bounded — BMO sub-op
+//! latencies top out at 1284 cycles, NVM array timings at ~1000, pipeline
+//! initiation intervals at 40 — so the queue is a calendar (timing-wheel)
+//! queue rather than a binary heap: a ring of [`WHEEL`] one-cycle slots
+//! holding intrusive FIFO lists in a slab arena, with a two-level occupancy
+//! bitmap (`u64` summary over 64 `u64` words) so the next occupied slot is
+//! found with a couple of `trailing_zeros` instructions. Events scheduled
+//! beyond the wheel horizon overflow into a `BTreeMap` keyed by absolute
+//! time; they are rare and pop in O(log n).
+//!
+//! Ordering stays exactly `(time, insertion order)` without storing sequence
+//! numbers at all:
+//!
+//! * within one slot (or one overflow bucket) appends preserve FIFO;
+//! * every wheel entry lies in `[now, now + WHEEL)`, so a slot holds events
+//!   of a single absolute time and slot distance recovers that time;
+//! * at equal times, overflow entries always pop before wheel entries: an
+//!   overflow entry for time `t` was scheduled while `now <= t - WHEEL`,
+//!   a wheel entry for `t` while `now > t - WHEEL`, and `now` only moves
+//!   forward — so every overflow entry predates every wheel entry for the
+//!   same cycle.
+//!
+//! [`HeapEventQueue`] keeps the original `BinaryHeap` implementation as an
+//! executable specification; property tests drive both through random
+//! schedule/pop interleavings and assert identical pop sequences.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use crate::time::Cycles;
 
-/// An entry in the heap: ordered by time, then by insertion sequence.
+/// Number of one-cycle slots in the calendar wheel. Must be a power of two
+/// and a multiple of 64. 4096 cycles (~1 µs at 4 GHz) comfortably covers
+/// every bounded latency in the model.
+const WHEEL: usize = 4096;
+const WHEEL_MASK: u64 = WHEEL as u64 - 1;
+const GROUPS: usize = WHEEL / 64;
+/// Arena index sentinel for "no node".
+const NIL: u32 = u32::MAX;
+
+/// One event in the slab arena. `next` threads the FIFO list of its slot (or
+/// the free list once recycled).
+struct Node<E> {
+    next: u32,
+    time: Cycles,
+    /// `None` only while the node sits on the free list.
+    payload: Option<E>,
+}
+
+/// Head/tail of one slot's FIFO list (indices into the arena).
+#[derive(Clone, Copy)]
+struct SlotList {
+    head: u32,
+    tail: u32,
+}
+
+const EMPTY_SLOT: SlotList = SlotList {
+    head: NIL,
+    tail: NIL,
+};
+
+/// A time-ordered event queue with stable FIFO ordering of simultaneous
+/// events.
+///
+/// # Example
+///
+/// ```
+/// use janus_sim::{event::EventQueue, time::Cycles};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles(7), 'b');
+/// q.schedule(Cycles(7), 'c'); // same time: FIFO after 'b'
+/// q.schedule(Cycles(3), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<E> {
+    slots: Vec<SlotList>,
+    /// Occupancy bitmap: bit `s % 64` of `words[s / 64]` is set iff slot `s`
+    /// has at least one pending event.
+    words: [u64; GROUPS],
+    /// Second level: bit `g` is set iff `words[g] != 0`.
+    summary: u64,
+    arena: Vec<Node<E>>,
+    /// Free-list head threading recycled arena nodes.
+    free: u32,
+    /// Events at or beyond `now + WHEEL`, keyed by absolute cycle. Each
+    /// bucket is FIFO in schedule order.
+    overflow: BTreeMap<u64, VecDeque<E>>,
+    overflow_len: usize,
+    len: usize,
+    now: Cycles,
+}
+
+/// Where the next event to pop lives.
+enum Next {
+    Wheel { slot: usize, time: Cycles },
+    Overflow { time: Cycles },
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue whose internal arena is pre-sized for `cap`
+    /// concurrently pending events, avoiding regrow churn mid-run.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            slots: vec![EMPTY_SLOT; WHEEL],
+            words: [0; GROUPS],
+            summary: 0,
+            arena: Vec::with_capacity(cap),
+            free: NIL,
+            overflow: BTreeMap::new(),
+            overflow_len: 0,
+            len: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// Removes all pending events and resets the clock to zero, retaining
+    /// allocated storage so the queue can be reused for another run.
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = EMPTY_SLOT);
+        self.words = [0; GROUPS];
+        self.summary = 0;
+        self.arena.clear();
+        self.free = NIL;
+        self.overflow.clear();
+        self.overflow_len = 0;
+        self.len = 0;
+        self.now = Cycles::ZERO;
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (`at < self.now()`); scheduling into the
+    /// past would silently corrupt causality.
+    pub fn schedule(&mut self, at: Cycles, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        if at.0 - self.now.0 < WHEEL as u64 {
+            let slot = (at.0 & WHEEL_MASK) as usize;
+            let idx = self.alloc(at, payload);
+            let list = &mut self.slots[slot];
+            if list.head == NIL {
+                list.head = idx;
+                self.words[slot >> 6] |= 1u64 << (slot & 63);
+                self.summary |= 1u64 << (slot >> 6);
+            } else {
+                self.arena[list.tail as usize].next = idx;
+            }
+            list.tail = idx;
+        } else {
+            self.overflow.entry(at.0).or_default().push_back(payload);
+            self.overflow_len += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Schedules `payload` to fire `delay` cycles after the current time.
+    pub fn schedule_after(&mut self, delay: Cycles, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let (time, payload) = match self.next_event()? {
+            Next::Overflow { time } => {
+                let mut entry = self.overflow.first_entry().expect("overflow nonempty");
+                let payload = entry.get_mut().pop_front().expect("bucket nonempty");
+                if entry.get().is_empty() {
+                    entry.remove();
+                }
+                self.overflow_len -= 1;
+                (time, payload)
+            }
+            Next::Wheel { slot, time } => {
+                let idx = self.slots[slot].head;
+                let node = &mut self.arena[idx as usize];
+                debug_assert_eq!(node.time, time);
+                let payload = node.payload.take().expect("live node has payload");
+                let next = node.next;
+                node.next = self.free;
+                self.free = idx;
+                self.slots[slot].head = next;
+                if next == NIL {
+                    self.slots[slot].tail = NIL;
+                    self.words[slot >> 6] &= !(1u64 << (slot & 63));
+                    if self.words[slot >> 6] == 0 {
+                        self.summary &= !(1u64 << (slot >> 6));
+                    }
+                }
+                (time, payload)
+            }
+        };
+        debug_assert!(time >= self.now);
+        self.now = time;
+        self.len -= 1;
+        Some((time, payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.next_event().map(|n| match n {
+            Next::Wheel { time, .. } | Next::Overflow { time } => time,
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Selects the earliest pending event (ties resolved overflow-first; see
+    /// module docs for why that is exactly FIFO order).
+    fn next_event(&self) -> Option<Next> {
+        let wheel = if self.len > self.overflow_len {
+            let cursor = (self.now.0 & WHEEL_MASK) as usize;
+            let slot = self.next_occupied(cursor);
+            let dist = (slot as u64).wrapping_sub(cursor as u64) & WHEEL_MASK;
+            Some(Next::Wheel {
+                slot,
+                time: Cycles(self.now.0 + dist),
+            })
+        } else {
+            None
+        };
+        let over = self
+            .overflow
+            .keys()
+            .next()
+            .map(|&t| Next::Overflow { time: Cycles(t) });
+        match (wheel, over) {
+            (None, next) | (next, None) => next,
+            (Some(w), Some(o)) => {
+                let (Next::Wheel { time: wt, .. }, Next::Overflow { time: ot }) = (&w, &o) else {
+                    unreachable!()
+                };
+                // Equal times pop overflow-first: those entries carry
+                // strictly earlier schedule order (module docs).
+                if ot <= wt {
+                    Some(o)
+                } else {
+                    Some(w)
+                }
+            }
+        }
+    }
+
+    /// First occupied slot at or after `start`, searching circularly. The
+    /// caller guarantees the wheel holds at least one event.
+    fn next_occupied(&self, start: usize) -> usize {
+        let g0 = start >> 6;
+        // Bits >= start within start's own group.
+        let w = self.words[g0] & (!0u64 << (start & 63));
+        if w != 0 {
+            return (g0 << 6) | w.trailing_zeros() as usize;
+        }
+        // Later groups, then wrap around to the earliest occupied group.
+        let hi = if g0 + 1 < GROUPS {
+            self.summary & (!0u64 << (g0 + 1))
+        } else {
+            0
+        };
+        let g = if hi != 0 { hi } else { self.summary }.trailing_zeros() as usize;
+        debug_assert!(g < GROUPS, "wheel bitmap empty but wheel_len > 0");
+        (g << 6) | self.words[g].trailing_zeros() as usize
+    }
+
+    /// Takes a node from the free list or grows the arena.
+    fn alloc(&mut self, time: Cycles, payload: E) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.arena[idx as usize];
+            self.free = node.next;
+            node.next = NIL;
+            node.time = time;
+            node.payload = Some(payload);
+            idx
+        } else {
+            assert!(self.arena.len() < NIL as usize, "event arena full");
+            self.arena.push(Node {
+                next: NIL,
+                time,
+                payload: Some(payload),
+            });
+            (self.arena.len() - 1) as u32
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.len)
+            .field("overflow", &self.overflow_len)
+            .finish()
+    }
+}
+
+/// An entry in the reference heap: ordered by time, then by insertion
+/// sequence.
 struct Entry<E> {
     time: Cycles,
     seq: u64,
@@ -40,49 +364,52 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A time-ordered event queue with stable FIFO ordering of simultaneous
-/// events.
+/// The original `BinaryHeap` event queue, kept as the executable
+/// specification for [`EventQueue`].
 ///
-/// # Example
-///
-/// ```
-/// use janus_sim::{event::EventQueue, time::Cycles};
-///
-/// let mut q = EventQueue::new();
-/// q.schedule(Cycles(7), 'b');
-/// q.schedule(Cycles(7), 'c'); // same time: FIFO after 'b'
-/// q.schedule(Cycles(3), 'a');
-/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-/// assert_eq!(order, vec!['a', 'b', 'c']);
-/// ```
-pub struct EventQueue<E> {
+/// Semantics are defined here in ~40 lines of obviously-correct code:
+/// explicit `(time, seq)` keys popped from a min-heap. The calendar queue
+/// must produce an identical pop sequence for any schedule/pop interleaving;
+/// the `tests/event_queue.rs` property suite asserts exactly that. It is not
+/// used on the simulation hot path.
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: Cycles,
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// Creates an empty queue with the clock at time zero.
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Cycles::ZERO,
         }
     }
 
-    /// Current simulated time: the timestamp of the most recently popped
-    /// event (zero before the first pop).
+    /// Creates an empty queue pre-sized for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        HeapEventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// Removes all pending events and resets the clock to zero.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = Cycles::ZERO;
+    }
+
+    /// Current simulated time.
     pub fn now(&self) -> Cycles {
         self.now
     }
 
-    /// Schedules `payload` to fire at absolute time `at`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `at` is in the past (`at < self.now()`); scheduling into the
-    /// past would silently corrupt causality.
+    /// Schedules `payload` at absolute time `at`; panics if `at < now()`.
     pub fn schedule(&mut self, at: Cycles, payload: E) {
         assert!(
             at >= self.now,
@@ -128,15 +455,15 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> std::fmt::Debug for EventQueue<E> {
+impl<E> std::fmt::Debug for HeapEventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
+        f.debug_struct("HeapEventQueue")
             .field("now", &self.now)
             .field("pending", &self.heap.len())
             .finish()
@@ -205,5 +532,118 @@ mod tests {
         q.schedule(Cycles(9), ());
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(Cycles(9)));
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_pop_in_order() {
+        let mut q = EventQueue::new();
+        // Beyond the wheel horizon (WHEEL = 4096 cycles from now).
+        q.schedule(Cycles(1_000_000), "far");
+        q.schedule(Cycles(5_000), "mid");
+        q.schedule(Cycles(3), "near");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(Cycles(3)));
+        assert_eq!(q.pop(), Some((Cycles(3), "near")));
+        assert_eq!(q.pop(), Some((Cycles(5_000), "mid")));
+        assert_eq!(q.pop(), Some((Cycles(1_000_000), "far")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_pops_before_wheel_at_equal_time() {
+        let mut q = EventQueue::new();
+        // Scheduled while out of window: goes to overflow.
+        q.schedule(Cycles(10_000), 1);
+        // Advance the clock into the window of cycle 10_000.
+        q.schedule(Cycles(9_000), 0);
+        assert_eq!(q.pop(), Some((Cycles(9_000), 0)));
+        // Now in-window: same cycle lands on the wheel. FIFO demands the
+        // overflow entry (scheduled first) pops first.
+        q.schedule(Cycles(10_000), 2);
+        assert_eq!(q.pop(), Some((Cycles(10_000), 1)));
+        assert_eq!(q.pop(), Some((Cycles(10_000), 2)));
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_horizons() {
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        let mut t = 0u64;
+        for i in 0..64u64 {
+            t += 1000 + i * 97; // strides that straddle slot-group boundaries
+            q.schedule(Cycles(t), i);
+            expect.push((Cycles(t), i));
+            // Drain every other event immediately to exercise interleaving.
+            if i % 2 == 1 {
+                for e in expect.drain(..) {
+                    assert_eq!(q.pop(), Some(e));
+                }
+            }
+        }
+        for e in expect.drain(..) {
+            assert_eq!(q.pop(), Some(e));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_clock_and_reuses_storage() {
+        let mut q = EventQueue::with_capacity(16);
+        q.schedule(Cycles(40_000), "overflowed");
+        q.schedule(Cycles(7), "wheeled");
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Cycles::ZERO);
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Cycles(1), "fresh");
+        assert_eq!(q.pop(), Some((Cycles(1), "fresh")));
+    }
+
+    #[test]
+    fn arena_nodes_recycle_without_growth() {
+        let mut q = EventQueue::new();
+        for round in 0..1000u64 {
+            q.schedule_after(Cycles(3), round);
+            q.schedule_after(Cycles(5), round);
+            q.pop();
+            q.pop();
+        }
+        // Two live nodes at a time: the arena never needs more than two.
+        assert!(q.arena.len() <= 2, "arena grew to {}", q.arena.len());
+    }
+
+    #[test]
+    fn heap_reference_matches_on_a_mixed_trace() {
+        let mut a = EventQueue::new();
+        let mut b = HeapEventQueue::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..5000u64 {
+            let delay = match step() % 4 {
+                0 => 0,                       // same-cycle burst
+                1 => step() % 64,             // short
+                2 => step() % 4096,           // to the horizon
+                _ => 4096 + step() % 100_000, // overflow
+            };
+            a.schedule_after(Cycles(delay), i);
+            b.schedule_after(Cycles(delay), i);
+            if step() % 3 == 0 {
+                assert_eq!(a.pop(), b.pop());
+                assert_eq!(a.now(), b.now());
+            }
+        }
+        loop {
+            let (pa, pb) = (a.pop(), b.pop());
+            assert_eq!(pa, pb);
+            if pa.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -12,8 +12,11 @@
 #   results/quickstart.metrics.json — the run's metrics registry
 #
 # Extra arguments are forwarded to every figure binary (e.g.
-# `scripts/regen_results.sh --tx 40` for a quick pass). Hermetic: builds and
-# runs with --locked --offline only.
+# `scripts/regen_results.sh --tx 40` for a quick pass, or
+# `scripts/regen_results.sh --jobs 8` to fan each binary's sweep across 8
+# worker threads — results are byte-identical at any worker count; setting
+# JANUS_JOBS=8 instead works too). Hermetic: builds and runs with --locked
+# --offline only.
 set -eu
 
 cd "$(dirname "$0")/.."

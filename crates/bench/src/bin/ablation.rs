@@ -65,6 +65,7 @@ fn run_with(spec: RunSpec, tweak: impl Fn(&mut JanusConfig)) -> f64 {
 }
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let tx = arg_usize("--tx", 120);
     banner("Ablation study", &format!("1 core, {tx} tx per run"));
 

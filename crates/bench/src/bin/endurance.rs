@@ -19,6 +19,7 @@ use janus_sim::rng::SimRng;
 use janus_workloads::{generate, Workload, WorkloadConfig};
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let tx = arg_usize("--tx", 120);
     banner(
         "Endurance — write reduction from dedup, compression, wear-leveling",

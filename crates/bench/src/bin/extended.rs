@@ -49,6 +49,7 @@ fn run(w: Workload, mode: SystemMode, manual: bool, auto: bool, extended: bool, 
 }
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let tx = arg_usize("--tx", 120);
     banner(
         "Extensibility — Janus speedup with 3 vs 5 BMOs, same programs",

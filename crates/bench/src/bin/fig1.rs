@@ -11,6 +11,7 @@ use janus_nvm::{addr::LineAddr, line::Line};
 use janus_sim::time::Cycles;
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     banner(
         "Figure 1 — Critical write latency with and without BMOs",
         "single write, paper configuration",

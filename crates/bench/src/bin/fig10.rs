@@ -12,6 +12,7 @@ use janus_workloads::Workload;
 const VARIANTS: [Variant; 3] = [Variant::Ideal, Variant::Serialized, Variant::JanusManual];
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let tx = arg_usize("--tx", 150);
     banner(
         "Figure 10 — Slowdown over non-blocking writeback (ideal)",

@@ -18,6 +18,7 @@ const VARIANTS: [Variant; 4] = [
 ];
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let tx = arg_usize("--tx", 150);
     banner(
         "Figure 11 — Speedup over Serialized: manual vs automated instrumentation",

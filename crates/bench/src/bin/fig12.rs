@@ -18,6 +18,7 @@ const POINTS: [(Variant, bool); 4] = [
 ];
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let tx = arg_usize("--tx", 120);
     banner(
         "Figure 12 — Janus speedup over Serialized, dedup ratio × hash algorithm",

@@ -16,6 +16,7 @@ const VARIANTS: [Variant; 3] = [
 ];
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let base_tx = arg_usize("--tx", 96);
     banner(
         "Figure 13 — Speedup over Serialized vs transaction size",

@@ -11,6 +11,7 @@ use janus_bench::{arg_usize, banner, geomean, row, run_all, speedup, RunSpec, Va
 use janus_workloads::Workload;
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let tx = arg_usize("--tx", 32);
     banner(
         "Figure 14 — Janus speedup over Serialized vs BMO units/buffers (8KB tx)",

@@ -75,6 +75,7 @@ fn bar(label: &str, steps: &[u64]) {
 }
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     banner(
         "Figure 3 — timeline of an undo-log transaction",
         "B = backup step, U = in-place update, C = commit (fence-to-fence)",

@@ -7,6 +7,7 @@ use janus_bmo::latency::BmoLatencies;
 use janus_bmo::subop::{DepGraph, EdgeKind};
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     banner(
         "Figure 6 — BMO sub-operation dependency graph",
         "nodes, edges, external classes, and timing bounds",

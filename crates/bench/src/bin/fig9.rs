@@ -16,6 +16,7 @@ const VARIANTS: [Variant; 3] = [
 ];
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let tx = arg_usize("--tx", 150);
     banner(
         "Figure 9 — Speedup over Serialized vs. core count",

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Flags: `--workload <array|queue|hash|rbtree|btree|tatp|tpcc>`,
-//! `--variant <serialized|parallelized|janus|auto|pgo|ideal>` (accepts a
+//! `--variant <serialized|parallelized|janus|auto|pgo|place|ideal>` (accepts a
 //! comma-separated list to sweep several variants in one invocation),
 //! `--cores N`, `--tx N`, `--size BYTES`, `--dedup RATIO`, `--seed N`,
 //! `--crc32`, `--scale <N|unlimited>`, `--skew THETA`, `--aux FRACTION`,
@@ -33,6 +33,22 @@ fn flag(name: &str) -> bool {
 }
 
 fn main() {
+    janus_bench::require_known_args(
+        &[
+            "--workload",
+            "--variant",
+            "--cores",
+            "--tx",
+            "--size",
+            "--dedup",
+            "--seed",
+            "--skew",
+            "--aux",
+            "--scale",
+            "--bmos",
+        ],
+        &["--crc32", "--dump", "--list-bmos"],
+    );
     if flag("--list-bmos") {
         println!(
             "Registered BMOs (stack with --bmos id,id,...; default: {}):",
@@ -65,6 +81,7 @@ fn main() {
             "janus" | "manual" => Variant::JanusManual,
             "auto" | "compiler" => Variant::JanusAuto,
             "pgo" | "profile" => Variant::JanusAutoPgo,
+            "place" | "autoplace" => Variant::JanusAutoPlace,
             "ideal" => Variant::Ideal,
             other => {
                 eprintln!("unknown variant {other:?}");

@@ -1,0 +1,223 @@
+//! The `janus-lint` driver: run the static `PRE_*` analysis over the
+//! workload suite and (optionally) the structural dependency-graph linter
+//! over every BMO stack permutation.
+//!
+//! ```text
+//! cargo run --release -p janus-bench --bin janus-lint -- \
+//!     --all --instr manual --deny
+//! ```
+//!
+//! Flags: `--workload <array|queue|hash|rbtree|btree|tatp|tpcc|all>`
+//! (default `all`; `--all` is a shorthand), `--instr
+//! <manual|auto|place|none>` (which instrumentation to lint, default
+//! `manual`), `--tx N` (transactions per program, default 50), `--bmos
+//! <id,...>` (BMO stack override — changes the required pre-execution
+//! window), `--stacks` (also lint the dependency graph of the configured
+//! stack and of every stack permutation), `--seeded` (inject a deliberate
+//! stale-hint misuse before linting — the CI red-path check), `--json`
+//! (one deterministic JSON object per program instead of text), `--deny`
+//! (exit 1 if any error-severity diagnostic fired). Output is
+//! byte-deterministic: same flags, same bytes, at any `--jobs` value.
+
+use janus_bench::banner;
+use janus_bmo::latency::BmoLatencies;
+use janus_bmo::BmoStack;
+use janus_core::ir::{Op, PreObjId, Program};
+use janus_instrument::instrument;
+use janus_lint::{auto_place, lint_permutations, lint_program, lint_stack, LintOptions};
+use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Injects a deliberate misuse: a `PRE_BOTH` hinting the wrong value for
+/// the first store's target line, immediately before that store. The lint
+/// must flag the store as `modified-after-pre`.
+fn seed_misuse(program: &mut Program) {
+    let Some(idx) = program
+        .ops
+        .iter()
+        .position(|op| matches!(op, Op::Store { .. }))
+    else {
+        return;
+    };
+    let Op::Store { line, value } = program.ops[idx] else {
+        unreachable!();
+    };
+    let mut wrong = value;
+    wrong.0[0] ^= 0xFF;
+    let obj = PreObjId(u32::MAX);
+    program.ops.insert(
+        idx,
+        Op::PreBoth {
+            obj,
+            line,
+            values: vec![wrong],
+        },
+    );
+    program.ops.insert(idx, Op::PreInit(obj));
+}
+
+fn main() {
+    janus_bench::require_known_args(
+        &["--workload", "--instr", "--tx", "--bmos"],
+        &["--all", "--stacks", "--seeded", "--json", "--deny"],
+    );
+    let tx = janus_bench::arg_usize("--tx", 50);
+    let json = flag("--json");
+    let stack = match arg("--bmos") {
+        Some(v) => match BmoStack::parse(&v) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("--bmos {v}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => BmoStack::paper(),
+    };
+    let workloads: Vec<Workload> = match arg("--workload").as_deref() {
+        None | Some("all") => Workload::all().to_vec(),
+        Some(w) => match w.parse() {
+            Ok(w) => vec![w],
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let instr = arg("--instr").unwrap_or_else(|| "manual".into());
+    if !matches!(instr.as_str(), "manual" | "auto" | "place" | "none") {
+        eprintln!("--instr must be one of manual|auto|place|none, got {instr:?}");
+        std::process::exit(2);
+    }
+
+    let lat = BmoLatencies::paper();
+    let opts = LintOptions {
+        stack: stack.clone(),
+        ..LintOptions::with_latencies(lat)
+    };
+    if !json {
+        banner(
+            "janus-lint — static analysis of the PRE_* interface",
+            &format!(
+                "instr={instr} tx={tx} stack={stack} required-window={}",
+                opts.required_window()
+            ),
+        );
+    }
+
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    for w in workloads {
+        let cfg = WorkloadConfig {
+            transactions: tx,
+            instrumentation: if instr == "manual" {
+                Instrumentation::Manual
+            } else {
+                Instrumentation::None
+            },
+            ..WorkloadConfig::default()
+        };
+        let out = generate(w, 0, &cfg);
+        let mut program = match instr.as_str() {
+            "auto" => instrument(&out.program).0,
+            "place" => auto_place(&out.program).0,
+            _ => out.program,
+        };
+        if flag("--seeded") {
+            seed_misuse(&mut program);
+        }
+        let report = lint_program(&program, &opts);
+        total_errors += report.errors();
+        total_warnings += report.warnings();
+        if json {
+            println!(
+                "{{\"workload\":\"{}\",\"instr\":\"{instr}\",\"report\":{}}}",
+                w.slug(),
+                report.to_json()
+            );
+        } else {
+            println!(
+                "{:<12} requests={:<5} well-placed={:<5} errors={} warnings={}",
+                w.name(),
+                report.requests,
+                report.well_placed,
+                report.errors(),
+                report.warnings()
+            );
+            for d in &report.diagnostics {
+                println!("  {d}");
+            }
+        }
+    }
+
+    if flag("--stacks") {
+        let configured = lint_stack(&stack, &lat);
+        let sweep = lint_permutations(&lat);
+        total_errors += configured
+            .iter()
+            .chain(&sweep)
+            .filter(|d| d.severity == janus_lint::Severity::Error)
+            .count();
+        total_warnings += configured
+            .iter()
+            .chain(&sweep)
+            .filter(|d| d.severity == janus_lint::Severity::Warning)
+            .count();
+        if json {
+            print!("{{\"stack\":\"{stack}\",\"graph\":[");
+            for (i, d) in configured.iter().enumerate() {
+                if i > 0 {
+                    print!(",");
+                }
+                let mut s = String::new();
+                d.write_json(&mut s);
+                print!("{s}");
+            }
+            print!("],\"permutations\":[");
+            for (i, d) in sweep.iter().enumerate() {
+                if i > 0 {
+                    print!(",");
+                }
+                let mut s = String::new();
+                d.write_json(&mut s);
+                print!("{s}");
+            }
+            println!("]}}");
+        } else {
+            println!("\ndependency-graph lint of stack {stack}:");
+            if configured.is_empty() {
+                println!("  clean");
+            }
+            for d in &configured {
+                println!("  {d}");
+            }
+            println!(
+                "permutation sweep over all {} BMOs:",
+                janus_bmo::BmoId::ALL.len()
+            );
+            if sweep.is_empty() {
+                println!("  clean");
+            }
+            for d in &sweep {
+                println!("  {d}");
+            }
+        }
+    }
+
+    if !json {
+        println!("\ntotal: {total_errors} errors, {total_warnings} warnings");
+    }
+    if flag("--deny") && total_errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,7 @@ use janus_instrument::misuse::detect_misuse;
 use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     banner(
         "Misuse detection (§6) — static analysis of pre-execution placement",
         "stale hints / useless requests / short windows, per workload",

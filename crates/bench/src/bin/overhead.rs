@@ -5,6 +5,7 @@ use janus_core::config::{JanusConfig, SystemMode};
 use janus_core::overhead::overhead;
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     banner(
         "§5.2.7 — Hardware overhead analysis",
         "queue/buffer storage and BMO-unit area",

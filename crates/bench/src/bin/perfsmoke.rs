@@ -113,6 +113,7 @@ fn queue_trace(q: &mut impl Queue, ops: u64) -> u64 {
 }
 
 fn main() {
+    janus_bench::require_known_args(&["--tx", "--samples", "--warmup", "--out"], &[]);
     let tx = arg_usize("--tx", 200);
     let samples = arg_usize("--samples", 5);
     let warmup = arg_usize("--warmup", 1);

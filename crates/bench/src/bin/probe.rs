@@ -11,6 +11,7 @@ const VARIANTS: [Variant; 4] = [
 ];
 
 fn main() {
+    janus_bench::require_known_args(&["--tx", "--size", "--maxcores"], &[]);
     let tx = arg_usize("--tx", 60);
     let size = arg_usize("--size", 64);
     let maxcores = arg_usize("--maxcores", 8);

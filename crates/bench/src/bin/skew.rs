@@ -12,6 +12,7 @@ const WORKLOADS: [Workload; 3] = [Workload::Tatp, Workload::HashTable, Workload:
 const SKEWS: [Option<f64>; 4] = [None, Some(0.6), Some(0.9), Some(0.99)];
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     let tx = arg_usize("--tx", 150);
     banner(
         "Key-skew sensitivity (extension experiment)",

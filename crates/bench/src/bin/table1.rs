@@ -5,6 +5,7 @@ use janus_bench::banner;
 use janus_bmo::latency::{table1, BmoLatencies};
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     banner(
         "Table 1 — Backend memory operations in NVM systems",
         "category, operation, and extra latency on writes",

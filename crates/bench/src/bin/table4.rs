@@ -5,6 +5,7 @@ use janus_bench::banner;
 use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
 
 fn main() {
+    janus_bench::require_known_args(&["--tx"], &[]);
     banner(
         "Table 4 — Evaluated workloads",
         "descriptions plus per-transaction trace statistics (100 tx sample)",

@@ -33,6 +33,9 @@ pub enum Variant {
     JanusAuto,
     /// Janus with the profile-guided pass (the §6 future-work extension).
     JanusAutoPgo,
+    /// Janus with `janus-lint`'s dominance-based placement pass
+    /// ([`janus_lint::auto_place`]).
+    JanusAutoPlace,
     /// Non-blocking-writeback ideal (§5.2.2).
     Ideal,
 }
@@ -43,7 +46,10 @@ impl Variant {
         match self {
             Variant::Serialized => SystemMode::Serialized,
             Variant::Parallelized => SystemMode::Parallelized,
-            Variant::JanusManual | Variant::JanusAuto | Variant::JanusAutoPgo => SystemMode::Janus,
+            Variant::JanusManual
+            | Variant::JanusAuto
+            | Variant::JanusAutoPgo
+            | Variant::JanusAutoPlace => SystemMode::Janus,
             Variant::Ideal => SystemMode::Ideal,
         }
     }
@@ -56,6 +62,7 @@ impl Variant {
             Variant::JanusManual => "Janus (Manual)",
             Variant::JanusAuto => "Janus (Auto)",
             Variant::JanusAutoPgo => "Janus (PGO)",
+            Variant::JanusAutoPlace => "Janus (AutoPlace)",
             Variant::Ideal => "Non-blocking",
         }
     }
@@ -158,6 +165,7 @@ impl RunSpec {
         let program = match self.variant {
             Variant::JanusAuto => instrument(&out.program).0,
             Variant::JanusAutoPgo => janus_instrument::dynamic::instrument_dynamic(&out.program).0,
+            Variant::JanusAutoPlace => janus_lint::auto_place(&out.program).0,
             _ => out.program,
         };
         (program, out.expected, out.resident)
@@ -374,13 +382,58 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
 }
 
 /// Reads `--name value` from the process arguments, with a default.
+///
+/// A flag that is present but followed by a missing or unparseable value is
+/// a hard usage error: the process exits with status 2 rather than
+/// silently running the experiment with the default.
 pub fn arg_usize(name: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return default;
+    };
+    match args.get(i + 1).map(|v| v.parse()) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("error: {name} requires an unsigned integer value");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Strict argument validation for the figure/table binaries: every token
+/// must be a known value-taking flag (followed by its value), a known
+/// boolean flag, or the globally honoured `--jobs N`. Anything else —
+/// an unknown flag, a stray positional, a value-taking flag at the end of
+/// the line — exits with status 2 and a usage message, so a typo can never
+/// silently produce default-configured "results".
+pub fn require_known_args(value_flags: &[&str], bool_flags: &[&str]) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let usage = |msg: &str| -> ! {
+        let mut flags: Vec<String> = value_flags
+            .iter()
+            .chain(["--jobs"].iter())
+            .map(|f| format!("{f} <value>"))
+            .chain(bool_flags.iter().map(|f| f.to_string()))
+            .collect();
+        flags.sort();
+        eprintln!("error: {msg}");
+        eprintln!("usage: accepted arguments: {}", flags.join(" "));
+        std::process::exit(2);
+    };
+    while i < args.len() {
+        let a = &args[i];
+        if value_flags.contains(&a.as_str()) || a == "--jobs" {
+            if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+                usage(&format!("{a} requires a value"));
+            }
+            i += 2;
+        } else if bool_flags.contains(&a.as_str()) {
+            i += 1;
+        } else {
+            usage(&format!("unknown argument {a:?}"));
+        }
+    }
 }
 
 /// Prints a standard experiment header.

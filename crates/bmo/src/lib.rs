@@ -58,5 +58,5 @@ pub mod wear;
 pub use engine::{BmoEngine, BmoMode, JobId};
 pub use latency::BmoLatencies;
 pub use pipeline::BmoPipeline;
-pub use stack::{Bmo, BmoId, BmoStack, Footprint, StackError, Transform};
-pub use subop::{DepGraph, ExternalClass, NodeId};
+pub use stack::{Bmo, BmoId, BmoStack, ComposeIssue, Footprint, StackError, Transform};
+pub use subop::{DepGraph, EdgeError, ExternalClass, NodeId};

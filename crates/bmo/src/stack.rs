@@ -487,6 +487,18 @@ impl fmt::Display for StackError {
 
 impl std::error::Error for StackError {}
 
+/// One edge the checked composer ([`BmoStack::try_graph`]) had to skip,
+/// with the sub-op names declared by the offending [`Bmo::inter_edges`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComposeIssue {
+    /// Declared source sub-op name.
+    pub from: &'static str,
+    /// Declared sink sub-op name.
+    pub to: &'static str,
+    /// Why the edge was rejected.
+    pub error: crate::subop::EdgeError,
+}
+
 /// An ordered subset of registered BMOs — the single source of truth for
 /// the timing graph, the functional pipeline, and pre-execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -575,25 +587,49 @@ impl BmoStack {
     /// in stack order; phase 2 adds each member's provided inter edges in
     /// stack order, skipping edges whose endpoint is not in the graph.
     pub fn graph(&self, lat: &BmoLatencies) -> DepGraph {
+        let (g, issues) = self.try_graph(lat);
+        assert!(
+            issues.is_empty(),
+            "stack {self} does not compose cleanly: {issues:?}"
+        );
+        g
+    }
+
+    /// Checked composition: same two-phase algorithm as [`BmoStack::graph`],
+    /// but edge insertions that would introduce a cycle or duplicate an
+    /// existing edge are collected as [`ComposeIssue`]s (and skipped)
+    /// instead of panicking. The structural linter sweeps this over every
+    /// stack permutation.
+    pub fn try_graph(&self, lat: &BmoLatencies) -> (DepGraph, Vec<ComposeIssue>) {
         let mut g = DepGraph::new();
+        let mut issues = Vec::new();
         for id in &self.members {
-            let mut prev = None;
+            let mut prev: Option<(crate::subop::NodeId, &'static str)> = None;
             for sub in id.spec().sub_ops(lat) {
+                let name = sub.name;
                 let n = g.add_node(sub);
-                if let Some(p) = prev {
-                    g.add_edge(p, n, EdgeKind::Intra);
+                if let Some((p, pname)) = prev {
+                    if let Err(error) = g.try_add_edge(p, n, EdgeKind::Intra) {
+                        issues.push(ComposeIssue {
+                            from: pname,
+                            to: name,
+                            error,
+                        });
+                    }
                 }
-                prev = Some(n);
+                prev = Some((n, name));
             }
         }
         for id in &self.members {
             for &(from, to) in id.spec().inter_edges() {
                 if let (Some(f), Some(t)) = (g.node_by_name(from), g.node_by_name(to)) {
-                    g.add_edge(f, t, EdgeKind::Inter);
+                    if let Err(error) = g.try_add_edge(f, t, EdgeKind::Inter) {
+                        issues.push(ComposeIssue { from, to, error });
+                    }
                 }
             }
         }
-        g
+        (g, issues)
     }
 }
 

@@ -71,6 +71,32 @@ pub enum ExternalClass {
     None,
 }
 
+/// Why an edge insertion was rejected (the checked counterpart of the
+/// panicking [`DepGraph::add_edge`] — consumed by the structural linter).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EdgeError {
+    /// `from == to`.
+    SelfEdge(NodeId),
+    /// The edge would close a dependency cycle.
+    Cycle(NodeId, NodeId),
+    /// The exact edge already exists.
+    Duplicate(NodeId, NodeId),
+}
+
+impl std::fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeError::SelfEdge(n) => write!(f, "self edge on node {}", n.0),
+            EdgeError::Cycle(a, b) => {
+                write!(f, "edge {} -> {} would create a cycle", a.0, b.0)
+            }
+            EdgeError::Duplicate(a, b) => write!(f, "duplicate edge {} -> {}", a.0, b.0),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
 /// A single sub-operation.
 #[derive(Clone, Debug)]
 pub struct SubOp {
@@ -125,22 +151,43 @@ impl DepGraph {
     /// Panics if the edge would create a cycle or duplicates an existing
     /// edge.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
-        assert!(from != to, "self edge on {}", self.nodes[from.0].name);
-        assert!(
-            !self.has_path(to, from),
-            "edge {} -> {} would create a cycle",
-            self.nodes[from.0].name,
-            self.nodes[to.0].name
-        );
-        assert!(
-            !self.preds[to.0].contains(&from),
-            "duplicate edge {} -> {}",
-            self.nodes[from.0].name,
-            self.nodes[to.0].name
-        );
+        match self.try_add_edge(from, to, kind) {
+            Ok(()) => {}
+            Err(EdgeError::SelfEdge(_)) => {
+                panic!("self edge on {}", self.nodes[from.0].name)
+            }
+            Err(EdgeError::Cycle(..)) => panic!(
+                "edge {} -> {} would create a cycle",
+                self.nodes[from.0].name, self.nodes[to.0].name
+            ),
+            Err(EdgeError::Duplicate(..)) => panic!(
+                "duplicate edge {} -> {}",
+                self.nodes[from.0].name, self.nodes[to.0].name
+            ),
+        }
+    }
+
+    /// Checked edge insertion: rejects self edges, cycles, and duplicates
+    /// instead of panicking, leaving the graph untouched on error.
+    pub fn try_add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: EdgeKind,
+    ) -> Result<(), EdgeError> {
+        if from == to {
+            return Err(EdgeError::SelfEdge(from));
+        }
+        if self.has_path(to, from) {
+            return Err(EdgeError::Cycle(from, to));
+        }
+        if self.preds[to.0].contains(&from) {
+            return Err(EdgeError::Duplicate(from, to));
+        }
         self.edges.push((from, to, kind));
         self.preds[to.0].push(from);
         self.succs[from.0].push(to);
+        Ok(())
     }
 
     /// Number of sub-operations.
@@ -202,6 +249,24 @@ impl DepGraph {
             }
         }
         false
+    }
+
+    /// Edges that are transitively redundant: `(from, to)` such that a
+    /// dependency path `from ⤳ to` exists even without the direct edge.
+    /// Redundant edges never change the schedule (the path already orders
+    /// the endpoints) but cost composition and traversal work — the
+    /// structural linter reports them.
+    pub fn redundant_edges(&self) -> Vec<(NodeId, NodeId, EdgeKind)> {
+        self.edges
+            .iter()
+            .filter(|&&(from, to, _)| {
+                // Path from → to using at least one intermediate node.
+                self.succs[from.0]
+                    .iter()
+                    .any(|&s| s != to && self.has_path(s, to))
+            })
+            .copied()
+            .collect()
     }
 
     /// The paper's parallelization rule (§3.1): `S1 ∥ S2` iff for all

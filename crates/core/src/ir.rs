@@ -149,6 +149,20 @@ impl Op {
         )
     }
 
+    /// The `pre_obj` this op operates on, if it is an interface op.
+    pub fn pre_obj(&self) -> Option<PreObjId> {
+        match self {
+            Op::PreInit(obj) | Op::PreStartBuf(obj) => Some(*obj),
+            Op::PreAddr { obj, .. }
+            | Op::PreData { obj, .. }
+            | Op::PreBoth { obj, .. }
+            | Op::PreAddrBuf { obj, .. }
+            | Op::PreDataBuf { obj, .. }
+            | Op::PreBothBuf { obj, .. } => Some(*obj),
+            _ => None,
+        }
+    }
+
     /// Whether this op is a pure marker (no execution cost).
     pub fn is_marker(&self) -> bool {
         matches!(
@@ -351,6 +365,16 @@ impl ProgramBuilder {
     /// `PRE_BOTH`.
     pub fn pre_both(&mut self, obj: PreObjId, line: LineAddr, values: Vec<Line>) -> &mut Self {
         self.push(Op::PreBoth { obj, line, values })
+    }
+
+    /// `PRE_ADDR_BUF`.
+    pub fn pre_addr_buf(&mut self, obj: PreObjId, line: LineAddr, nlines: u32) -> &mut Self {
+        self.push(Op::PreAddrBuf { obj, line, nlines })
+    }
+
+    /// `PRE_DATA_BUF`.
+    pub fn pre_data_buf(&mut self, obj: PreObjId, values: Vec<Line>) -> &mut Self {
+        self.push(Op::PreDataBuf { obj, values })
     }
 
     /// `PRE_BOTH_BUF`.

@@ -3,8 +3,7 @@
 //!
 //! The hardware guarantees correctness regardless of how `PRE_*` calls are
 //! placed (§4.4), but misplaced calls waste pre-execution work or leave
-//! performance on the table. This analyzer walks a program trace and flags
-//! the three misuse patterns the paper describes:
+//! performance on the table. The paper describes three misuse patterns:
 //!
 //! 1. **Modifications on the pre-execution object** — the data stored at
 //!    the target differs from the hinted data (the IRB will detect the
@@ -14,12 +13,22 @@
 //! 3. **Insufficient pre-execution window** — the statically estimated
 //!    cycles between the request and the writeback are smaller than the
 //!    BMO latency the request is meant to hide.
+//!
+//! [`detect_misuse`] delegates to the real static-analysis pass in
+//! `janus-lint` ([`janus_lint::lint_program`]) and maps its diagnostics
+//! back onto the legacy [`Misuse`] shape. The original trace-walking
+//! implementation is kept verbatim as [`trace_oracle`]: it interprets the
+//! concrete trace against the IRB pairing rules, which makes it an
+//! independent differential oracle for the lints — on any program, the
+//! static findings for the three paper patterns must *equal* the oracle's
+//! (see the property tests in this crate).
 
 use std::collections::HashMap;
 
 use janus_bmo::latency::BmoLatencies;
 use janus_bmo::subop::DepGraph;
 use janus_core::ir::{Op, PreObjId, Program};
+use janus_lint::{LintCode, LintOptions, LintReport};
 use janus_nvm::addr::LineAddr;
 use janus_nvm::line::Line;
 use janus_sim::time::Cycles;
@@ -128,6 +137,58 @@ impl MisuseReport {
     }
 }
 
+/// Runs the analyzer with the paper's default BMO latencies.
+pub fn detect_misuse(program: &Program) -> MisuseReport {
+    detect_misuse_with(program, &BmoLatencies::paper())
+}
+
+/// Runs the analyzer against a specific BMO configuration by delegating to
+/// the `janus-lint` static-analysis pass and projecting its diagnostics
+/// onto the three §6 misuse patterns (the additional lint codes —
+/// redundant requests, IRB pressure, persist ordering — are reported only
+/// through `janus-lint` itself).
+pub fn detect_misuse_with(program: &Program, lat: &BmoLatencies) -> MisuseReport {
+    let opts = LintOptions::with_latencies(*lat);
+    project_lint_report(&janus_lint::lint_program(program, &opts))
+}
+
+/// Maps a lint report onto the legacy [`MisuseReport`] shape.
+fn project_lint_report(lint: &LintReport) -> MisuseReport {
+    let mut report = MisuseReport {
+        findings: Vec::new(),
+        requests: lint.requests,
+        well_placed: lint.well_placed,
+    };
+    for d in &lint.diagnostics {
+        let line = d.line.map(LineAddr);
+        let obj = d.obj.map(PreObjId);
+        match d.code {
+            LintCode::ModifiedAfterPre => report.findings.push(Misuse::ModifiedAfterPre {
+                store_index: d.at,
+                line: line.expect("stale-hint diagnostics carry a line"),
+                pre_index: d.other.expect("stale-hint diagnostics carry the request"),
+            }),
+            LintCode::UselessPre => report.findings.push(Misuse::UselessPre {
+                pre_index: d.at,
+                obj: obj.expect("useless-pre diagnostics carry the obj"),
+                line,
+            }),
+            LintCode::InsufficientWindow => {
+                let (window, required) = d.window.expect("window diagnostics carry cycles");
+                report.findings.push(Misuse::InsufficientWindow {
+                    pre_index: d.other.expect("window diagnostics carry the request"),
+                    clwb_index: d.at,
+                    line: line.expect("window diagnostics carry a line"),
+                    window: Cycles(window),
+                    required: Cycles(required),
+                });
+            }
+            _ => {} // extended lints have no legacy equivalent
+        }
+    }
+    report
+}
+
 #[derive(Clone, Debug)]
 struct Hint {
     pre_index: usize,
@@ -138,31 +199,33 @@ struct Hint {
 }
 
 /// Static per-op cost estimate used for window calculations. Fences are
-/// charged a nominal blocking cost; the estimate is intentionally
-/// conservative (a real fence behind a non-pre-executed write waits much
-/// longer, which only widens real windows).
-fn op_cost(op: &Op) -> Cycles {
+/// charged the BMO critical path — a fence in crash-consistent code waits
+/// for at least one write's persistence, so this is a conservative *lower*
+/// bound on real fence time (and matches the lint's accounting, keeping
+/// the oracle exactly comparable).
+fn op_cost(op: &Op, fence: Cycles) -> Cycles {
     match op {
         Op::Compute(c) => Cycles(*c as u64),
         Op::Load(_) => Cycles(8),
         Op::Store { .. } => Cycles(4),
         Op::Clwb(_) => Cycles(4),
-        // A fence in crash-consistent code waits for at least one write's
-        // persistence; statically estimate it at the BMO critical path (a
-        // conservative *lower* bound on real fence time in the baseline).
-        Op::Fence => Cycles(2800),
+        Op::Fence => fence,
         op if op.is_pre() => Cycles(6),
         _ => Cycles::ZERO,
     }
 }
 
-/// Runs the analyzer with the paper's default BMO latencies.
-pub fn detect_misuse(program: &Program) -> MisuseReport {
-    detect_misuse_with(program, &BmoLatencies::paper())
+/// Runs the trace-walking oracle with the paper's default BMO latencies.
+pub fn trace_oracle(program: &Program) -> MisuseReport {
+    trace_oracle_with(program, &BmoLatencies::paper())
 }
 
-/// Runs the analyzer against a specific BMO configuration.
-pub fn detect_misuse_with(program: &Program, lat: &BmoLatencies) -> MisuseReport {
+/// The original trace-walking misuse detector, kept as an independent
+/// differential oracle for the static lints: it abstractly interprets the
+/// concrete trace against the IRB's pairing rules (requests register hints
+/// per line, `PRE_DATA` binds to address-only hints of the same `pre_obj`,
+/// stores compare values, `clwb`s consume and check windows).
+pub fn trace_oracle_with(program: &Program, lat: &BmoLatencies) -> MisuseReport {
     let required = DepGraph::standard(lat).critical_path();
     let mut report = MisuseReport::default();
     // Active hints by target line; data-only hints by obj until bound.
@@ -279,17 +342,21 @@ pub fn detect_misuse_with(program: &Program, lat: &BmoLatencies) -> MisuseReport
             }
             _ => {}
         }
-        elapsed += op_cost(op);
+        elapsed += op_cost(op, required);
     }
 
     // Leftovers are useless.
-    for (line, h) in by_line {
+    let mut leftovers: Vec<(LineAddr, Hint)> = by_line.into_iter().collect();
+    leftovers.sort_by_key(|(line, _)| line.0);
+    for (line, h) in leftovers {
         report.findings.push(Misuse::UselessPre {
             pre_index: h.pre_index,
             obj: h.obj,
             line: Some(line),
         });
     }
+    let mut unbound: Vec<(PreObjId, Vec<Hint>)> = unbound.into_iter().collect();
+    unbound.sort_by_key(|(obj, _)| obj.0);
     for (obj, hints) in unbound {
         for h in hints {
             report.findings.push(Misuse::UselessPre {
@@ -312,6 +379,10 @@ mod tests {
     use super::*;
     use janus_core::ir::ProgramBuilder;
 
+    fn both_ways(p: &Program) -> (MisuseReport, MisuseReport) {
+        (detect_misuse(p), trace_oracle(p))
+    }
+
     #[test]
     fn clean_program_has_no_findings() {
         let mut b = ProgramBuilder::new();
@@ -321,10 +392,11 @@ mod tests {
         b.store(LineAddr(1), Line::splat(1));
         b.clwb(LineAddr(1));
         b.fence();
-        let r = detect_misuse(&b.build());
+        let (r, oracle) = both_ways(&b.build());
         assert!(r.findings.is_empty(), "{:?}", r.findings);
         assert_eq!(r.well_placed, 1);
         assert_eq!(r.requests, 1);
+        assert_eq!(r.findings, oracle.findings);
     }
 
     #[test]
@@ -336,9 +408,10 @@ mod tests {
         b.store(LineAddr(1), Line::splat(2)); // differs from hint
         b.clwb(LineAddr(1));
         b.fence();
-        let r = detect_misuse(&b.build());
+        let (r, oracle) = both_ways(&b.build());
         assert_eq!(r.stale_hints(), 1);
         assert_eq!(r.well_placed, 0);
+        assert_eq!(r.findings, oracle.findings);
     }
 
     #[test]
@@ -348,8 +421,9 @@ mod tests {
         b.pre_both(obj, LineAddr(1), vec![Line::splat(1)]);
         b.compute(100);
         // no write at all
-        let r = detect_misuse(&b.build());
+        let (r, oracle) = both_ways(&b.build());
         assert_eq!(r.useless(), 1);
+        assert_eq!(r.findings, oracle.findings);
     }
 
     #[test]
@@ -361,7 +435,7 @@ mod tests {
         b.store(LineAddr(1), Line::splat(1));
         b.clwb(LineAddr(1));
         b.fence();
-        let r = detect_misuse(&b.build());
+        let (r, oracle) = both_ways(&b.build());
         assert_eq!(r.short_windows(), 1);
         match &r.findings[0] {
             Misuse::InsufficientWindow {
@@ -371,6 +445,7 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
+        assert_eq!(r.findings, oracle.findings);
     }
 
     #[test]
@@ -384,9 +459,10 @@ mod tests {
         b.store(LineAddr(1), Line::splat(1));
         b.clwb(LineAddr(1));
         b.fence();
-        let r = detect_misuse(&b.build());
+        let (r, oracle) = both_ways(&b.build());
         assert_eq!(r.useless(), 1);
         assert_eq!(r.well_placed, 1);
+        assert_eq!(r.findings, oracle.findings);
     }
 
     #[test]
@@ -400,9 +476,10 @@ mod tests {
         b.store(LineAddr(4), Line::splat(7));
         b.clwb(LineAddr(4));
         b.fence();
-        let r = detect_misuse(&b.build());
+        let (r, oracle) = both_ways(&b.build());
         assert!(r.findings.is_empty(), "{:?}", r.findings);
         assert_eq!(r.well_placed, 1);
+        assert_eq!(r.findings, oracle.findings);
     }
 
     #[test]
@@ -411,8 +488,9 @@ mod tests {
         let obj = b.pre_init();
         b.pre_data(obj, vec![Line::splat(7)]);
         b.compute(100);
-        let r = detect_misuse(&b.build());
+        let (r, oracle) = both_ways(&b.build());
         assert_eq!(r.useless(), 1);
+        assert_eq!(r.findings, oracle.findings);
     }
 
     #[test]

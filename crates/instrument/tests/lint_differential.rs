@@ -1,0 +1,164 @@
+//! Differential tests between the static misuse lints (`janus-lint`, which
+//! [`janus_instrument::misuse`] now delegates to) and the original
+//! trace-walking checker, kept as [`trace_oracle_with`]. On any program —
+//! including adversarially mis-instrumented ones — the static findings for
+//! the three §6 misuse patterns must *equal* the oracle's, and a
+//! lint-clean program must produce zero dynamic misuses.
+
+use janus_bmo::latency::BmoLatencies;
+use janus_check::{forall_cfg, gen, Config, Gen};
+use janus_core::ir::{Program, ProgramBuilder};
+use janus_instrument::instrument;
+use janus_instrument::misuse::{detect_misuse_with, trace_oracle_with};
+use janus_lint::{auto_place, lint_default};
+use janus_nvm::addr::LineAddr;
+use janus_nvm::line::Line;
+
+/// How a routine places (or misplaces) its pre-execution request.
+#[derive(Clone, Copy, Debug)]
+enum PreKind {
+    /// No request at all.
+    None,
+    /// A well-formed `PRE_BOTH`.
+    Both,
+    /// Split `PRE_ADDR` + `PRE_DATA`.
+    Split,
+    /// `PRE_BOTH` hinting a value the store then changes (stale).
+    Stale,
+    /// `PRE_DATA` with no address ever bound (unbound — useless).
+    DataOnly,
+    /// Two `PRE_BOTH`s on the same line (the first is shadowed).
+    Shadowed,
+}
+
+#[derive(Clone, Debug)]
+struct MisRoutine {
+    line: u64,
+    value: u8,
+    kind: PreKind,
+    compute: u32,
+    consume: bool,
+}
+
+fn arb_misroutine() -> Gen<MisRoutine> {
+    gen::tuple5(
+        &gen::range_u64(0..8),
+        &gen::any_u8(),
+        &gen::range_u32(0..6),
+        &gen::range_u32(0..6_000),
+        &gen::any_bool(),
+    )
+    .map(|(line, value, kind, compute, consume)| MisRoutine {
+        line: *line,
+        value: *value,
+        kind: match kind {
+            0 => PreKind::None,
+            1 => PreKind::Both,
+            2 => PreKind::Split,
+            3 => PreKind::Stale,
+            4 => PreKind::DataOnly,
+            _ => PreKind::Shadowed,
+        },
+        compute: *compute,
+        consume: *consume,
+    })
+}
+
+fn arb_misroutines() -> Gen<Vec<MisRoutine>> {
+    gen::vec_of(&arb_misroutine(), 1..10)
+}
+
+/// Builds a hand-instrumented (possibly mis-instrumented) program.
+fn build(routines: &[MisRoutine]) -> Program {
+    let mut b = ProgramBuilder::new();
+    for r in routines {
+        b.func("routine", |b| {
+            let hinted = Line::splat(r.value);
+            let stored = match r.kind {
+                PreKind::Stale => Line::splat(r.value.wrapping_add(1)),
+                _ => hinted,
+            };
+            match r.kind {
+                PreKind::None => {}
+                PreKind::Both | PreKind::Stale => {
+                    let obj = b.pre_init();
+                    b.pre_both(obj, LineAddr(r.line), vec![hinted]);
+                }
+                PreKind::Split => {
+                    let obj = b.pre_init();
+                    b.pre_addr(obj, LineAddr(r.line), 1);
+                    b.pre_data(obj, vec![hinted]);
+                }
+                PreKind::DataOnly => {
+                    let obj = b.pre_init();
+                    b.pre_data(obj, vec![hinted]);
+                }
+                PreKind::Shadowed => {
+                    let obj = b.pre_init();
+                    b.pre_both(obj, LineAddr(r.line), vec![hinted]);
+                    let obj2 = b.pre_init();
+                    b.pre_both(obj2, LineAddr(r.line), vec![hinted]);
+                }
+            }
+            b.compute(r.compute);
+            if r.consume {
+                b.store(LineAddr(r.line), stored);
+                b.clwb(LineAddr(r.line));
+                b.fence();
+            }
+        });
+    }
+    b.build()
+}
+
+/// The static pass and the trace oracle agree *exactly* on the three
+/// paper misuse patterns: same findings (kinds, indices, windows), same
+/// request and well-placed counts.
+#[test]
+fn static_lints_equal_trace_oracle() {
+    let lat = BmoLatencies::paper();
+    forall_cfg(&Config::with_cases(96), &arb_misroutines(), |routines| {
+        let p = build(routines);
+        let stat = detect_misuse_with(&p, &lat);
+        let dyn_ = trace_oracle_with(&p, &lat);
+        assert_eq!(stat.findings, dyn_.findings, "program: {routines:?}");
+        assert_eq!(stat.requests, dyn_.requests);
+        assert_eq!(stat.well_placed, dyn_.well_placed);
+    });
+}
+
+/// The satellite property: a statically lint-clean program produces zero
+/// dynamic misuses. Checked on the output of both automated passes —
+/// `instrument` and `janus_lint::auto_place` — over marker-annotated
+/// uninstrumented programs.
+#[test]
+fn static_clean_implies_dynamic_clean() {
+    forall_cfg(&Config::with_cases(64), &arb_misroutines(), |routines| {
+        // Strip the hand instrumentation, keep only provenance markers.
+        let mut b = ProgramBuilder::new();
+        for r in routines {
+            b.func("routine", |b| {
+                let value = Line::splat(r.value);
+                b.addr_gen(LineAddr(r.line), 1);
+                b.data_gen(LineAddr(r.line), vec![value]);
+                b.compute(r.compute);
+                b.store(LineAddr(r.line), value);
+                b.clwb(LineAddr(r.line));
+                b.fence();
+            });
+        }
+        let bare = b.build();
+
+        for p in [instrument(&bare).0, auto_place(&bare).0] {
+            let lint = lint_default(&p);
+            if lint.errors() == 0 {
+                let oracle = trace_oracle_with(&p, &BmoLatencies::paper());
+                assert!(
+                    oracle.findings.is_empty(),
+                    "lint-clean program has dynamic misuses: {:?}",
+                    oracle.findings
+                );
+            }
+        }
+    });
+}

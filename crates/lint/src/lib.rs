@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # janus-lint — static analysis over the `PRE_*` interface
+//!
+//! The paper's §6 argues that the three ways to misuse the Janus software
+//! interface — modifying data after pre-executing it, pre-executing writes
+//! that never happen, and issuing requests too close to the writeback —
+//! are all *statically detectable*. This crate makes that claim concrete:
+//!
+//! * [`cfg`] — a control-flow graph over the program IR with basic-block
+//!   regions and dominators (do-while loop semantics: a trace's loop body
+//!   executed at least once, so it dominates post-loop code).
+//! * [`dataflow`] — reaching-definitions over the provenance markers: the
+//!   earliest point each blocking write's address is known on every path,
+//!   and the latest point its data was defined.
+//! * [`lints`] — the §6 misuse patterns as program lints (windows measured
+//!   against the active BMO stack's critical path), plus redundant-request,
+//!   IRB-pressure, and persist-ordering checks.
+//! * [`graph`] — a structural linter over BMO dependency graphs: cycles,
+//!   duplicate and transitively redundant inter edges, and declared
+//!   pre-executability classes that disagree with a BMO's own sub-ops,
+//!   swept across every stack permutation.
+//! * [`place`] — [`auto_place`]: dominance-based automated `PRE_*`
+//!   placement that covers the loops the §4.5 static pass skips.
+//! * [`report`] — typed diagnostics and a byte-deterministic JSON report.
+//!
+//! The trace-based checker in `janus-instrument` delegates to these lints
+//! and is kept as a differential oracle: a program this crate reports
+//! clean produces zero dynamic misuses.
+//!
+//! # Example
+//!
+//! ```
+//! use janus_core::ir::ProgramBuilder;
+//! use janus_lint::{lint_default, LintCode};
+//! use janus_nvm::{addr::LineAddr, line::Line};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let obj = b.pre_init();
+//! b.pre_both(obj, LineAddr(1), vec![Line::splat(1)]);
+//! b.compute(100); // far too short to hide the BMO critical path
+//! b.store(LineAddr(1), Line::splat(1));
+//! b.clwb(LineAddr(1));
+//! b.fence();
+//! let report = lint_default(&b.build());
+//! assert_eq!(report.count(LintCode::InsufficientWindow), 1);
+//! ```
+
+pub mod cfg;
+pub mod dataflow;
+pub mod graph;
+pub mod lints;
+pub mod place;
+pub mod report;
+
+pub use cfg::{Cfg, CfgOptions};
+pub use dataflow::{analyze_writes, Defs, WriteKnowledge};
+pub use graph::{lint_bmo_class, lint_permutations, lint_stack};
+pub use lints::{lint_default, lint_program, LintOptions};
+pub use place::{auto_place, PlaceReport};
+pub use report::{Diagnostic, LintCode, LintReport, Severity};

@@ -18,11 +18,14 @@
 //! * [`instrument`] — the automated "compiler pass".
 //! * [`workloads`] — the seven transactional NVM workloads.
 //! * [`trace`] — cycle-stamped event tracing and machine-readable metrics.
+//! * [`lint`] — static analysis over the `PRE_*` interface: misuse lints,
+//!   the dependency-graph linter, and automated placement.
 
 pub use janus_bmo as bmo;
 pub use janus_core as core;
 pub use janus_crypto as crypto;
 pub use janus_instrument as instrument;
+pub use janus_lint as lint;
 pub use janus_nvm as nvm;
 pub use janus_sim as sim;
 pub use janus_trace as trace;

@@ -101,6 +101,11 @@ pub struct RunSpec {
     /// figures assume the default; non-default stacks label their metrics
     /// with `spec.bmo_stack`.
     pub bmo_stack: Option<Vec<janus_bmo::BmoId>>,
+    /// Run the one-event-at-a-time legacy dispatch loop instead of the
+    /// batched one (`--legacy-events` / `JANUS_LEGACY_EVENTS=1`). Both paths
+    /// must produce byte-identical reports; this is the executable spec the
+    /// batched loop is differentially tested against.
+    pub legacy_events: bool,
 }
 
 impl RunSpec {
@@ -120,6 +125,7 @@ impl RunSpec {
             aux_tx_fraction: 0.0,
             trace: None,
             bmo_stack: None,
+            legacy_events: legacy_events(),
         }
     }
 
@@ -264,6 +270,7 @@ pub fn run(spec: RunSpec) -> RunResult {
 /// worker count.
 pub fn run_quiet(spec: RunSpec) -> RunResult {
     let mut sys = System::new(spec.config());
+    sys.set_batched(!spec.legacy_events);
     let tracer = match &spec.trace {
         Some(cfg) => sys.enable_trace(cfg),
         None => Tracer::disabled(),
@@ -318,6 +325,15 @@ pub fn jobs() -> usize {
         })
         .filter(|&j| j >= 1)
         .unwrap_or(1)
+}
+
+/// Whether runs should use the legacy one-event-at-a-time dispatch loop:
+/// `--legacy-events` process argument or `JANUS_LEGACY_EVENTS=1`. Accepted
+/// by every figure/table binary (like `--jobs`) so any published result can
+/// be regenerated through the pre-batching event loop for comparison.
+pub fn legacy_events() -> bool {
+    std::env::args().any(|a| a == "--legacy-events")
+        || std::env::var("JANUS_LEGACY_EVENTS").is_ok_and(|v| v == "1")
 }
 
 /// Runs a batch of independent specs fanned across [`jobs`] worker threads,
@@ -415,6 +431,7 @@ pub fn require_known_args(value_flags: &[&str], bool_flags: &[&str]) {
             .chain(["--jobs"].iter())
             .map(|f| format!("{f} <value>"))
             .chain(bool_flags.iter().map(|f| f.to_string()))
+            .chain(["--legacy-events".to_string()])
             .collect();
         flags.sort();
         eprintln!("error: {msg}");
@@ -428,7 +445,7 @@ pub fn require_known_args(value_flags: &[&str], bool_flags: &[&str]) {
                 usage(&format!("{a} requires a value"));
             }
             i += 2;
-        } else if bool_flags.contains(&a.as_str()) {
+        } else if bool_flags.contains(&a.as_str()) || a == "--legacy-events" {
             i += 1;
         } else {
             usage(&format!("unknown argument {a:?}"));

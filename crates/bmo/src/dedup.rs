@@ -16,8 +16,6 @@
 //! hardware's read-and-compare) and falls back to a fresh slot on a
 //! collision, so deduplication never corrupts data.
 
-use std::collections::HashMap;
-
 use janus_crypto::FingerprintAlgo;
 use janus_nvm::line::Line;
 
@@ -77,8 +75,8 @@ struct SlotInfo {
 pub struct DedupStore {
     algo: FingerprintAlgo,
     /// fingerprint → slots with that fingerprint (collision chain).
-    table: HashMap<u128, Vec<u64>>,
-    slots: HashMap<u64, SlotInfo>,
+    table: janus_sim::hash::FxHashMap<u128, Vec<u64>>,
+    slots: janus_sim::hash::FxHashMap<u64, SlotInfo>,
     free: Vec<u64>,
     next_slot: u64,
     hits: u64,
@@ -91,8 +89,8 @@ impl DedupStore {
     pub fn new(algo: FingerprintAlgo) -> Self {
         DedupStore {
             algo,
-            table: HashMap::new(),
-            slots: HashMap::new(),
+            table: Default::default(),
+            slots: Default::default(),
             free: Vec::new(),
             next_slot: 0,
             hits: 0,

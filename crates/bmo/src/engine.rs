@@ -24,8 +24,7 @@
 //! are reused) and [`BmoEngine::invalidate_all`] (metadata changed under the
 //! job: everything re-runs).
 
-use std::collections::HashMap;
-
+use janus_sim::hash::FxHashMap;
 use janus_sim::resource::UnitPool;
 use janus_sim::time::Cycles;
 use janus_trace::{Category, Tracer};
@@ -107,7 +106,7 @@ pub struct BmoEngine {
     graph: DepGraph,
     mode: BmoMode,
     pool: UnitPool,
-    jobs: HashMap<u64, Job>,
+    jobs: FxHashMap<u64, Job>,
     next_id: u64,
     topo: Vec<NodeId>,
     /// Graph-static: per-node latency, indexed by `NodeId`.
@@ -144,7 +143,7 @@ impl BmoEngine {
             graph,
             mode,
             pool: UnitPool::new(units),
-            jobs: HashMap::new(),
+            jobs: FxHashMap::default(),
             next_id: 0,
             topo,
             node_latencies,
@@ -300,87 +299,78 @@ impl BmoEngine {
         self.schedule(id);
     }
 
-    /// Greedy list scheduling: repeatedly dispatch every node whose inputs
-    /// and predecessors are satisfied.
+    /// Greedy list scheduling: dispatch every node whose inputs and
+    /// predecessors are satisfied. Predecessors precede their successors in
+    /// `topo`, and input availability cannot change mid-walk, so a single
+    /// topological pass schedules everything currently schedulable.
     fn schedule(&mut self, id: JobId) {
-        loop {
-            let mut progress = false;
-            // Walk in topological order so chains schedule in one pass.
-            for idx in 0..self.topo.len() {
-                let n = self.topo[idx];
-                let (ready, latency, name, kind) = {
-                    let job = self.job(id);
-                    if job.node_end[n.0].is_some() {
+        let job = self.jobs.get_mut(&id.0).expect("unknown or retired job");
+        for idx in 0..self.topo.len() {
+            let n = self.topo[idx];
+            if job.node_end[n.0].is_some() {
+                continue;
+            }
+            let op = self.graph.node(n);
+            if job.dup && op.skip_if_dup {
+                continue; // cancelled entirely
+            }
+            // External inputs.
+            let mut ready = job.submit;
+            if op.needs_addr {
+                match job.addr_at {
+                    Some(t) => ready = ready.max(t),
+                    None => continue,
+                }
+            }
+            if op.needs_data {
+                match job.data_at {
+                    Some(t) => ready = ready.max(t),
+                    None => continue,
+                }
+            }
+            // Predecessors (skipped nodes are transparent).
+            let mut all_preds = true;
+            for &p in self.graph.preds(n) {
+                let pop = self.graph.node(p);
+                if job.dup && pop.skip_if_dup {
+                    continue;
+                }
+                match job.node_end[p.0] {
+                    Some(t) => ready = ready.max(t),
+                    None => {
+                        all_preds = false;
+                        break;
+                    }
+                }
+            }
+            if !all_preds {
+                continue;
+            }
+            // Serialized modes: also wait for every earlier node in
+            // the canonical order (monolithic execution).
+            if self.mode != BmoMode::Parallelized {
+                let mut ok = true;
+                for &m in &self.topo[..idx] {
+                    let mop = self.graph.node(m);
+                    if job.dup && mop.skip_if_dup {
                         continue;
                     }
-                    let op = self.graph.node(n);
-                    if job.dup && op.skip_if_dup {
-                        continue; // cancelled entirely
-                    }
-                    // External inputs.
-                    let mut ready = job.submit;
-                    if op.needs_addr {
-                        match job.addr_at {
-                            Some(t) => ready = ready.max(t),
-                            None => continue,
+                    match job.node_end[m.0] {
+                        Some(t) => ready = ready.max(t),
+                        None => {
+                            ok = false;
+                            break;
                         }
                     }
-                    if op.needs_data {
-                        match job.data_at {
-                            Some(t) => ready = ready.max(t),
-                            None => continue,
-                        }
-                    }
-                    // Predecessors (skipped nodes are transparent).
-                    let mut all_preds = true;
-                    for &p in self.graph.preds(n) {
-                        let pop = self.graph.node(p);
-                        if job.dup && pop.skip_if_dup {
-                            continue;
-                        }
-                        match job.node_end[p.0] {
-                            Some(t) => ready = ready.max(t),
-                            None => {
-                                all_preds = false;
-                                break;
-                            }
-                        }
-                    }
-                    if !all_preds {
-                        continue;
-                    }
-                    // Serialized modes: also wait for every earlier node in
-                    // the canonical order (monolithic execution).
-                    if self.mode != BmoMode::Parallelized {
-                        let mut ok = true;
-                        for &m in &self.topo[..idx] {
-                            let mop = self.graph.node(m);
-                            if job.dup && mop.skip_if_dup {
-                                continue;
-                            }
-                            match job.node_end[m.0] {
-                                Some(t) => ready = ready.max(t),
-                                None => {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                        }
-                        if !ok {
-                            continue;
-                        }
-                    }
-                    (ready, op.latency, op.name, op.bmo)
-                };
-                let (start, end) = self.pool.acquire_pipelined(ready, latency, UNIT_II);
-                self.tracer
-                    .span(category_of(kind), name, start, end, id.0, latency.0);
-                self.job_mut(id).node_end[n.0] = Some(end);
-                progress = true;
+                }
+                if !ok {
+                    continue;
+                }
             }
-            if !progress {
-                break;
-            }
+            let (start, end) = self.pool.acquire_pipelined(ready, op.latency, UNIT_II);
+            self.tracer
+                .span(category_of(op.bmo), op.name, start, end, id.0, op.latency.0);
+            job.node_end[n.0] = Some(end);
         }
     }
 

@@ -12,11 +12,21 @@
 //! 2²⁴-leaf tree practical while remaining bit-for-bit well defined, so the
 //! root can be recomputed from persistent metadata during crash recovery and
 //! compared against the secure register.
+//!
+//! Leaf updates are folded into the hash structure lazily: `update_leaf`
+//! only records the new leaf content (latest write wins), and the path
+//! hashes are recomputed in bulk the first time the tree is observed
+//! (`root`, `verify_leaf`, …). Because every node hash is a pure function of
+//! the leaf contents, the observed values are identical to eager
+//! recomputation — but a burst of writes between observations costs one
+//! shared bulk rebuild instead of one root-path rehash per write, which is
+//! what makes the simulator's batched hot path affordable.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 
-use janus_crypto::sha1::{sha1, sha1_concat};
+use janus_crypto::sha1::{sha1, Sha1};
 use janus_nvm::line::Line;
+use janus_sim::hash::FxHashMap;
 
 /// Fan-out of every internal node.
 pub const ARITY: usize = 8;
@@ -45,12 +55,38 @@ pub type NodeHash = [u8; 20];
 #[derive(Clone, Debug)]
 pub struct MerkleTree {
     height: u32,
-    /// `(level, index) → hash` for nodes differing from the default.
-    nodes: HashMap<(u32, u64), NodeHash>,
     /// `default[l]` = hash of a level-`l` node whose descendants are all
     /// zero lines.
     default: Vec<NodeHash>,
     updates: u64,
+    /// Hash structure plus not-yet-hashed leaf writes; interior-mutable so
+    /// read-only observers (`root`, `verify_leaf`) can trigger the flush.
+    state: RefCell<TreeState>,
+}
+
+#[derive(Clone, Debug)]
+struct TreeState {
+    /// `(level, index) → hash` for nodes differing from the default.
+    nodes: FxHashMap<(u32, u64), NodeHash>,
+    /// Leaf writes not yet folded into `nodes` (latest content wins).
+    pending: FxHashMap<u64, Line>,
+}
+
+impl TreeState {
+    fn node(&self, default: &[NodeHash], level: u32, index: u64) -> NodeHash {
+        self.nodes
+            .get(&(level, index))
+            .copied()
+            .unwrap_or(default[level as usize])
+    }
+
+    fn set_node(&mut self, default: &[NodeHash], level: u32, index: u64, hash: NodeHash) {
+        if hash == default[level as usize] {
+            self.nodes.remove(&(level, index));
+        } else {
+            self.nodes.insert((level, index), hash);
+        }
+    }
 }
 
 impl MerkleTree {
@@ -66,14 +102,20 @@ impl MerkleTree {
         default.push(sha1(Line::zero().as_bytes()));
         for l in 0..height as usize {
             let child = default[l];
-            let concat: Vec<u8> = (0..ARITY).flat_map(|_| child).collect();
-            default.push(sha1(&concat));
+            let mut s = Sha1::new();
+            for _ in 0..ARITY {
+                s.update(&child);
+            }
+            default.push(s.finalize());
         }
         MerkleTree {
             height,
-            nodes: HashMap::new(),
             default,
             updates: 0,
+            state: RefCell::new(TreeState {
+                nodes: FxHashMap::default(),
+                pending: FxHashMap::default(),
+            }),
         }
     }
 
@@ -87,53 +129,65 @@ impl MerkleTree {
         self.height
     }
 
-    fn node(&self, level: u32, index: u64) -> NodeHash {
-        self.nodes
-            .get(&(level, index))
-            .copied()
-            .unwrap_or(self.default[level as usize])
-    }
-
-    fn set_node(&mut self, level: u32, index: u64, hash: NodeHash) {
-        if hash == self.default[level as usize] {
-            self.nodes.remove(&(level, index));
-        } else {
-            self.nodes.insert((level, index), hash);
-        }
-    }
-
-    /// Re-hashes leaf `index` from its new line content and updates the path
-    /// to the root (sub-operations I1–I3). Returns the new root.
+    /// Records new content for leaf `index` (sub-operations I1–I3 in the
+    /// timing model). The hash path is recomputed lazily on the next
+    /// observation of the tree.
     ///
     /// # Panics
     ///
     /// Panics if `index` exceeds the tree capacity.
-    pub fn update_leaf(&mut self, index: u64, content: &Line) -> NodeHash {
+    pub fn update_leaf(&mut self, index: u64, content: &Line) {
         assert!(index < self.capacity(), "leaf index out of range");
         self.updates += 1;
-        self.set_node(0, index, sha1(content.as_bytes()));
-        let mut idx = index;
-        for level in 0..self.height {
-            idx /= ARITY as u64;
-            let first_child = idx * ARITY as u64;
-            let parts: Vec<NodeHash> = (0..ARITY as u64)
-                .map(|i| self.node(level, first_child + i))
-                .collect();
-            let refs: Vec<&[u8]> = parts.iter().map(|h| h.as_slice()).collect();
-            self.set_node(level + 1, idx, sha1_concat(&refs));
+        self.state.get_mut().pending.insert(index, *content);
+    }
+
+    /// Folds all pending leaf writes into the hash structure: sets the leaf
+    /// hashes, then recomputes each dirty parent once per level (same bulk
+    /// walk as `from_leaves`). Node hashes are pure functions of leaf
+    /// content, so the result is identical to eager per-write path updates.
+    fn flush(&self) {
+        let mut st = self.state.borrow_mut();
+        if st.pending.is_empty() {
+            return;
         }
-        self.root()
+        let pending = std::mem::take(&mut st.pending);
+        let mut touched: Vec<u64> = Vec::with_capacity(pending.len());
+        for (index, line) in &pending {
+            let h = sha1(line.as_bytes());
+            st.set_node(&self.default, 0, *index, h);
+            touched.push(*index);
+        }
+        for level in 0..self.height {
+            for i in touched.iter_mut() {
+                *i /= ARITY as u64;
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for &idx in &touched {
+                let first_child = idx * ARITY as u64;
+                let mut s = Sha1::new();
+                for i in 0..ARITY as u64 {
+                    s.update(&st.node(&self.default, level, first_child + i));
+                }
+                let h = s.finalize();
+                st.set_node(&self.default, level + 1, idx, h);
+            }
+        }
     }
 
     /// The current root hash.
     pub fn root(&self) -> NodeHash {
-        self.node(self.height, 0)
+        self.flush();
+        self.state.borrow().node(&self.default, self.height, 0)
     }
 
     /// Verifies that leaf `index` currently hashes `content` and that its
     /// path is consistent up to the root.
     pub fn verify_leaf(&self, index: u64, content: &Line) -> bool {
-        if self.node(0, index) != sha1(content.as_bytes()) {
+        self.flush();
+        let st = self.state.borrow();
+        if st.node(&self.default, 0, index) != sha1(content.as_bytes()) {
             return false;
         }
         // Recompute the path bottom-up from stored children.
@@ -141,11 +195,11 @@ impl MerkleTree {
         for level in 0..self.height {
             idx /= ARITY as u64;
             let first_child = idx * ARITY as u64;
-            let parts: Vec<NodeHash> = (0..ARITY as u64)
-                .map(|i| self.node(level, first_child + i))
-                .collect();
-            let refs: Vec<&[u8]> = parts.iter().map(|h| h.as_slice()).collect();
-            if sha1_concat(&refs) != self.node(level + 1, idx) {
+            let mut s = Sha1::new();
+            for i in 0..ARITY as u64 {
+                s.update(&st.node(&self.default, level, first_child + i));
+            }
+            if s.finalize() != st.node(&self.default, level + 1, idx) {
                 return false;
             }
         }
@@ -157,30 +211,13 @@ impl MerkleTree {
     /// metadata.
     pub fn from_leaves<I: IntoIterator<Item = (u64, Line)>>(height: u32, leaves: I) -> Self {
         let mut t = MerkleTree::new(height);
-        // Insert leaf hashes first, then hash each affected parent once per
-        // level (bulk build; equivalent to repeated update_leaf but O(n)).
-        let mut touched: Vec<u64> = Vec::new();
+        let cap = t.capacity();
+        let pending = &mut t.state.get_mut().pending;
         for (index, line) in leaves {
-            assert!(index < t.capacity(), "leaf index out of range");
-            t.set_node(0, index, sha1(line.as_bytes()));
-            touched.push(index);
+            assert!(index < cap, "leaf index out of range");
+            pending.insert(index, line);
         }
-        for level in 0..height {
-            touched = {
-                let mut parents: Vec<u64> = touched.iter().map(|i| i / ARITY as u64).collect();
-                parents.sort_unstable();
-                parents.dedup();
-                parents
-            };
-            for &idx in &touched {
-                let first_child = idx * ARITY as u64;
-                let parts: Vec<NodeHash> = (0..ARITY as u64)
-                    .map(|i| t.node(level, first_child + i))
-                    .collect();
-                let refs: Vec<&[u8]> = parts.iter().map(|h| h.as_slice()).collect();
-                t.set_node(level + 1, idx, sha1_concat(&refs));
-            }
-        }
+        t.flush();
         t
     }
 
@@ -191,7 +228,8 @@ impl MerkleTree {
 
     /// Number of materialized (non-default) nodes.
     pub fn materialized_nodes(&self) -> usize {
-        self.nodes.len()
+        self.flush();
+        self.state.borrow().nodes.len()
     }
 }
 
@@ -230,6 +268,21 @@ mod tests {
     }
 
     #[test]
+    fn lazy_flush_matches_eager_observation() {
+        // Observing the root between every update must give the same final
+        // state as observing once at the end.
+        let mut eager = MerkleTree::new(4);
+        let mut lazy = MerkleTree::new(4);
+        for i in 0..32u64 {
+            eager.update_leaf(i % 7, &Line::splat(i as u8));
+            let _ = eager.root(); // force a flush per write
+            lazy.update_leaf(i % 7, &Line::splat(i as u8));
+        }
+        assert_eq!(eager.root(), lazy.root());
+        assert_eq!(eager.materialized_nodes(), lazy.materialized_nodes());
+    }
+
+    #[test]
     fn verify_leaf_detects_tamper() {
         let mut t = MerkleTree::new(4);
         t.update_leaf(3, &Line::splat(5));
@@ -244,8 +297,9 @@ mod tests {
     fn internal_tamper_detected() {
         let mut t = MerkleTree::new(3);
         t.update_leaf(0, &Line::splat(1));
-        // Corrupt an internal node directly.
-        t.nodes.insert((1, 0), [0xFF; 20]);
+        let _ = t.root(); // flush before corrupting
+                          // Corrupt an internal node directly.
+        t.state.get_mut().nodes.insert((1, 0), [0xFF; 20]);
         assert!(!t.verify_leaf(0, &Line::splat(1)));
     }
 

@@ -21,8 +21,6 @@
 //! when their BMO is absent, which keeps the default paper stack's NVM
 //! layout byte-compatible with the original hard-wired pipeline.
 
-use std::collections::HashMap;
-
 use janus_crypto::ctr::line_mac;
 use janus_crypto::FingerprintAlgo;
 use janus_nvm::addr::LineAddr;
@@ -71,11 +69,11 @@ pub struct WriteEffects {
     pub freed_slot: Option<u64>,
     /// The NVM lines to persist (payload, metadata lines, auxiliary line).
     /// These must persist atomically with the root update (metadata
-    /// atomicity, §4.3.2).
+    /// atomicity, §4.3.2). The root itself is read from
+    /// [`BmoPipeline::root`], which folds pending leaf updates in lazily —
+    /// eagerly recomputing it per write made the root path the hot-loop
+    /// bottleneck.
     pub line_writes: Vec<(LineAddr, Line)>,
-    /// The Merkle root after this write (for the secure register; all-zero
-    /// when integrity is not stacked).
-    pub new_root: NodeHash,
 }
 
 /// Why a verified read or recovery failed.
@@ -194,7 +192,7 @@ pub struct BmoPipeline {
     next_counter: u64,
     /// Volatile mirror of stored payloads, keyed by physical frame address.
     stored: LineStore,
-    aux: HashMap<u64, SlotAux>,
+    aux: janus_sim::hash::FxHashMap<u64, SlotAux>,
     wear: Option<StartGap>,
     oram: Option<OramState>,
     /// Recycled line-write buffer: [`BmoPipeline::write`] takes it, the
@@ -233,7 +231,7 @@ impl BmoPipeline {
             enc: caps.encrypt.then(|| EncryptionEngine::new(key)),
             next_counter: 1,
             stored: LineStore::new(),
-            aux: HashMap::new(),
+            aux: Default::default(),
             wear: caps.wear.then(|| StartGap::new(SLOT_LINES, WEAR_INTERVAL)),
             oram: caps.oram.then(|| OramState {
                 epoch: 0,
@@ -465,7 +463,6 @@ impl BmoPipeline {
             slot,
             freed_slot,
             line_writes,
-            new_root: self.root(),
         }
     }
 
@@ -700,7 +697,7 @@ impl BmoPipeline {
         };
 
         // Refcounts: how many logical lines point at each slot.
-        let mut refcounts: HashMap<u64, u64> = HashMap::new();
+        let mut refcounts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for (_, entry) in meta.iter_logical() {
             match entry {
                 MetaEntry::Remap(slot) => *refcounts.entry(slot).or_insert(0) += 1,
@@ -721,7 +718,7 @@ impl BmoPipeline {
             enc: caps.encrypt.then(|| EncryptionEngine::new(key)),
             next_counter: 1,
             stored: LineStore::new(),
-            aux: HashMap::new(),
+            aux: Default::default(),
             wear,
             oram,
             spare: Vec::new(),
@@ -829,11 +826,11 @@ mod tests {
 
     /// Applies effects to a persistent store plus root register, as the MC
     /// does at write-queue acceptance.
-    fn persist(fx: &WriteEffects, store: &mut LineStore, root: &mut NodeHash) {
+    fn persist(p: &BmoPipeline, fx: &WriteEffects, store: &mut LineStore, root: &mut NodeHash) {
         for (a, l) in &fx.line_writes {
             store.write(*a, *l);
         }
-        *root = fx.new_root;
+        *root = p.root();
     }
 
     /// Writes a workload through a stack's pipeline, crashes (keeps only
@@ -845,7 +842,7 @@ mod tests {
         let value = |i: u64| Line::from_words(&[i % 5, i * 3, 0xABCD]);
         for i in 0..lines * 3 {
             let fx = p.write(LineAddr(i % lines), value(i));
-            persist(&fx, &mut store, &mut root);
+            persist(&p, &fx, &mut store, &mut root);
         }
         let r = BmoPipeline::recover_stack(stack, &store, FingerprintAlgo::Md5, DEFAULT_KEY, root)
             .unwrap_or_else(|e| panic!("recovery under stack [{stack}]: {e}"));
@@ -919,7 +916,7 @@ mod tests {
         let mut root = p.root();
         for i in 0..20u64 {
             let fx = p.write(LineAddr(i % 7), Line::from_words(&[i % 3, i]));
-            persist(&fx, &mut store, &mut root);
+            persist(&p, &fx, &mut store, &mut root);
         }
         let r = BmoPipeline::recover(&store, FingerprintAlgo::Md5, DEFAULT_KEY, root)
             .expect("recovery succeeds");
@@ -938,7 +935,7 @@ mod tests {
         let mut store = LineStore::new();
         let mut root = p.root();
         let fx = p.write(LineAddr(1), Line::splat(3));
-        persist(&fx, &mut store, &mut root);
+        persist(&p, &fx, &mut store, &mut root);
         // Torn metadata: drop one persisted meta line.
         let meta_line = fx
             .line_writes
@@ -967,7 +964,7 @@ mod tests {
         let mut store = LineStore::new();
         let mut root = p.root();
         let fx = p.write(LineAddr(1), Line::splat(3));
-        persist(&fx, &mut store, &mut root);
+        persist(&p, &fx, &mut store, &mut root);
         let slot_addr = slot_data_addr(fx.slot);
         let mut ct = store.read(slot_addr);
         ct.0[5] ^= 1;
@@ -990,7 +987,7 @@ mod tests {
         let mut store = LineStore::new();
         let mut root = p.root();
         let fx = p.write(LineAddr(1), Line::splat(3));
-        persist(&fx, &mut store, &mut root);
+        persist(&p, &fx, &mut store, &mut root);
         let slot_addr = slot_data_addr(fx.slot);
         let mut ct = store.read(slot_addr);
         ct.0[5] ^= 0xFF;
@@ -1011,7 +1008,7 @@ mod tests {
         let mut store = LineStore::new();
         let mut root = p.root();
         let fx = p.write(LineAddr(1), Line::splat(3));
-        persist(&fx, &mut store, &mut root);
+        persist(&p, &fx, &mut store, &mut root);
         let slot_addr = slot_data_addr(fx.slot);
         let mut ct = store.read(slot_addr);
         ct.0[5] ^= 1;
@@ -1064,10 +1061,11 @@ mod tests {
     fn root_changes_on_every_fresh_write() {
         let mut p = pipeline();
         let r0 = p.root();
-        let fx1 = p.write(LineAddr(1), Line::splat(1));
-        assert_ne!(fx1.new_root, r0);
-        let fx2 = p.write(LineAddr(2), Line::splat(2));
-        assert_ne!(fx2.new_root, fx1.new_root);
+        p.write(LineAddr(1), Line::splat(1));
+        let r1 = p.root();
+        assert_ne!(r1, r0);
+        p.write(LineAddr(2), Line::splat(2));
+        assert_ne!(p.root(), r1);
     }
 
     #[test]
@@ -1133,7 +1131,7 @@ mod tests {
         let mut store = LineStore::new();
         let mut root = p.root();
         let fx = p.write(LineAddr(1), Line::splat(9));
-        persist(&fx, &mut store, &mut root);
+        persist(&p, &fx, &mut store, &mut root);
         let mut v = store.read(slot_data_addr(fx.slot));
         v.0[0] ^= 0xFF;
         store.write(slot_data_addr(fx.slot), v);

@@ -30,7 +30,7 @@ use janus_nvm::device::{AccessKind, NvmDevice};
 use janus_nvm::line::Line;
 use janus_nvm::store::LineStore;
 use janus_nvm::wq::{AdrWriteQueue, PersistentDomain};
-use janus_sim::stats::StatSet;
+use janus_sim::stats::{CounterId, HistogramId, StatSet};
 use janus_sim::time::Cycles;
 use janus_trace::{Category, TraceConfig, Tracer};
 
@@ -59,7 +59,6 @@ pub struct MemoryController {
     wq: AdrWriteQueue,
     device: NvmDevice,
     persist: PersistentDomain,
-    secure_root: NodeHash,
     counter_cache: SetAssocCache,
     merkle_cache: SetAssocCache,
     /// Completion times of in-flight pre-execution operations (bounded by
@@ -69,14 +68,56 @@ pub struct MemoryController {
     /// pre-execution of the same value predicts a duplicate (the hardware
     /// chains in-flight dedup outcomes rather than re-reading stale
     /// metadata).
-    pending_fresh: std::collections::HashMap<Line, u32>,
+    pending_fresh: janus_sim::hash::FxHashMap<Line, u32>,
     /// Reused decoder output buffer (steady-state pre-request decoding is
     /// allocation-free).
     decode_scratch: Vec<LineOp>,
     /// Reused job-id collection buffer for address-bind fan-out.
     job_scratch: Vec<JobId>,
     stats: StatSet,
+    /// Interned handles for the per-event statistics (see [`HotStats`]).
+    hot: HotStats,
     tracer: Tracer,
+}
+
+/// Interned [`StatSet`] handles for the statistics the write/read hot paths
+/// touch on every event. Looking these names up per event cost a map walk
+/// per counter bump; a handle access is a vector index. Handles are filled
+/// in on *first* bump (not at construction) so that statistics a run never
+/// touches stay unregistered — exported reports list only the counters a
+/// run actually exercised, exactly as with by-name lazy creation.
+#[derive(Default)]
+struct HotStats {
+    writes: Option<CounterId>,
+    writes_dup: Option<CounterId>,
+    nvm_reads: Option<CounterId>,
+    pre_miss: Option<CounterId>,
+    pre_full: Option<CounterId>,
+    pre_partial: Option<CounterId>,
+    write_critical_latency: Option<HistogramId>,
+    read_latency: Option<HistogramId>,
+}
+
+/// Counter access through a lazily interned handle.
+#[inline]
+fn hot_counter<'a>(
+    stats: &'a mut StatSet,
+    slot: &mut Option<CounterId>,
+    name: &'static str,
+) -> &'a mut janus_sim::stats::Counter {
+    let id = *slot.get_or_insert_with(|| stats.counter_id(name));
+    stats.counter_by_id(id)
+}
+
+/// Histogram access through a lazily interned handle.
+#[inline]
+fn hot_histogram<'a>(
+    stats: &'a mut StatSet,
+    slot: &mut Option<HistogramId>,
+    name: &'static str,
+) -> &'a mut janus_sim::stats::Histogram {
+    let id = *slot.get_or_insert_with(|| stats.histogram_id(name));
+    stats.histogram_by_id(id)
 }
 
 impl MemoryController {
@@ -90,7 +131,6 @@ impl MemoryController {
             config.total_bmo_units(),
         );
         let pipeline = BmoPipeline::for_stack(&stack, config.latencies.dedup_algo);
-        let secure_root = pipeline.root();
         let mut wq = AdrWriteQueue::new(config.wq_capacity);
         wq.set_coalescing(config.wq_coalescing);
         MemoryController {
@@ -100,14 +140,14 @@ impl MemoryController {
             wq,
             device: NvmDevice::new(config.nvm),
             persist: PersistentDomain::new(),
-            secure_root,
             counter_cache: SetAssocCache::new(CacheConfig::counter_cache()),
             merkle_cache: SetAssocCache::new(CacheConfig::merkle_cache()),
             inflight_ops: Vec::new(),
-            pending_fresh: std::collections::HashMap::new(),
+            pending_fresh: Default::default(),
             decode_scratch: Vec::new(),
             job_scratch: Vec::new(),
             stats: StatSet::new(),
+            hot: HotStats::default(),
             tracer: Tracer::disabled(),
             pipeline,
             stack,
@@ -166,8 +206,13 @@ impl MemoryController {
     }
 
     /// The secure non-volatile root register.
+    ///
+    /// Reads the pipeline's (lazily flushed) Merkle root: the register is a
+    /// pure function of the persisted metadata, so materializing it only
+    /// when observed keeps the per-write hot path off the root-hash chain
+    /// without changing any observable value.
     pub fn secure_root(&self) -> NodeHash {
-        self.secure_root
+        self.pipeline.root()
     }
 
     /// Write-queue stall cycles accumulated (multi-core contention metric).
@@ -377,12 +422,12 @@ impl MemoryController {
         data: Line,
         commit_critical: bool,
     ) -> WriteOutcome {
-        self.stats.counter("writes").incr();
+        hot_counter(&mut self.stats, &mut self.hot.writes, "writes").incr();
 
         // Functional application (timing-mode independent).
         let fx = self.pipeline.write(line, data);
         if fx.dup {
-            self.stats.counter("writes_dup").incr();
+            hot_counter(&mut self.stats, &mut self.hot.writes_dup, "writes_dup").incr();
         }
         // Metadata changed: invalidate dependent pre-execution results.
         if let Some(freed) = fx.freed_slot {
@@ -447,16 +492,18 @@ impl MemoryController {
             first_accept.get_or_insert(t);
             last_accept = t;
         }
-        self.secure_root = fx.new_root;
 
         let persist_at = if self.config.selective_atomicity && !commit_critical {
             first_accept.unwrap_or(bmo_done).max(bmo_done)
         } else {
             last_accept
         };
-        self.stats
-            .histogram("write_critical_latency")
-            .record(persist_at.saturating_sub(now));
+        hot_histogram(
+            &mut self.stats,
+            &mut self.hot.write_critical_latency,
+            "write_critical_latency",
+        )
+        .record(persist_at.elapsed_since(now));
         // The write's arrival → persistence interval, the latency the paper
         // optimizes. `arg` carries the issuing core.
         self.tracer.span(
@@ -489,7 +536,7 @@ impl MemoryController {
         const IRB_LOOKUP: Cycles = Cycles(8); // 2 ns CAM lookup
 
         let Some(entry) = self.irb.consume(core, line) else {
-            self.stats.counter("pre_miss").incr();
+            hot_counter(&mut self.stats, &mut self.hot.pre_miss, "pre_miss").incr();
             self.tracer
                 .instant(Category::Irb, "irb_miss", now, line.0, core as u64);
             let job = self.engine.submit(now, Some(now), Some(now), fx.dup);
@@ -570,11 +617,11 @@ impl MemoryController {
             .completion(job)
             .expect("all inputs supplied by write arrival");
         if done <= now {
-            self.stats.counter("pre_full").incr();
+            hot_counter(&mut self.stats, &mut self.hot.pre_full, "pre_full").incr();
             self.tracer
                 .instant(Category::Engine, "job_pre_executed", now, job.raw(), line.0);
         } else {
-            self.stats.counter("pre_partial").incr();
+            hot_counter(&mut self.stats, &mut self.hot.pre_partial, "pre_partial").incr();
             self.tracer.instant(
                 Category::Engine,
                 "job_pre_partial",
@@ -605,7 +652,7 @@ impl MemoryController {
     /// Times a demand read (L2 miss) of logical `line` arriving at `now`;
     /// returns when the data is available to the core.
     pub fn handle_read(&mut self, now: Cycles, line: LineAddr) -> Cycles {
-        self.stats.counter("nvm_reads").incr();
+        hot_counter(&mut self.stats, &mut self.hot.nvm_reads, "nvm_reads").incr();
         let lat = &self.config.latencies;
 
         // Counter/metadata fetch: counter cache hit lets OTP generation
@@ -644,9 +691,8 @@ impl MemoryController {
         } else {
             decrypted + lat.sha1 * lat.merkle_levels as u64
         };
-        self.stats
-            .histogram("read_latency")
-            .record(verified.saturating_sub(now));
+        hot_histogram(&mut self.stats, &mut self.hot.read_latency, "read_latency")
+            .record(verified.elapsed_since(now));
         self.tracer
             .span(Category::Controller, "read", now, verified, line.0, 0);
         verified
@@ -665,7 +711,7 @@ impl MemoryController {
     /// secure root register (everything else — caches, IRB, engine state —
     /// is lost).
     pub fn crash(&self) -> (LineStore, NodeHash) {
-        (self.persist.snapshot(), self.secure_root)
+        (self.persist.snapshot(), self.secure_root())
     }
 
     /// Rebuilds the functional pipeline from a persistent snapshot,
@@ -688,7 +734,8 @@ impl MemoryController {
         )?;
         let mut mc = MemoryController::new(config);
         mc.pipeline = pipeline;
-        mc.secure_root = secure_root;
+        // The recovered pipeline's root equals the verified register, so
+        // `secure_root()` needs no separate restore.
         // The persistent domain resumes from the snapshot.
         for (a, l) in snapshot.iter() {
             mc.persist.persist(a, *l);

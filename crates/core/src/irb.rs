@@ -62,10 +62,40 @@ pub struct IrbEntry {
     pub stale: bool,
 }
 
+/// The consume-scan key of one entry, packed for the hot lookup.
+///
+/// [`Irb::consume`] runs once per Janus-mode write and scans linearly (the
+/// hardware analogue is a CAM match). Scanning full [`IrbEntry`] records
+/// walks ~150 bytes per entry — mostly the copied `data` line — so the
+/// buffer is stored structure-of-arrays style: this 16-byte tag carries
+/// exactly the fields the scan compares, and the payload vector is only
+/// touched at the matching index.
+#[derive(Clone, Copy, Debug)]
+struct ScanTag {
+    core: u32,
+    /// Bound ProcAddr, or `u64::MAX` when unbound. A real address equal to
+    /// the sentinel is disambiguated by re-checking the payload entry.
+    line: u64,
+}
+
+const UNBOUND: u64 = u64::MAX;
+
+impl ScanTag {
+    fn of(entry: &IrbEntry) -> Self {
+        ScanTag {
+            core: entry.key.core as u32,
+            line: entry.line.map_or(UNBOUND, |l| l.0),
+        }
+    }
+}
+
 /// The buffer.
 #[derive(Debug)]
 pub struct Irb {
+    /// Payload records, index-parallel with `tags`.
     entries: Vec<IrbEntry>,
+    /// Packed consume-scan keys (see [`ScanTag`]).
+    tags: Vec<ScanTag>,
     capacity: usize,
     drops: u64,
     inserted: u64,
@@ -79,6 +109,7 @@ impl Irb {
     pub fn new(capacity: usize) -> Self {
         Irb {
             entries: Vec::new(),
+            tags: Vec::new(),
             capacity,
             drops: 0,
             inserted: 0,
@@ -96,6 +127,7 @@ impl Irb {
             return false;
         }
         self.inserted += 1;
+        self.tags.push(ScanTag::of(&entry));
         self.entries.push(entry);
         true
     }
@@ -104,11 +136,17 @@ impl Irb {
     /// `core`. Prefers an exact (core, line) match; the paper matches on
     /// ProcAddr within the issuing thread's entries.
     pub fn consume(&mut self, core: usize, line: LineAddr) -> Option<IrbEntry> {
-        let pos = self
-            .entries
-            .iter()
-            .position(|e| e.key.core == core && e.line == Some(line))?;
+        let core32 = core as u32;
+        let pos = (0..self.tags.len()).find(|&i| {
+            let t = self.tags[i];
+            t.core == core32
+                && t.line == line.0
+                // Tag sentinel collision guard (an address of u64::MAX):
+                // confirm against the payload record.
+                && self.entries[i].line == Some(line)
+        })?;
         self.consumed += 1;
+        self.tags.swap_remove(pos);
         Some(self.entries.swap_remove(pos))
     }
 
@@ -120,15 +158,17 @@ impl Irb {
         let mut next = first;
         let mut bound = 0;
         let limit = LineAddr(first.0 + nlines as u64);
-        for e in self
+        for (i, e) in self
             .entries
             .iter_mut()
-            .filter(|e| e.key == key && e.line.is_none())
+            .enumerate()
+            .filter(|(_, e)| e.key == key && e.line.is_none())
         {
             if next >= limit {
                 break;
             }
             e.line = Some(next);
+            self.tags[i].line = next.0;
             next = next.offset(1);
             bound += 1;
         }
@@ -156,32 +196,42 @@ impl Irb {
         n as usize
     }
 
+    /// Order-preserving retain over both parallel vectors; returns how many
+    /// entries were removed.
+    fn retain_entries(&mut self, mut keep: impl FnMut(&IrbEntry) -> bool) -> usize {
+        let before = self.entries.len();
+        let mut kept = 0;
+        for i in 0..before {
+            if keep(&self.entries[i]) {
+                self.entries.swap(kept, i);
+                self.tags.swap(kept, i);
+                kept += 1;
+            }
+        }
+        self.entries.truncate(kept);
+        self.tags.truncate(kept);
+        before - kept
+    }
+
     /// Discards entries older than `max_age` (§4.6 age register).
     pub fn expire(&mut self, now: Cycles, max_age: Cycles) -> usize {
-        let before = self.entries.len();
-        self.entries
-            .retain(|e| now.saturating_sub(e.created) <= max_age);
-        let n = before - self.entries.len();
+        let n = self.retain_entries(|e| now.saturating_sub(e.created) <= max_age);
         self.expired += n as u64;
         n
     }
 
     /// Clears all entries belonging to a terminating thread (§4.6).
     pub fn clear_thread(&mut self, core: usize) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.key.core != core);
-        before - self.entries.len()
+        self.retain_entries(|e| e.key.core != core)
     }
 
     /// Clears entries whose ProcAddr falls in `[first, first+nlines)` — the
     /// §4.6 memory-swap case.
     pub fn clear_range(&mut self, first: LineAddr, nlines: u64) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| match e.line {
+        self.retain_entries(|e| match e.line {
             Some(l) => !(first.0..first.0 + nlines).contains(&l.0),
             None => true,
-        });
-        before - self.entries.len()
+        })
     }
 
     /// Current occupancy.
@@ -332,6 +382,35 @@ mod tests {
         assert_eq!(irb.clear_thread(0), 1);
         assert_eq!(irb.len(), 1);
         assert!(irb.consume(1, LineAddr(2)).is_some());
+    }
+
+    #[test]
+    fn tags_stay_in_sync_through_mixed_operations() {
+        let mut irb = Irb::new(16);
+        for i in 0..10u64 {
+            let mut e = entry((i % 3) as usize, i as u32, (i % 2 == 0).then_some(i));
+            e.created = Cycles(i * 100);
+            e.predicted_dup_slot = Some(i % 4);
+            irb.insert(e);
+        }
+        irb.bind_addr(
+            IrbKey {
+                core: 1,
+                obj: PreObjId(1),
+            },
+            LineAddr(500),
+            4,
+        );
+        irb.consume(0, LineAddr(0));
+        irb.invalidate_slot_refs(2);
+        irb.expire(Cycles(650), Cycles(400));
+        irb.clear_thread(2);
+        irb.clear_range(LineAddr(4), 4);
+        assert_eq!(irb.entries.len(), irb.tags.len());
+        for (e, t) in irb.entries.iter().zip(&irb.tags) {
+            assert_eq!(t.core, e.key.core as u32);
+            assert_eq!(t.line, e.line.map_or(super::UNBOUND, |l| l.0));
+        }
     }
 
     #[test]

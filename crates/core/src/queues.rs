@@ -96,10 +96,50 @@ pub fn decode_into(req: &PreRequest, out: &mut Vec<LineOp>) {
     }));
 }
 
+/// Packed coalesce-scan key for one buffered request (structure-of-arrays
+/// companion to `RequestQueue::buffered`): every `push_buffered` scans the
+/// queue for a coalescing candidate, and this 24-byte tag carries exactly
+/// what that scan compares, instead of walking the full [`PreRequest`]
+/// records (with their heap-allocated value vectors).
+#[derive(Clone, Copy, Debug)]
+struct CoalesceTag {
+    core: u32,
+    obj: u32,
+    func: PreFunc,
+    /// The line an extension must start at (`line + nlines`), or
+    /// [`DATA_ANY`] for address-less data requests (which coalesce with any
+    /// same-identity data request). A sentinel collision is disambiguated by
+    /// re-checking `can_coalesce` on the payload.
+    next_line: u64,
+}
+
+const DATA_ANY: u64 = u64::MAX;
+
+impl CoalesceTag {
+    fn of(req: &PreRequest) -> Self {
+        CoalesceTag {
+            core: req.key.core as u32,
+            obj: req.key.obj.0,
+            func: req.func,
+            next_line: req.line.map_or(DATA_ANY, |l| l.0 + req.nlines as u64),
+        }
+    }
+
+    fn matches(&self, incoming: &PreRequest) -> bool {
+        self.core == incoming.key.core as u32
+            && self.obj == incoming.key.obj.0
+            && self.func == incoming.func
+            && self.next_line == incoming.line.map_or(DATA_ANY, |l| l.0)
+    }
+}
+
 /// The bounded request queue with deferred-request buffering.
 #[derive(Debug)]
 pub struct RequestQueue {
+    /// Payload records, index-parallel with `tags`.
     buffered: Vec<PreRequest>,
+    /// Packed coalesce-scan keys (see [`CoalesceTag`]).
+    tags: Vec<CoalesceTag>,
     capacity: usize,
     dropped: u64,
     coalesced: u64,
@@ -110,6 +150,7 @@ impl RequestQueue {
     pub fn new(capacity: usize) -> Self {
         RequestQueue {
             buffered: Vec::new(),
+            tags: Vec::new(),
             capacity,
             dropped: 0,
             coalesced: 0,
@@ -133,16 +174,24 @@ impl RequestQueue {
     ///
     /// Returns the request that was discarded, if any.
     pub fn push_buffered(&mut self, req: PreRequest) -> Option<PreRequest> {
-        if let Some(existing) = self.buffered.iter_mut().find(|e| e.can_coalesce(&req)) {
-            existing.coalesce(req);
+        // Tag scan finds the candidate; the payload re-check resolves the
+        // (theoretical) sentinel collision exactly as the original
+        // full-record scan would.
+        let hit = (0..self.tags.len())
+            .find(|&i| self.tags[i].matches(&req) && self.buffered[i].can_coalesce(&req));
+        if let Some(i) = hit {
+            self.buffered[i].coalesce(req);
+            self.tags[i] = CoalesceTag::of(&self.buffered[i]);
             self.coalesced += 1;
             return None;
         }
         let mut evicted = None;
         if self.buffered.len() >= self.capacity {
+            self.tags.remove(0);
             evicted = Some(self.buffered.remove(0));
             self.dropped += 1;
         }
+        self.tags.push(CoalesceTag::of(&req));
         self.buffered.push(req);
         evicted
     }
@@ -151,14 +200,17 @@ impl RequestQueue {
     pub fn start_buffered(&mut self, key: IrbKey) -> Vec<PreRequest> {
         let mut released = Vec::new();
         let mut kept = Vec::with_capacity(self.buffered.len());
-        for r in self.buffered.drain(..) {
+        let mut kept_tags = Vec::with_capacity(self.tags.len());
+        for (r, t) in self.buffered.drain(..).zip(self.tags.drain(..)) {
             if r.key == key {
                 released.push(r);
             } else {
                 kept.push(r);
+                kept_tags.push(t);
             }
         }
         self.buffered = kept;
+        self.tags = kept_tags;
         released
     }
 
@@ -276,6 +328,27 @@ mod tests {
         assert!(!q.admit_immediate(&req(2, 200, 1)));
         let (dropped, _) = q.stats();
         assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn tags_stay_in_sync_through_mixed_operations() {
+        let mut q = RequestQueue::new(3);
+        q.push_buffered(req(1, 100, 1));
+        q.push_buffered(req(1, 101, 2)); // coalesces into [100..103)
+        q.push_buffered(req(2, 200, 1));
+        q.push_buffered(req(3, 300, 1));
+        q.push_buffered(req(4, 400, 1)); // evicts oldest
+        q.start_buffered(key(2));
+        assert_eq!(q.buffered.len(), q.tags.len());
+        for (r, t) in q.buffered.iter().zip(&q.tags) {
+            assert_eq!(t.core, r.key.core as u32);
+            assert_eq!(t.obj, r.key.obj.0);
+            assert_eq!(t.func, r.func);
+            assert_eq!(
+                t.next_line,
+                r.line.map_or(super::DATA_ANY, |l| l.0 + r.nlines as u64)
+            );
+        }
     }
 
     #[test]

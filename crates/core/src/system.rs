@@ -141,6 +141,15 @@ pub struct System {
     events: EventQueue<Ev>,
     events_processed: u64,
     sampler: Option<MetricsSampler>,
+    /// Batched hot path (default): drain each cycle's event cohort with one
+    /// queue operation and fast-forward over idle cycles. The per-event
+    /// [`System::step`] loop remains available as the executable
+    /// specification (`tests/hot_path_batched.rs` differentially tests the
+    /// two); both deliver events in identical order, so all outputs are
+    /// byte-identical.
+    batched: bool,
+    /// Reused batch scratch: one allocation per run, not per cycle.
+    batch_buf: Vec<(Cycles, Ev)>,
 }
 
 impl System {
@@ -167,9 +176,19 @@ impl System {
             events: EventQueue::with_capacity(pending),
             events_processed: 0,
             sampler: None,
+            batched: true,
+            batch_buf: Vec::new(),
             mc,
             config,
         }
+    }
+
+    /// Selects the event-loop implementation: `true` (default) drains
+    /// same-cycle event cohorts in batches, `false` pops one event at a
+    /// time (the legacy executable specification). Both orders are
+    /// identical, so this changes simulator speed only, never output.
+    pub fn set_batched(&mut self, batched: bool) {
+        self.batched = batched;
     }
 
     /// Enables event tracing for this run; returns the [`Tracer`] handle
@@ -236,7 +255,11 @@ impl System {
             "one program per configured core"
         );
         self.start(programs);
-        while self.step() {}
+        if self.batched {
+            self.run_batched();
+        } else {
+            while self.step() {}
+        }
         if let Some(sampler) = &mut self.sampler {
             sampler.finish(self.events.now(), self.mc.stats());
         }
@@ -280,6 +303,25 @@ impl System {
         }
     }
 
+    /// The batched event loop: one queue operation per occupied cycle
+    /// (instead of one per event), jumping the clock straight to the next
+    /// deadline. Events a handler schedules for the *current* cycle are
+    /// picked up by the next `pop_batch` call at the same timestamp, so the
+    /// delivery order is exactly the per-event loop's FIFO order.
+    fn run_batched(&mut self) {
+        let mut buf = std::mem::take(&mut self.batch_buf);
+        while self.events.pop_batch(&mut buf).is_some() {
+            for (t, ev) in buf.drain(..) {
+                self.events_processed += 1;
+                if let Some(sampler) = &mut self.sampler {
+                    sampler.maybe_sample(t, self.mc.stats());
+                }
+                self.dispatch(t, ev);
+            }
+        }
+        self.batch_buf = buf;
+    }
+
     fn step(&mut self) -> bool {
         let Some((t, ev)) = self.events.pop() else {
             return false;
@@ -288,6 +330,12 @@ impl System {
         if let Some(sampler) = &mut self.sampler {
             sampler.maybe_sample(t, self.mc.stats());
         }
+        self.dispatch(t, ev);
+        true
+    }
+
+    /// Handles one event (shared by the batched and per-event loops).
+    fn dispatch(&mut self, t: Cycles, ev: Ev) {
         match ev {
             Ev::Core(i) => self.step_core(t, i),
             Ev::WriteArrive {
@@ -321,7 +369,6 @@ impl System {
                 }
             }
         }
-        true
     }
 
     /// Whether the `clwb` at `pc` is commit-critical: the next fence is

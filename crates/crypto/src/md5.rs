@@ -37,51 +37,76 @@ fn k_table() -> &'static [u32; 64] {
 /// ```
 pub fn md5(data: &[u8]) -> [u8; 16] {
     let k = k_table();
-    let mut a0: u32 = 0x6745_2301;
-    let mut b0: u32 = 0xefcd_ab89;
-    let mut c0: u32 = 0x98ba_dcfe;
-    let mut d0: u32 = 0x1032_5476;
+    let mut h: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
 
-    // Padding: 0x80, zeros, then 64-bit little-endian bit length.
+    // Whole blocks straight from the input; padding on the stack (the
+    // dedup fingerprint runs once per write, so no per-call allocation).
+    let mut chunks = data.chunks_exact(64);
+    for chunk in &mut chunks {
+        compress(&mut h, k, chunk.try_into().expect("64-byte chunk"));
+    }
+    let rem = chunks.remainder();
     let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
+    let mut tail = [0u8; 64];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    if rem.len() >= 56 {
+        compress(&mut h, k, &tail);
+        tail = [0u8; 64];
     }
-    msg.extend_from_slice(&bit_len.to_le_bytes());
-
-    for chunk in msg.chunks_exact(64) {
-        let mut m = [0u32; 16];
-        for (i, word) in chunk.chunks_exact(4).enumerate() {
-            m[i] = u32::from_le_bytes(word.try_into().expect("4-byte chunk"));
-        }
-        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
-        for i in 0..64 {
-            let (f, g) = match i {
-                0..=15 => ((b & c) | ((!b) & d), i),
-                16..=31 => ((d & b) | ((!d) & c), (5 * i + 1) % 16),
-                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let f2 = f.wrapping_add(a).wrapping_add(k[i]).wrapping_add(m[g]);
-            a = d;
-            d = c;
-            c = b;
-            b = b.wrapping_add(f2.rotate_left(S[i]));
-        }
-        a0 = a0.wrapping_add(a);
-        b0 = b0.wrapping_add(b);
-        c0 = c0.wrapping_add(c);
-        d0 = d0.wrapping_add(d);
-    }
+    tail[56..].copy_from_slice(&bit_len.to_le_bytes());
+    compress(&mut h, k, &tail);
 
     let mut out = [0u8; 16];
-    out[0..4].copy_from_slice(&a0.to_le_bytes());
-    out[4..8].copy_from_slice(&b0.to_le_bytes());
-    out[8..12].copy_from_slice(&c0.to_le_bytes());
-    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
     out
+}
+
+fn compress(h: &mut [u32; 4], k: &[u32; 64], chunk: &[u8; 64]) {
+    let mut m = [0u32; 16];
+    for (i, word) in chunk.chunks_exact(4).enumerate() {
+        m[i] = u32::from_le_bytes(word.try_into().expect("4-byte chunk"));
+    }
+    let (mut a, mut b, mut c, mut d) = (h[0], h[1], h[2], h[3]);
+    // Four fixed-bound phases instead of one loop with a per-round match:
+    // the round function and message-word schedule are branch-free within
+    // each phase.
+    macro_rules! rounds {
+        ($range:expr, $f:expr, $g:expr) => {
+            for i in $range {
+                let f: u32 = $f(b, c, d);
+                let g: usize = $g(i);
+                let f2 = f.wrapping_add(a).wrapping_add(k[i]).wrapping_add(m[g]);
+                a = d;
+                d = c;
+                c = b;
+                b = b.wrapping_add(f2.rotate_left(S[i]));
+            }
+        };
+    }
+    rounds!(
+        0..16,
+        |b: u32, c: u32, d: u32| (b & c) | ((!b) & d),
+        |i: usize| i
+    );
+    rounds!(
+        16..32,
+        |b: u32, c: u32, d: u32| (d & b) | ((!d) & c),
+        |i: usize| (5 * i + 1) % 16
+    );
+    rounds!(32..48, |b: u32, c: u32, d: u32| b ^ c ^ d, |i: usize| (3
+        * i
+        + 5)
+        % 16);
+    rounds!(48..64, |b: u32, c: u32, d: u32| c ^ (b | !d), |i: usize| (7
+        * i)
+        % 16);
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
 }
 
 #[cfg(test)]

@@ -4,6 +4,142 @@
 //! latency per node (Table 3); the message authentication code of each data
 //! block is `MAC = Hash(EncData, Counter)` (§4.2). This module supplies the
 //! functional digest.
+//!
+//! The implementation is streaming and allocation-free: callers on the
+//! simulator hot path (Merkle node hashing, per-write MACs) hash millions of
+//! short messages, so the digest must not heap-allocate a padded copy of its
+//! input per call.
+
+/// Incremental SHA-1 state: feed bytes with [`Sha1::update`], then consume
+/// with [`Sha1::finalize`]. Padding lives on the stack.
+#[derive(Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Partial block awaiting compression.
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message bytes fed so far.
+    len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Fresh state with the FIPS 180-4 initialization vector.
+    pub fn new() -> Self {
+        Sha1 {
+            h: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the state.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                return; // data exhausted before completing a block
+            }
+            let block = self.buf;
+            compress(&mut self.h, &block);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            compress(&mut self.h, chunk.try_into().expect("64-byte chunk"));
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Applies padding and returns the 160-bit digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros to 56 mod 64, then 64-bit big-endian length.
+        self.buf[self.buf_len] = 0x80;
+        self.buf[self.buf_len + 1..].fill(0);
+        if self.buf_len >= 56 {
+            let block = self.buf;
+            compress(&mut self.h, &block);
+            self.buf.fill(0);
+        }
+        self.buf[56..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        compress(&mut self.h, &block);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+fn compress(h: &mut [u32; 5], chunk: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, word) in chunk.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(word.try_into().expect("4-byte chunk"));
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+
+    let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+    // Four fixed-bound phases instead of one loop with a per-round match:
+    // the round function is branch-free within each phase.
+    macro_rules! rounds {
+        ($range:expr, $f:expr, $k:expr) => {
+            for i in $range {
+                let f: u32 = $f(b, c, d);
+                let temp = a
+                    .rotate_left(5)
+                    .wrapping_add(f)
+                    .wrapping_add(e)
+                    .wrapping_add($k)
+                    .wrapping_add(w[i]);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = temp;
+            }
+        };
+    }
+    rounds!(
+        0..20,
+        |b: u32, c: u32, d: u32| (b & c) | ((!b) & d),
+        0x5A82_7999u32
+    );
+    rounds!(20..40, |b: u32, c: u32, d: u32| b ^ c ^ d, 0x6ED9_EBA1u32);
+    rounds!(
+        40..60,
+        |b: u32, c: u32, d: u32| (b & c) | (b & d) | (c & d),
+        0x8F1B_BCDCu32
+    );
+    rounds!(60..80, |b: u32, c: u32, d: u32| b ^ c ^ d, 0xCA62_C1D6u32);
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+}
 
 /// Computes the 160-bit SHA-1 digest of `data`.
 ///
@@ -17,78 +153,22 @@
 /// );
 /// ```
 pub fn sha1(data: &[u8]) -> [u8; 20] {
-    let mut h: [u32; 5] = [
-        0x6745_2301,
-        0xEFCD_AB89,
-        0x98BA_DCFE,
-        0x1032_5476,
-        0xC3D2_E1F0,
-    ];
-
-    // Padding: 0x80, zeros, then 64-bit big-endian bit length.
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bit_len.to_be_bytes());
-
-    for chunk in msg.chunks_exact(64) {
-        let mut w = [0u32; 80];
-        for (i, word) in chunk.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(word.try_into().expect("4-byte chunk"));
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
-
-        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
-                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
-                _ => (b ^ c ^ d, 0xCA62_C1D6),
-            };
-            let temp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = temp;
-        }
-        h[0] = h[0].wrapping_add(a);
-        h[1] = h[1].wrapping_add(b);
-        h[2] = h[2].wrapping_add(c);
-        h[3] = h[3].wrapping_add(d);
-        h[4] = h[4].wrapping_add(e);
-    }
-
-    let mut out = [0u8; 20];
-    for (i, word) in h.iter().enumerate() {
-        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
-    }
-    out
+    let mut s = Sha1::new();
+    s.update(data);
+    s.finalize()
 }
 
 /// Computes SHA-1 over the concatenation of several byte slices without an
-/// intermediate allocation of the caller's making.
+/// intermediate allocation.
 ///
 /// Used for Merkle-tree node hashing (`Hash(child0 ‖ child1 ‖ …)`) and MAC
 /// computation (`Hash(EncData ‖ Counter)`).
 pub fn sha1_concat(parts: &[&[u8]]) -> [u8; 20] {
-    let total: usize = parts.iter().map(|p| p.len()).sum();
-    let mut buf = Vec::with_capacity(total);
+    let mut s = Sha1::new();
     for p in parts {
-        buf.extend_from_slice(p);
+        s.update(p);
     }
-    sha1(&buf)
+    s.finalize()
 }
 
 #[cfg(test)]
@@ -147,5 +227,19 @@ mod tests {
         joined.extend_from_slice(&a);
         joined.extend_from_slice(&b);
         assert_eq!(sha1_concat(&[&a, &b]), sha1(&joined));
+    }
+
+    #[test]
+    fn streaming_split_points_agree() {
+        // Feeding the message in every possible two-part split must match
+        // the one-shot digest (exercises buffered partial blocks).
+        let data: Vec<u8> = (0..200u8).collect();
+        let oneshot = sha1(&data);
+        for split in 0..=data.len() {
+            let mut s = Sha1::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finalize(), oneshot, "split={split}");
+        }
     }
 }

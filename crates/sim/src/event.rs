@@ -231,6 +231,59 @@ impl<E> EventQueue<E> {
         })
     }
 
+    /// Drains every event scheduled for the next occupied cycle into `out`
+    /// (appending, in exactly the order repeated [`EventQueue::pop`] calls
+    /// would deliver them) and advances the clock to that cycle. Returns the
+    /// batch's timestamp, or `None` if the queue is empty.
+    ///
+    /// This is the batched hot path's entry point: one bitmap search yields
+    /// the whole same-cycle cohort, and the clock jump *is* the next-event
+    /// fast-forward — when all resources are quiescent, `now` moves straight
+    /// to the next deadline without visiting the idle cycles in between.
+    /// Events the caller schedules *for the same cycle while processing the
+    /// batch* are not in `out`; re-invoke until the returned time changes
+    /// (or use [`EventQueue::peek_time`]) to drain them in FIFO order.
+    pub fn pop_batch(&mut self, out: &mut Vec<(Cycles, E)>) -> Option<Cycles> {
+        let time = match self.next_event()? {
+            Next::Overflow { time } | Next::Wheel { time, .. } => time,
+        };
+        // Overflow entries for `time` pop before wheel entries (module docs:
+        // they carry strictly earlier schedule order).
+        if let Some(mut entry) = self.overflow.first_entry() {
+            if *entry.key() == time.0 {
+                let bucket = entry.get_mut();
+                self.overflow_len -= bucket.len();
+                self.len -= bucket.len();
+                out.extend(bucket.drain(..).map(|p| (time, p)));
+                entry.remove();
+            }
+        }
+        // The whole wheel slot shares one absolute time; unlink its FIFO
+        // list in a single pass.
+        let slot = (time.0 & WHEEL_MASK) as usize;
+        let mut idx = self.slots[slot].head;
+        if idx != NIL {
+            while idx != NIL {
+                let node = &mut self.arena[idx as usize];
+                debug_assert_eq!(node.time, time);
+                out.push((time, node.payload.take().expect("live node has payload")));
+                let next = node.next;
+                node.next = self.free;
+                self.free = idx;
+                idx = next;
+                self.len -= 1;
+            }
+            self.slots[slot] = EMPTY_SLOT;
+            self.words[slot >> 6] &= !(1u64 << (slot & 63));
+            if self.words[slot >> 6] == 0 {
+                self.summary &= !(1u64 << (slot >> 6));
+            }
+        }
+        debug_assert!(time >= self.now);
+        self.now = time;
+        Some(time)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.len
@@ -611,6 +664,72 @@ mod tests {
         }
         // Two live nodes at a time: the arena never needs more than two.
         assert!(q.arena.len() <= 2, "arena grew to {}", q.arena.len());
+    }
+
+    #[test]
+    fn pop_batch_matches_sequential_pops() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let mut x = 0xdead_beef_cafe_f00du64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..2000u64 {
+            let delay = match step() % 4 {
+                0 => 0,
+                1 => step() % 8, // dense: same-cycle cohorts
+                2 => step() % 4096,
+                _ => 4096 + step() % 50_000,
+            };
+            a.schedule_after(Cycles(delay), i);
+            b.schedule_after(Cycles(delay), i);
+            if step() % 3 == 0 {
+                // Drain one batch from `a`, the same events one-by-one from `b`.
+                let mut batch = Vec::new();
+                if let Some(t) = a.pop_batch(&mut batch) {
+                    assert!(!batch.is_empty());
+                    for ev in &batch {
+                        assert_eq!(ev.0, t);
+                        assert_eq!(Some(*ev), b.pop());
+                    }
+                    assert_eq!(a.now(), b.now());
+                    assert_eq!(a.len(), b.len());
+                }
+            }
+        }
+        let mut batch = Vec::new();
+        while a.pop_batch(&mut batch).is_some() {
+            for ev in batch.drain(..) {
+                assert_eq!(Some(ev), b.pop());
+            }
+        }
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn pop_batch_takes_equal_time_overflow_before_wheel() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10_000), 1); // out of window: overflow
+        q.schedule(Cycles(9_000), 0);
+        q.pop();
+        q.schedule(Cycles(10_000), 2); // in window: wheel, same cycle
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(Cycles(10_000)));
+        assert_eq!(batch, vec![(Cycles(10_000), 1), (Cycles(10_000), 2)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_fast_forwards_the_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(123_456), "far");
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(Cycles(123_456)));
+        assert_eq!(q.now(), Cycles(123_456), "clock jumps over idle cycles");
+        assert_eq!(batch.len(), 1);
     }
 
     #[test]

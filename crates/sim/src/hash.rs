@@ -1,0 +1,140 @@
+//! Deterministic fast hashing for simulator-internal maps.
+//!
+//! The hot path touches several `HashMap`s per simulated event (BMO job
+//! table, unit-pool ledger, Merkle node store, dedup tables). `std`'s
+//! default SipHash is keyed per-process for HashDoS resistance the
+//! simulator does not need, and costs more per lookup than the work the
+//! maps guard. This multiply-rotate hash (the Firefox/rustc "Fx" scheme) is
+//! fixed-seed, so behavior is identical across runs — which also makes map
+//! iteration order deterministic, a strictly stronger property than the
+//! sealed-timeline contract requires.
+//!
+//! Not collision-resistant against adversarial keys; use only for internal
+//! simulator state, never for untrusted input.
+
+use std::hash::{BuildHasher, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state. One `u64`, folded with multiply-rotate per chunk.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // Fold the length in so "ab" ≠ "ab\0".
+            self.add(u64::from_le_bytes(tail) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// Fixed-seed `BuildHasher` for [`FxHasher`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` with the deterministic fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with the deterministic fast hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of((3u32, 7u64)), hash_of((3u32, 7u64)));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+        assert_ne!(hash_of([1u8, 2]), hash_of([2u8, 1]));
+        // Length folded into the tail chunk.
+        assert_ne!(hash_of(&b"ab"[..]), hash_of(&b"ab\0"[..]));
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+}

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod event;
+pub mod hash;
 pub mod resource;
 pub mod rng;
 pub mod stats;

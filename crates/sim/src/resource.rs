@@ -180,7 +180,7 @@ pub struct UnitPool {
     units: usize,
     unlimited: bool,
     /// Unit-cycles consumed per window index.
-    ledger: std::collections::BTreeMap<u64, u64>,
+    ledger: crate::hash::FxHashMap<u64, u64>,
     total_busy: Cycles,
     acquisitions: u64,
 }
@@ -202,7 +202,7 @@ impl UnitPool {
         UnitPool {
             units: n,
             unlimited: n == Self::UNLIMITED,
-            ledger: std::collections::BTreeMap::new(),
+            ledger: crate::hash::FxHashMap::default(),
             total_busy: Cycles::ZERO,
             acquisitions: 0,
         }

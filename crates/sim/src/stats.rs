@@ -7,6 +7,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+// (BTreeMap remains in use for the histogram's sparse log2 buckets, which
+// must iterate in ascending bucket order.)
+
 use crate::time::Cycles;
 
 /// A monotonically increasing event counter.
@@ -127,10 +130,14 @@ impl Histogram {
         self.buckets.iter().map(|(b, c)| (*b, *c))
     }
 
-    /// Approximate percentile (`q` in \[0,1\]): the upper bound of the first
-    /// log2 bucket containing the q-quantile sample, or `None` if no samples
-    /// were recorded. Bucketed, so accurate to a factor of two — enough for
-    /// tail-latency reporting.
+    /// Approximate percentile (`q` in \[0,1\]), or `None` if no samples were
+    /// recorded.
+    ///
+    /// Locates the log2 bucket holding the q-quantile sample, then linearly
+    /// interpolates by the sample's rank within that bucket — returning the
+    /// bucket's *upper bound* regardless of rank overstated tail latency by
+    /// up to 2× on coarse buckets. The result is clamped to the observed
+    /// `[min, max]`, which also keeps `percentile(1.0)` exactly `max`.
     pub fn percentile(&self, q: f64) -> Option<Cycles> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
         if self.count == 0 {
@@ -139,11 +146,19 @@ impl Histogram {
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (b, c) in &self.buckets {
-            seen += c;
-            if seen >= target {
-                // Upper bound of bucket b: 2^b - 1 (bucket 0 holds value 0).
-                return Some(Cycles(if *b == 0 { 0 } else { (1u64 << *b) - 1 }).min(self.max));
+            if seen + c >= target {
+                // Bucket b covers [2^(b-1), 2^b - 1]; bucket 0 holds value 0.
+                let (lo, hi) = if *b == 0 {
+                    (0u64, 0u64)
+                } else {
+                    (1u64 << (b - 1), (1u64 << b) - 1)
+                };
+                // Rank of the target sample within this bucket, in (0, 1].
+                let frac = (target - seen) as f64 / *c as f64;
+                let v = lo + (frac * (hi - lo) as f64).round() as u64;
+                return Some(Cycles(v).clamp(self.min(), self.max));
             }
+            seen += c;
         }
         Some(self.max)
     }
@@ -178,14 +193,33 @@ impl fmt::Display for Histogram {
     }
 }
 
+/// A stable handle to a counter in one [`StatSet`], from
+/// [`StatSet::counter_id`]. Bumping through a handle is a plain vector
+/// index — no name lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// A stable handle to a histogram in one [`StatSet`], from
+/// [`StatSet::histogram_id`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
 /// A named collection of counters and histograms, keyed by static strings.
 ///
 /// Components register statistics lazily by name; the experiment harness
-/// reads them back for reporting.
+/// reads them back for reporting. Hot-path components intern their names
+/// once ([`StatSet::counter_id`] / [`StatSet::histogram_id`]) and then
+/// update by handle: storage is insertion-ordered vectors with a hash index
+/// by name, so a handle access is one bounds-checked vector index instead
+/// of a string-keyed map walk per event. Reporting iterators sort by name
+/// on demand (they run once per report, not per event), so exported output
+/// is independent of registration order.
 #[derive(Clone, Debug, Default)]
 pub struct StatSet {
-    counters: BTreeMap<&'static str, Counter>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: Vec<(&'static str, Counter)>,
+    counter_index: crate::hash::FxHashMap<&'static str, usize>,
+    histograms: Vec<(&'static str, Histogram)>,
+    histogram_index: crate::hash::FxHashMap<&'static str, usize>,
 }
 
 impl StatSet {
@@ -194,34 +228,88 @@ impl StatSet {
         Self::default()
     }
 
+    /// Interns `name`, creating the counter if needed, and returns its
+    /// stable handle.
+    pub fn counter_id(&mut self, name: &'static str) -> CounterId {
+        if let Some(&i) = self.counter_index.get(name) {
+            return CounterId(i);
+        }
+        let i = self.counters.len();
+        self.counters.push((name, Counter::default()));
+        self.counter_index.insert(name, i);
+        CounterId(i)
+    }
+
+    /// Mutable access to a counter by interned handle (O(1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different `StatSet`.
+    pub fn counter_by_id(&mut self, id: CounterId) -> &mut Counter {
+        &mut self.counters[id.0].1
+    }
+
     /// Mutable access to (and lazy creation of) a named counter.
     pub fn counter(&mut self, name: &'static str) -> &mut Counter {
-        self.counters.entry(name).or_default()
+        let id = self.counter_id(name);
+        self.counter_by_id(id)
     }
 
     /// Reads a counter's value (zero if never touched).
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.counters.get(name).map_or(0, |c| c.get())
+        self.counter_index
+            .get(name)
+            .map_or(0, |&i| self.counters[i].1.get())
+    }
+
+    /// Interns `name`, creating the histogram if needed, and returns its
+    /// stable handle.
+    pub fn histogram_id(&mut self, name: &'static str) -> HistogramId {
+        if let Some(&i) = self.histogram_index.get(name) {
+            return HistogramId(i);
+        }
+        let i = self.histograms.len();
+        self.histograms.push((name, Histogram::default()));
+        self.histogram_index.insert(name, i);
+        HistogramId(i)
+    }
+
+    /// Mutable access to a histogram by interned handle (O(1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different `StatSet`.
+    pub fn histogram_by_id(&mut self, id: HistogramId) -> &mut Histogram {
+        &mut self.histograms[id.0].1
     }
 
     /// Mutable access to (and lazy creation of) a named histogram.
     pub fn histogram(&mut self, name: &'static str) -> &mut Histogram {
-        self.histograms.entry(name).or_default()
+        let id = self.histogram_id(name);
+        self.histogram_by_id(id)
     }
 
     /// Reads a histogram (if it exists).
     pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.histogram_index
+            .get(name)
+            .map(|&i| &self.histograms[i].1)
     }
 
     /// Iterates over all counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(n, c)| (*n, c.get()))
+        let mut v: Vec<(&'static str, u64)> =
+            self.counters.iter().map(|(n, c)| (*n, c.get())).collect();
+        v.sort_unstable_by_key(|(n, _)| *n);
+        v.into_iter()
     }
 
     /// Iterates over all histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
-        self.histograms.iter().map(|(n, h)| (*n, h))
+        let mut v: Vec<(&'static str, &Histogram)> =
+            self.histograms.iter().map(|(n, h)| (*n, h)).collect();
+        v.sort_unstable_by_key(|(n, _)| *n);
+        v.into_iter()
     }
 }
 
@@ -298,15 +386,46 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_bucket_upper_bounds() {
+    fn percentiles_interpolate_within_buckets() {
         let mut h = Histogram::new();
         for v in 1..=100u64 {
             h.record(Cycles(v));
         }
-        assert!(h.percentile(0.5).unwrap() >= Cycles(50));
-        assert!(h.percentile(0.99).unwrap() >= Cycles(99));
-        assert_eq!(h.percentile(1.0), Some(Cycles(100)));
+        // Uniform 1..=100: the interpolated quantile stays within the
+        // containing log2 bucket (never beyond its upper bound) …
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 >= Cycles(32) && p50 <= Cycles(63), "p50 = {p50}");
+        assert!(p99 >= Cycles(64) && p99 <= Cycles(127), "p99 = {p99}");
+        // … and pins these exact interpolated values: the p50 sample is
+        // rank 50, the 19th of 32 samples in bucket [32, 63]
+        // (32 + round(19/32·31) = 50); the p99 sample is rank 99, the 36th
+        // of 37 samples in bucket [64, 127], clamped to the observed max
+        // (64 + round(36/37·63) = 125 → 100).
+        assert_eq!(p50, Cycles(50));
+        assert_eq!(p99, Cycles(100));
+        assert_eq!(h.percentile(1.0), Some(Cycles(100)), "p100 is exact max");
         assert_eq!(Histogram::new().percentile(0.5), None);
+    }
+
+    #[test]
+    fn percentile_no_longer_overstates_coarse_tails() {
+        // One low outlier plus a cluster near the bottom of a coarse
+        // bucket: the old upper-bound rule reported 1023 for everything in
+        // bucket [512, 1023].
+        let mut h = Histogram::new();
+        h.record(Cycles(100));
+        for _ in 0..99 {
+            h.record(Cycles(520));
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        assert!(p50 < Cycles(800), "p50 = {p50} still at bucket bound");
+        assert_eq!(h.percentile(1.0), Some(Cycles(520)));
+        // Single-sample histogram: every quantile is that sample.
+        let mut one = Histogram::new();
+        one.record(Cycles(777));
+        assert_eq!(one.percentile(0.01), Some(Cycles(777)));
+        assert_eq!(one.percentile(1.0), Some(Cycles(777)));
     }
 
     #[test]
@@ -320,5 +439,33 @@ mod tests {
         assert!(s.histogram_ref("missing").is_none());
         let names: Vec<_> = s.counters().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["writes"]);
+    }
+
+    #[test]
+    fn statset_handles_alias_names() {
+        let mut s = StatSet::new();
+        let id = s.counter_id("writes");
+        s.counter_by_id(id).add(3);
+        s.counter("writes").incr();
+        assert_eq!(s.counter_id("writes"), id, "interning is stable");
+        assert_eq!(s.counter_value("writes"), 4);
+        let h = s.histogram_id("lat");
+        s.histogram_by_id(h).record(Cycles(7));
+        assert_eq!(s.histogram_ref("lat").unwrap().count(), 1);
+        assert_eq!(s.histogram_id("lat"), h);
+    }
+
+    #[test]
+    fn statset_iterates_in_name_order_regardless_of_registration() {
+        let mut s = StatSet::new();
+        s.counter("zeta").incr();
+        s.counter("alpha").incr();
+        s.counter("mid").incr();
+        s.histogram("z_lat").record(Cycles(1));
+        s.histogram("a_lat").record(Cycles(1));
+        let counter_names: Vec<_> = s.counters().map(|(n, _)| n).collect();
+        assert_eq!(counter_names, vec!["alpha", "mid", "zeta"]);
+        let histo_names: Vec<_> = s.histograms().map(|(n, _)| n).collect();
+        assert_eq!(histo_names, vec!["a_lat", "z_lat"]);
     }
 }

@@ -58,6 +58,20 @@ impl Cycles {
         Cycles(self.0.saturating_sub(rhs.0))
     }
 
+    /// Duration since the instant `earlier`, for latency measurement.
+    ///
+    /// An inverted pair (`self < earlier`) means a component computed a
+    /// completion time in the past — a model bug that a plain
+    /// `saturating_sub` silently turned into a zero-latency sample. Debug
+    /// builds panic on inversion; release builds clamp to zero.
+    pub fn elapsed_since(self, earlier: Cycles) -> Cycles {
+        debug_assert!(
+            self >= earlier,
+            "clock inversion: end {self:?} precedes start {earlier:?}"
+        );
+        Cycles(self.0.saturating_sub(earlier.0))
+    }
+
     /// Returns the later of two instants.
     pub fn max(self, other: Cycles) -> Cycles {
         Cycles(self.0.max(other.0))
@@ -147,6 +161,22 @@ mod tests {
         assert_eq!(b.saturating_sub(a), Cycles::ZERO);
         assert_eq!(a.max(b), a);
         assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn elapsed_since_measures_forward_intervals() {
+        assert_eq!(Cycles(100).elapsed_since(Cycles(40)), Cycles(60));
+        assert_eq!(Cycles(40).elapsed_since(Cycles(40)), Cycles::ZERO);
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert only fires in debug builds"
+    )]
+    #[should_panic(expected = "clock inversion")]
+    fn elapsed_since_panics_on_clock_inversion_in_debug() {
+        let _ = Cycles(5).elapsed_since(Cycles(10));
     }
 
     #[test]

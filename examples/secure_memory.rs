@@ -27,7 +27,7 @@ fn main() {
 
     let fx = pipeline.write(LineAddr(1), secret);
     persist(&fx, &mut nvm);
-    let root = fx.new_root; // lives in the secure on-chip register
+    let root = pipeline.root(); // lives in the secure on-chip register
 
     // 1. Confidentiality: the DIMM holds ciphertext, not the secret.
     let raw = nvm.read(slot_data_addr(fx.slot));

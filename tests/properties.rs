@@ -58,7 +58,7 @@ fn pipeline_recovery_at_any_prefix() {
             for (a, l) in &fx.line_writes {
                 store.write(*a, *l);
             }
-            root = fx.new_root;
+            root = p.root();
         }
         let rec =
             BmoPipeline::recover(&store, FingerprintAlgo::Md5, KEY, root).expect("prefix recovery");

@@ -1,9 +1,10 @@
 //! Tracing overhead guard: the same simulation with tracing disabled,
-//! enabled, and enabled-with-export.
+//! enabled, enabled-with-export, and in causal profiling mode.
 //!
 //! The disabled case is the one that matters — every component carries a
 //! `Tracer` unconditionally, so a disabled tracer must cost nothing
-//! measurable (each recording call is a single `Option` branch). The
+//! measurable (each recording call is a single `Option` branch; causal
+//! mode adds one more predictable branch per instrumentation point). The
 //! enabled rows quantify what opting in costs.
 
 use janus_bench::timing::BenchHarness;
@@ -32,11 +33,20 @@ fn main() {
         r.tracer.export_chrome(&mut out).unwrap();
         out.len()
     });
+    let profiled = h.bench("profiling_enabled", || {
+        let mut s = spec(Some(TraceConfig::default()));
+        s.profile = true;
+        run(s)
+    });
 
     println!();
     println!(
         "enabled/disabled median ratio: {:.3}x  (+export {:.3}x)",
         on.median_ns / off.median_ns,
         export.median_ns / off.median_ns,
+    );
+    println!(
+        "profiling/disabled median ratio: {:.3}x",
+        profiled.median_ns / off.median_ns,
     );
 }

@@ -14,7 +14,9 @@
 //! `--bmos <id,...|none>` (BMO stack override; see `--list-bmos`),
 //! `--jobs N` (worker threads for multi-variant sweeps; also honours the
 //! `JANUS_JOBS` environment variable; output is identical at any value),
-//! `--dump` (gem5-style stats to stdout).
+//! `--dump` (gem5-style stats to stdout),
+//! `--profile PATH` (causal profile: text report to PATH, `-` for stdout;
+//! see the `janus-prof` binary for the full profiling workflow).
 
 use janus_bench::{run_all, RunSpec, Variant};
 use janus_bmo::BmoStack;
@@ -46,6 +48,7 @@ fn main() {
             "--aux",
             "--scale",
             "--bmos",
+            "--profile",
         ],
         &["--crc32", "--dump", "--list-bmos"],
     );
@@ -132,6 +135,9 @@ fn main() {
         }
     }
 
+    let profile_path = arg("--profile");
+    spec.profile = profile_path.is_some();
+
     let specs: Vec<RunSpec> = variants
         .iter()
         .map(|&v| {
@@ -141,6 +147,25 @@ fn main() {
         })
         .collect();
     for result in run_all(specs) {
+        if let Some(path) = &profile_path {
+            let config = result.spec.config();
+            let graph = config.stack().graph(&config.latencies);
+            let profile = janus_prof::Profile::build(
+                &result.tracer.snapshot(),
+                result.tracer.dropped(),
+                &graph,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("profile failed: {e}");
+                std::process::exit(1);
+            });
+            let text = profile.render_text();
+            if path == "-" {
+                print!("{text}");
+            } else {
+                std::fs::write(path, text).expect("write profile report");
+            }
+        }
         if flag("--dump") {
             result
                 .report

@@ -3,8 +3,11 @@
 //!
 //! Three measurements, each median-of-k wall-clock with a warmup run:
 //!
-//! 1. **Event-loop throughput** — simulated events retired per second of
-//!    host time over a full TATP run (`ExecutionReport::events` / wall).
+//! 1. **Event-loop throughput + latency percentiles** — simulated events
+//!    retired per second of host time over a full TATP run
+//!    (`ExecutionReport::events` / wall), plus the p50/p99 per-event
+//!    latency over the timed samples via the simulator's interpolating
+//!    [`Histogram::percentile`].
 //! 2. **Raw queue throughput** — schedule/pop operations per second through
 //!    the calendar [`EventQueue`] and through the reference
 //!    [`HeapEventQueue`] on the same synthetic trace, so the hot-path
@@ -15,14 +18,16 @@
 //!
 //! Results go to stdout and, machine-readably, to `BENCH_perfsmoke.json`
 //! (`--out PATH` to override). The JSON schema is stable: the keys
-//! `events_per_sec`, `sweep_wall_ms`, and `jobs` are always present.
+//! `events_per_sec`, `event_ns_p50`, `event_ns_p99`, `sweep_wall_ms`, and
+//! `jobs` are always present.
 //!
 //! Knobs: `--tx N` (transactions per spec), `--samples K`, `--warmup K`,
 //! `--jobs N`, `--out PATH`.
 
-use janus_bench::timing::median_wall_ms;
+use janus_bench::timing::{median_wall_ms, wall_samples_ms};
 use janus_bench::{arg_usize, banner, jobs, run_all_jobs, run_quiet, RunSpec, Variant};
 use janus_sim::event::{EventQueue, HeapEventQueue};
+use janus_sim::stats::Histogram;
 use janus_sim::time::Cycles;
 use janus_trace::metrics::MetricsRegistry;
 use janus_workloads::Workload;
@@ -128,14 +133,28 @@ fn main() {
         &format!("{tx} tx per spec, median of {samples} (warmup {warmup}), host cores {host}"),
     );
 
-    // 1. Event-loop throughput on a full simulation.
+    // 1. Event-loop throughput and latency distribution on a full
+    // simulation. Each timed run contributes one per-event latency sample
+    // to an interpolating histogram, so the JSON carries p50/p99 event-loop
+    // latency (host jitter shows up in the spread), not just the mean rate.
     let mut spec = RunSpec::new(Workload::Tatp, Variant::JanusManual);
     spec.transactions = tx;
     let events = run_quiet(spec.clone()).report.events;
-    let run_ms = median_wall_ms(warmup, samples, || run_quiet(spec.clone()));
+    let mut run_samples = wall_samples_ms(warmup, samples, || run_quiet(spec.clone()));
+    let mut event_ps = Histogram::new();
+    for ms in &run_samples {
+        // Picosecond resolution keeps sub-nanosecond per-event latencies
+        // distinguishable in the log-bucketed histogram.
+        event_ps.record(Cycles((ms * 1e9 / events as f64) as u64));
+    }
+    let event_ns_p50 = event_ps.percentile(0.50).map_or(0.0, |c| c.0 as f64 / 1e3);
+    let event_ns_p99 = event_ps.percentile(0.99).map_or(0.0, |c| c.0 as f64 / 1e3);
+    run_samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let run_ms = run_samples[run_samples.len() / 2];
     let events_per_sec = events as f64 / (run_ms / 1e3);
     println!(
-        "event loop:   {events} events in {run_ms:.2} ms  ->  {:.2} M events/s",
+        "event loop:   {events} events in {run_ms:.2} ms  ->  {:.2} M events/s  \
+         (per-event p50 {event_ns_p50:.1} ns, p99 {event_ns_p99:.1} ns)",
         events_per_sec / 1e6
     );
 
@@ -176,6 +195,8 @@ fn main() {
 
     let mut m = MetricsRegistry::new();
     m.set_f64("events_per_sec", events_per_sec);
+    m.set_f64("event_ns_p50", event_ns_p50);
+    m.set_f64("event_ns_p99", event_ns_p99);
     m.set_f64("sweep_wall_ms", sweep_wall_ms);
     m.set_u64("jobs", n_jobs as u64);
     m.set_u64("fanout_meaningful", fanout_meaningful as u64);

@@ -97,6 +97,15 @@ pub struct RunSpec {
     /// Event tracing for this run (`None` = disabled, the zero-overhead
     /// default). When set, [`RunResult::tracer`] holds the captured events.
     pub trace: Option<TraceConfig>,
+    /// Causal profiling (`--profile`): trace in causal mode so the stream
+    /// carries `prof_*` link events and `janus_prof::Profile::build` can
+    /// reconstruct per-write causal chains. Uses [`RunSpec::trace`]'s ring
+    /// capacity when set, else a ring sized for whole-run capture.
+    pub profile: bool,
+    /// Sample the simulator's counters every N cycles into
+    /// [`RunResult::samples`] (profile runs export these as Chrome
+    /// counter tracks).
+    pub sample_every: Option<u64>,
     /// BMO stack override (`None` = the paper's default trio). Published
     /// figures assume the default; non-default stacks label their metrics
     /// with `spec.bmo_stack`.
@@ -124,12 +133,16 @@ impl RunSpec {
             key_skew: None,
             aux_tx_fraction: 0.0,
             trace: None,
+            profile: false,
+            sample_every: None,
             bmo_stack: None,
             legacy_events: legacy_events(),
         }
     }
 
-    fn config(&self) -> JanusConfig {
+    /// The simulator configuration this spec resolves to (the profiler
+    /// derives its `DepGraph` oracle from the same source).
+    pub fn config(&self) -> JanusConfig {
         let mut c = JanusConfig::paper(self.variant.mode(), self.cores);
         if self.crc32 {
             c = c.with_crc32();
@@ -185,8 +198,11 @@ pub struct RunResult {
     pub report: ExecutionReport,
     /// The spec that produced it.
     pub spec: RunSpec,
-    /// The run's event tracer — disabled unless [`RunSpec::trace`] was set.
+    /// The run's event tracer — disabled unless [`RunSpec::trace`] or
+    /// [`RunSpec::profile`] was set.
     pub tracer: Tracer,
+    /// Counter samples — empty unless [`RunSpec::sample_every`] was set.
+    pub samples: Vec<janus_trace::Sample>,
 }
 
 impl RunResult {
@@ -271,10 +287,21 @@ pub fn run(spec: RunSpec) -> RunResult {
 pub fn run_quiet(spec: RunSpec) -> RunResult {
     let mut sys = System::new(spec.config());
     sys.set_batched(!spec.legacy_events);
-    let tracer = match &spec.trace {
-        Some(cfg) => sys.enable_trace(cfg),
-        None => Tracer::disabled(),
+    let tracer = if spec.profile {
+        let cfg = spec
+            .trace
+            .clone()
+            .unwrap_or(TraceConfig { capacity: 1 << 21 });
+        sys.enable_profiling(&cfg)
+    } else {
+        match &spec.trace {
+            Some(cfg) => sys.enable_trace(cfg),
+            None => Tracer::disabled(),
+        }
     };
+    if let Some(every) = spec.sample_every {
+        sys.enable_sampling(janus_sim::time::Cycles(every));
+    }
     let mut programs = Vec::with_capacity(spec.cores);
     let mut oracles = Vec::with_capacity(spec.cores);
     for core in 0..spec.cores {
@@ -300,10 +327,12 @@ pub fn run_quiet(spec: RunSpec) -> RunResult {
             );
         }
     }
+    let samples = sys.samples().to_vec();
     RunResult {
         report,
         spec,
         tracer,
+        samples,
     }
 }
 
@@ -351,22 +380,23 @@ pub fn run_all(specs: Vec<RunSpec>) -> Vec<RunResult> {
 /// ring buffer, so a batch containing one falls back to in-order sequential
 /// execution — identical output, just not fanned out.
 pub fn run_all_jobs(specs: Vec<RunSpec>, jobs: usize) -> Vec<RunResult> {
-    if jobs <= 1 || specs.len() <= 1 || specs.iter().any(|s| s.trace.is_some()) {
+    if jobs <= 1 || specs.len() <= 1 || specs.iter().any(|s| s.trace.is_some() || s.profile) {
         return specs.into_iter().map(run).collect();
     }
     // Workers return only `Send` parts; the tracer slot is refilled with a
     // disabled handle on the way out (untraced runs never record anyway).
     let reports = pool::parallel_map(specs, jobs, |spec| {
         let r = run_quiet(spec);
-        (r.report, r.spec)
+        (r.report, r.spec, r.samples)
     });
     reports
         .into_iter()
-        .map(|(report, spec)| {
+        .map(|(report, spec, samples)| {
             let result = RunResult {
                 report,
                 spec,
                 tracer: Tracer::disabled(),
+                samples,
             };
             sink_results_jsonl(&result);
             result

@@ -314,20 +314,25 @@ impl BmoEngine {
             if job.dup && op.skip_if_dup {
                 continue; // cancelled entirely
             }
-            // External inputs.
-            let mut ready = job.submit;
+            // External inputs: `avail` is when the node *could* start if
+            // nothing else constrained it — submission plus its operands.
+            let mut avail = job.submit;
             if op.needs_addr {
                 match job.addr_at {
-                    Some(t) => ready = ready.max(t),
+                    Some(t) => avail = avail.max(t),
                     None => continue,
                 }
             }
             if op.needs_data {
                 match job.data_at {
-                    Some(t) => ready = ready.max(t),
+                    Some(t) => avail = avail.max(t),
                     None => continue,
                 }
             }
+            // `ready` additionally waits for intra-job dependencies (and,
+            // in serialized modes, monolithic ordering); ready − avail is
+            // the node's dependency-wait, start − ready its unit queueing.
+            let mut ready = avail;
             // Predecessors (skipped nodes are transparent).
             let mut all_preds = true;
             for &p in self.graph.preds(n) {
@@ -368,6 +373,20 @@ impl BmoEngine {
                 }
             }
             let (start, end) = self.pool.acquire_pipelined(ready, op.latency, UNIT_II);
+            if self.tracer.causal() {
+                // Causal record for janus-prof: when the node's inputs were
+                // available vs. when its dependencies released it. The span
+                // right after carries (start, end); together they partition
+                // the node's time into dep-wait / queueing / service.
+                self.tracer.instant_link(
+                    Category::Engine,
+                    "prof_node",
+                    avail,
+                    id.0,
+                    n.0 as u64,
+                    ready.0,
+                );
+            }
             self.tracer
                 .span(category_of(op.bmo), op.name, start, end, id.0, op.latency.0);
             job.node_end[n.0] = Some(end);

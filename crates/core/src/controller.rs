@@ -78,6 +78,10 @@ pub struct MemoryController {
     /// Interned handles for the per-event statistics (see [`HotStats`]).
     hot: HotStats,
     tracer: Tracer,
+    /// Monotonic write uid for causal profiling (`prof_*` events). Only
+    /// advanced when the tracer is in causal mode, so plain and disabled
+    /// tracing never observe it.
+    prof_wuid: u64,
 }
 
 /// Interned [`StatSet`] handles for the statistics the write/read hot paths
@@ -149,6 +153,7 @@ impl MemoryController {
             stats: StatSet::new(),
             hot: HotStats::default(),
             tracer: Tracer::disabled(),
+            prof_wuid: 0,
             pipeline,
             stack,
             config,
@@ -174,6 +179,16 @@ impl MemoryController {
     /// export.
     pub fn enable_trace(&mut self, config: &TraceConfig) -> Tracer {
         let tracer = Tracer::new(config);
+        self.set_tracer(tracer.clone());
+        tracer
+    }
+
+    /// Creates and attaches a *causal* tracer (profiling mode): in addition
+    /// to the plain trace vocabulary, the controller, engine, and write
+    /// queue emit `prof_*` link events from which `janus-prof` rebuilds
+    /// each write's span DAG. Plain traces are unaffected.
+    pub fn enable_profiling(&mut self, config: &TraceConfig) -> Tracer {
+        let tracer = Tracer::new_causal(config);
         self.set_tracer(tracer.clone());
         tracer
     }
@@ -424,6 +439,24 @@ impl MemoryController {
     ) -> WriteOutcome {
         hot_counter(&mut self.stats, &mut self.hot.writes, "writes").incr();
 
+        // Causal profiling: give the write a uid so janus-prof can chain
+        // arrival → job → bmo_done → wq accepts → persistence.
+        let causal = self.tracer.causal();
+        let wuid = if causal {
+            self.prof_wuid += 1;
+            self.tracer.instant_link(
+                Category::Controller,
+                "prof_write",
+                now,
+                self.prof_wuid,
+                line.0,
+                core as u64,
+            );
+            self.prof_wuid
+        } else {
+            0
+        };
+
         // Functional application (timing-mode independent).
         let fx = self.pipeline.write(line, data);
         if fx.dup {
@@ -444,6 +477,16 @@ impl MemoryController {
                 // path.
                 let job = self.engine.submit(now, Some(now), Some(now), fx.dup);
                 self.engine.retire(job);
+                if causal {
+                    self.tracer.instant_link(
+                        Category::Controller,
+                        "prof_bmo_done",
+                        now,
+                        wuid,
+                        now.0,
+                        0,
+                    );
+                }
                 now
             }
             SystemMode::Serialized | SystemMode::Parallelized => {
@@ -453,9 +496,29 @@ impl MemoryController {
                     .completion(job)
                     .expect("all inputs were supplied");
                 self.engine.retire(job);
+                if causal {
+                    self.tracer.instant_link(
+                        Category::Controller,
+                        "prof_job",
+                        now,
+                        wuid,
+                        job.raw(),
+                        0,
+                    );
+                    // `arg` carries the raw engine completion (here equal to
+                    // the event's own cycle; Janus floors it at IRB lookup).
+                    self.tracer.instant_link(
+                        Category::Controller,
+                        "prof_bmo_done",
+                        done,
+                        wuid,
+                        done.0,
+                        0,
+                    );
+                }
                 done
             }
-            SystemMode::Janus => self.janus_write_timing(now, core, line, data, &fx),
+            SystemMode::Janus => self.janus_write_timing(now, core, line, data, &fx, wuid),
         };
 
         // Persistence. Data (slot) lines always drain through the ADR write
@@ -486,9 +549,21 @@ impl MemoryController {
                     continue;
                 }
             }
-            let t = self
-                .wq
-                .accept(last_accept.max(bmo_done), *addr, &mut self.device);
+            let req = last_accept.max(bmo_done);
+            let t = self.wq.accept(req, *addr, &mut self.device);
+            if causal {
+                // One link event per critical-chain acceptance: cycle is the
+                // accept time, `link` when it was requested — the gap is the
+                // write-queue backpressure on this write's persist chain.
+                self.tracer.instant_link(
+                    Category::WriteQueue,
+                    "prof_wq_accept",
+                    t,
+                    wuid,
+                    addr.0,
+                    req.0,
+                );
+            }
             first_accept.get_or_insert(t);
             last_accept = t;
         }
@@ -498,6 +573,16 @@ impl MemoryController {
         } else {
             last_accept
         };
+        if causal {
+            self.tracer.instant_link(
+                Category::Controller,
+                "prof_persist",
+                persist_at,
+                wuid,
+                fx.dup as u64,
+                now.0,
+            );
+        }
         hot_histogram(
             &mut self.stats,
             &mut self.hot.write_critical_latency,
@@ -532,8 +617,10 @@ impl MemoryController {
         line: LineAddr,
         data: Line,
         fx: &janus_bmo::pipeline::WriteEffects,
+        wuid: u64,
     ) -> Cycles {
         const IRB_LOOKUP: Cycles = Cycles(8); // 2 ns CAM lookup
+        let causal = self.tracer.causal();
 
         let Some(entry) = self.irb.consume(core, line) else {
             hot_counter(&mut self.stats, &mut self.hot.pre_miss, "pre_miss").incr();
@@ -542,7 +629,20 @@ impl MemoryController {
             let job = self.engine.submit(now, Some(now), Some(now), fx.dup);
             let done = self.engine.completion(job).expect("inputs supplied");
             self.engine.retire(job);
-            return done.max(now + IRB_LOOKUP);
+            let floored = done.max(now + IRB_LOOKUP);
+            if causal {
+                self.tracer
+                    .instant_link(Category::Controller, "prof_job", now, wuid, job.raw(), 0);
+                self.tracer.instant_link(
+                    Category::Controller,
+                    "prof_bmo_done",
+                    floored,
+                    wuid,
+                    done.0,
+                    0,
+                );
+            }
+            return floored;
         };
         self.tracer
             .instant(Category::Irb, "irb_hit", now, entry.job.raw(), line.0);
@@ -642,7 +742,20 @@ impl MemoryController {
             job.raw(),
             line.0,
         );
-        done.max(now + IRB_LOOKUP)
+        let floored = done.max(now + IRB_LOOKUP);
+        if causal {
+            self.tracer
+                .instant_link(Category::Controller, "prof_job", now, wuid, job.raw(), 0);
+            self.tracer.instant_link(
+                Category::Controller,
+                "prof_bmo_done",
+                floored,
+                wuid,
+                done.0,
+                0,
+            );
+        }
+        floored
     }
 
     // ------------------------------------------------------------------

@@ -198,6 +198,15 @@ impl System {
         self.mc.enable_trace(config)
     }
 
+    /// Enables *causal* profiling for this run: tracing plus the `prof_*`
+    /// link events `janus-prof` needs to rebuild per-write span DAGs.
+    /// Identical across batched and legacy event loops — both deliver
+    /// events in the same order, and the profile is a pure function of the
+    /// trace stream.
+    pub fn enable_profiling(&mut self, config: &TraceConfig) -> Tracer {
+        self.mc.enable_profiling(config)
+    }
+
     /// The run's tracer (disabled unless [`System::enable_trace`] was
     /// called).
     pub fn tracer(&self) -> &Tracer {

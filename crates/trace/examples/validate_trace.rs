@@ -1,18 +1,24 @@
-//! Validates a Chrome trace-event JSON file and prints a summary.
+//! Validates a Chrome trace-event JSON file — or a `janus-profile-v1`
+//! causal profile — and prints a summary.
 //!
 //! ```text
 //! cargo run -p janus-trace --example validate_trace -- out.json
+//! cargo run -p janus-trace --example validate_trace -- profile.json
 //! ```
 //!
-//! Exits non-zero if the file is not well-formed JSON or lacks the
-//! `traceEvents` array — CI runs this against the quickstart's trace
-//! output to keep the exporter honest.
+//! The file kind is detected from its shape: a `"schema":"janus-profile-v1"`
+//! tag routes to the profile validator (schema fields, the
+//! attributed-equals-total identity, and causal-chain contiguity — a
+//! hand-corrupted causal link is rejected); anything else must be a Chrome
+//! trace with a `traceEvents` array. Exits non-zero on any violation — CI
+//! runs this against the quickstart's trace and profile outputs to keep
+//! both exporters honest.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: validate_trace <trace.json>");
+        eprintln!("usage: validate_trace <trace.json|profile.json>");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -29,6 +35,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if doc.get("schema").and_then(|s| s.as_str()) == Some(janus_prof::PROFILE_SCHEMA) {
+        return match janus_prof::validate_profile_json(&text) {
+            Ok(()) => {
+                println!(
+                    "{path}: OK — {} causal profile, {} writes, {} attributed cycles",
+                    janus_prof::PROFILE_SCHEMA,
+                    doc.get("writes").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                    doc.get("attributed_cycles")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0),
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some(events) = doc.get("traceEvents").and_then(|v| v.as_array()) else {
         eprintln!("error: {path}: missing \"traceEvents\" array");
         return ExitCode::FAILURE;

@@ -65,6 +65,12 @@ fn push_args(out: &mut String, ev: &TraceEvent) {
     out.push_str(&format!("{}", ev.id));
     out.push_str(",\"arg\":");
     out.push_str(&format!("{}", ev.arg));
+    // Causal links only appear in profiling traces; plain traces keep
+    // their exact historical byte layout.
+    if ev.link != 0 {
+        out.push_str(",\"link\":");
+        out.push_str(&format!("{}", ev.link));
+    }
     out.push_str(",\"seq\":");
     out.push_str(&format!("{}", ev.seq));
     out.push('}');
@@ -247,6 +253,21 @@ mod tests {
                 .unwrap()
                 .as_f64(),
             Some(3.0)
+        );
+    }
+
+    #[test]
+    fn causal_links_serialize_only_when_set() {
+        let t = Tracer::new_causal(&TraceConfig::default());
+        t.instant(Category::Irb, "irb_hit", Cycles(8), 3, 0);
+        t.instant_link(Category::Controller, "prof_write", Cycles(9), 4, 1, 77);
+        let text = export_str(&t);
+        let doc = json::parse(&text).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(evs[0].get("args").unwrap().get("link").is_none());
+        assert_eq!(
+            evs[1].get("args").unwrap().get("link").unwrap().as_f64(),
+            Some(77.0)
         );
     }
 

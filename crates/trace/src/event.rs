@@ -105,6 +105,11 @@ pub struct TraceEvent {
     pub id: u64,
     /// One free numeric argument (counter value, latency, line, …).
     pub arg: u64,
+    /// Causal link: a second correlation value tying this event to its
+    /// cause — a write uid, a parent job, or a request timestamp. `0`
+    /// means "no link"; only causal-mode profiling events set it, so the
+    /// plain trace export is unchanged.
+    pub link: u64,
     /// Monotonic sequence number stamped by the ring buffer (insertion
     /// order survives wraparound).
     pub seq: u64,
@@ -150,6 +155,7 @@ mod tests {
             cycle: Cycles(1),
             id: 2,
             arg: 3,
+            link: 0,
             seq: 0,
         };
         let f = e; // Copy

@@ -100,6 +100,7 @@ mod tests {
             cycle: Cycles(i),
             id: i,
             arg: 0,
+            link: 0,
             seq: 0,
         }
     }

@@ -11,6 +11,7 @@ use std::collections::BTreeSet;
 use janus_sim::stats::StatSet;
 use janus_sim::time::Cycles;
 
+use crate::event::{Category, EventKind, TraceEvent};
 use crate::json;
 
 /// One snapshot: the cycle it was taken at plus every counter's value.
@@ -102,6 +103,37 @@ impl MetricsSampler {
         out
     }
 
+    /// Converts the time-series into Chrome trace `Counter` events so
+    /// occupancy/utilization curves render in Perfetto as counter tracks
+    /// alongside spans. One event per (sample, counter), in sample order
+    /// then counter-name order — fully deterministic. Counter names are
+    /// interned `&'static str`s straight from the [`StatSet`], so this
+    /// allocates only the returned vector.
+    pub fn to_counter_events(&self) -> Vec<TraceEvent> {
+        Self::counter_events_of(&self.samples)
+    }
+
+    /// [`MetricsSampler::to_counter_events`] over a detached sample slice
+    /// (as returned by e.g. `System::samples`).
+    pub fn counter_events_of(samples: &[Sample]) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(samples.iter().map(|s| s.counters.len()).sum::<usize>());
+        for s in samples {
+            for (name, value) in &s.counters {
+                out.push(TraceEvent {
+                    name,
+                    cat: Category::Sim,
+                    kind: EventKind::Counter,
+                    cycle: s.cycle,
+                    id: 0,
+                    arg: *value,
+                    link: 0,
+                    seq: 0,
+                });
+            }
+        }
+        out
+    }
+
     /// Serializes as wide-form CSV: a `cycle` column plus one column per
     /// counter name seen in any sample (union, name order); counters absent
     /// from an early sample (not yet lazily created) read as 0.
@@ -186,6 +218,35 @@ mod tests {
         assert_eq!(lines[0], "cycle,reads,writes");
         assert_eq!(lines[1], "10,1,0", "missing counter reads as 0");
         assert_eq!(lines[2], "20,1,3");
+    }
+
+    #[test]
+    fn counter_events_cover_every_sample_in_order() {
+        let mut s = StatSet::new();
+        let mut sampler = MetricsSampler::new(Cycles(10));
+        s.counter("reads").add(1);
+        sampler.maybe_sample(Cycles(10), &s);
+        s.counter("writes").add(3);
+        sampler.maybe_sample(Cycles(20), &s);
+        let evs = sampler.to_counter_events();
+        assert_eq!(evs.len(), 3, "1 counter at t=10 + 2 at t=20");
+        assert!(evs.iter().all(|e| e.kind == EventKind::Counter));
+        assert_eq!(
+            (evs[0].name, evs[0].cycle, evs[0].arg),
+            ("reads", Cycles(10), 1)
+        );
+        assert_eq!(
+            (evs[2].name, evs[2].cycle, evs[2].arg),
+            ("writes", Cycles(20), 3)
+        );
+        // Round-trips through the Chrome exporter as "C" rows.
+        let mut out = Vec::new();
+        crate::chrome::export(&evs, 0, &mut out).unwrap();
+        let doc = json::parse(std::str::from_utf8(&out).unwrap()).unwrap();
+        let arr = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(arr
+            .iter()
+            .all(|e| e.get("ph").unwrap().as_str() == Some("C")));
     }
 
     #[test]

@@ -36,6 +36,7 @@ impl Default for TraceConfig {
 #[derive(Clone, Debug, Default)]
 pub struct Tracer {
     inner: Option<Rc<RefCell<RingBuffer>>>,
+    causal: bool,
 }
 
 impl Tracer {
@@ -43,6 +44,19 @@ impl Tracer {
     pub fn new(config: &TraceConfig) -> Self {
         Tracer {
             inner: Some(Rc::new(RefCell::new(RingBuffer::new(config.capacity)))),
+            causal: false,
+        }
+    }
+
+    /// An enabled tracer in *causal* mode: components additionally emit
+    /// `prof_*` link events (write → job → sub-op → write-queue chains) that
+    /// `janus-prof` reconstructs into per-write span DAGs. Plain traces
+    /// ([`Tracer::new`]) never contain these events, so existing exports
+    /// are byte-identical.
+    pub fn new_causal(config: &TraceConfig) -> Self {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(RingBuffer::new(config.capacity)))),
+            causal: true,
         }
     }
 
@@ -54,6 +68,14 @@ impl Tracer {
     /// Whether events are being recorded.
     pub fn enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether causal profiling events should be emitted. `false` for a
+    /// disabled tracer, so instrumentation can guard a whole block with
+    /// one branch.
+    #[inline]
+    pub fn causal(&self) -> bool {
+        self.causal && self.inner.is_some()
     }
 
     #[inline]
@@ -75,6 +97,7 @@ impl Tracer {
             id,
             arg,
             seq: 0,
+            link: 0,
         });
     }
 
@@ -89,6 +112,7 @@ impl Tracer {
             id,
             arg,
             seq: 0,
+            link: 0,
         });
     }
 
@@ -122,6 +146,31 @@ impl Tracer {
             id,
             arg,
             seq: 0,
+            link: 0,
+        });
+    }
+
+    /// Records a point event carrying a causal link (see
+    /// [`TraceEvent::link`]). Used by causal-mode instrumentation only.
+    #[inline]
+    pub fn instant_link(
+        &self,
+        cat: Category,
+        name: &'static str,
+        cycle: Cycles,
+        id: u64,
+        arg: u64,
+        link: u64,
+    ) {
+        self.record(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Instant,
+            cycle,
+            id,
+            arg,
+            seq: 0,
+            link,
         });
     }
 
@@ -137,6 +186,7 @@ impl Tracer {
             id: 0,
             arg: value,
             seq: 0,
+            link: 0,
         });
     }
 
@@ -229,5 +279,18 @@ mod tests {
     fn default_is_disabled() {
         assert!(!Tracer::default().enabled());
         assert!(Tracer::new(&TraceConfig::default()).enabled());
+    }
+
+    #[test]
+    fn causal_mode_is_opt_in_and_survives_clone() {
+        assert!(!Tracer::disabled().causal());
+        assert!(!Tracer::new(&TraceConfig::default()).causal());
+        let t = Tracer::new_causal(&TraceConfig { capacity: 8 });
+        assert!(t.enabled() && t.causal());
+        assert!(t.clone().causal());
+        t.instant_link(Category::Controller, "prof_write", Cycles(7), 1, 42, 9);
+        let snap = t.snapshot();
+        assert_eq!(snap[0].link, 9);
+        assert_eq!(snap[0].arg, 42);
     }
 }

@@ -6,9 +6,11 @@
 //! Observability: `--trace out.json` records every controller, IRB, BMO
 //! sub-op, and NVM event of the Janus run and writes a Chrome trace-event
 //! file (load it at <https://ui.perfetto.dev>). `--metrics out.json` writes
-//! the run's metrics registry as a single JSON object. `--bmos id,...`
-//! selects the BMO stack (see `janus-cli --list-bmos`), e.g.
-//! `--bmos enc,ecc` or `--bmos none`.
+//! the run's metrics registry as a single JSON object. `--profile out.json`
+//! traces in causal mode and writes a `janus-profile-v1` causal profile
+//! (cycle accounting, critical path, p99 blame — see `janus-prof`).
+//! `--bmos id,...` selects the BMO stack (see `janus-cli --list-bmos`),
+//! e.g. `--bmos enc,ecc` or `--bmos none`.
 
 use janus::core::config::{JanusConfig, SystemMode};
 use janus::core::ir::ProgramBuilder;
@@ -74,9 +76,15 @@ fn main() {
     let base = baseline.run(vec![build_program(false)]);
 
     // Janus: parallelized sub-operations + pre-execution.
-    let mut janus = System::new(config(SystemMode::Janus));
+    let janus_config = config(SystemMode::Janus);
+    let mut janus = System::new(janus_config.clone());
     let trace_path = arg_path("--trace");
-    if trace_path.is_some() {
+    let profile_path = arg_path("--profile");
+    if profile_path.is_some() {
+        // Causal mode records the ordinary trace vocabulary plus the
+        // prof_* link events the profiler reconstructs chains from.
+        janus.enable_profiling(&TraceConfig::default());
+    } else if trace_path.is_some() {
         janus.enable_trace(&TraceConfig::default());
     }
     let report = janus.run(vec![build_program(true)]);
@@ -102,6 +110,23 @@ fn main() {
         println!(
             "trace      : {} events -> {path} (open in ui.perfetto.dev)",
             janus.tracer().len()
+        );
+    }
+    if let Some(path) = &profile_path {
+        let graph = janus_config.stack().graph(&janus_config.latencies);
+        let tracer = janus.tracer();
+        let profile = janus::prof::Profile::build(&tracer.snapshot(), tracer.dropped(), &graph)
+            .expect("causal profile");
+        let json = profile.to_json();
+        janus::prof::validate_profile_json(&json).expect("emitted profile validates");
+        std::fs::write(path, json).expect("writing profile file");
+        println!(
+            "profile    : {} writes, critical path {} cycles -> {path}",
+            profile.writes().len(),
+            profile
+                .critical_write()
+                .map(|w| w.latency())
+                .unwrap_or_default()
         );
     }
     if let Some(path) = arg_path("--metrics") {

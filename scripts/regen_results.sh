@@ -11,6 +11,12 @@
 #   results/quickstart.trace.json   — Chrome trace-event file (Perfetto)
 #   results/quickstart.metrics.json — the run's metrics registry
 #
+# and the causal-profiling artifacts (janus-prof):
+#
+#   results/profile.txt             — cycle accounting, critical path, p99
+#                                     blame, utilization, folded flamegraph
+#   results/profile.json            — the same profile, janus-profile-v1
+#
 # Extra arguments are forwarded to every figure binary (e.g.
 # `scripts/regen_results.sh --tx 40` for a quick pass, or
 # `scripts/regen_results.sh --jobs 8` to fan each binary's sweep across 8
@@ -42,5 +48,11 @@ cargo run --release --locked --offline --example quickstart -- \
     --metrics results/quickstart.metrics.json > /dev/null
 cargo run --release --locked --offline -p janus-trace --example validate_trace -- \
     results/quickstart.trace.json
+
+echo "==> causal profile (janus-prof)"
+cargo run --release --locked --offline -p janus-bench --bin janus-prof -- "$@" \
+    --out results/profile.txt --json results/profile.json > /dev/null
+cargo run --release --locked --offline -p janus-trace --example validate_trace -- \
+    results/profile.json
 
 echo "==> results regenerated: results/*.txt, results/json/*.jsonl"

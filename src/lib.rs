@@ -20,6 +20,8 @@
 //! * [`trace`] — cycle-stamped event tracing and machine-readable metrics.
 //! * [`lint`] — static analysis over the `PRE_*` interface: misuse lints,
 //!   the dependency-graph linter, and automated placement.
+//! * [`prof`] — causal profiler: cycle accounting, critical-path
+//!   extraction, and tail-latency blame over the trace stream.
 
 pub use janus_bmo as bmo;
 pub use janus_core as core;
@@ -27,6 +29,7 @@ pub use janus_crypto as crypto;
 pub use janus_instrument as instrument;
 pub use janus_lint as lint;
 pub use janus_nvm as nvm;
+pub use janus_prof as prof;
 pub use janus_sim as sim;
 pub use janus_trace as trace;
 pub use janus_workloads as workloads;

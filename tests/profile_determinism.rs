@@ -1,0 +1,99 @@
+//! Determinism contract for the causal profiler.
+//!
+//! A profile is a pure function of the simulated timeline, so:
+//!
+//! * two identical runs must produce **byte-identical** text and JSON
+//!   reports (CI also checks this end-to-end through the `janus-prof`
+//!   binary), and
+//! * the batched event loop and the legacy one-event-at-a-time loop —
+//!   already required to produce identical execution reports — must also
+//!   produce identical *profiles*: same causal chains, same accounting,
+//!   same blame ranking, to the byte.
+
+use janus::prof::Profile;
+use janus_bench::{run_quiet, RunSpec, Variant};
+use janus_workloads::Workload;
+
+fn profile_of(spec: &RunSpec) -> (String, String) {
+    let r = run_quiet(spec.clone());
+    let config = r.spec.config();
+    let graph = config.stack().graph(&config.latencies);
+    let p =
+        Profile::build(&r.tracer.snapshot(), r.tracer.dropped(), &graph).expect("profile builds");
+    (p.render_text(), p.to_json())
+}
+
+fn profiled_spec(workload: Workload, variant: Variant) -> RunSpec {
+    let mut spec = RunSpec::new(workload, variant);
+    spec.transactions = 20;
+    spec.profile = true;
+    spec
+}
+
+#[test]
+fn profiles_are_byte_identical_across_reruns() {
+    let spec = profiled_spec(Workload::Tatp, Variant::JanusManual);
+    let (text_a, json_a) = profile_of(&spec);
+    let (text_b, json_b) = profile_of(&spec);
+    assert_eq!(text_a, text_b);
+    assert_eq!(json_a, json_b);
+    janus::prof::validate_profile_json(&json_a).expect("profile validates");
+}
+
+#[test]
+fn batched_and_legacy_loops_profile_identically() {
+    for (workload, variant) in [
+        (Workload::Tatp, Variant::JanusManual),
+        (Workload::HashTable, Variant::Parallelized),
+        (Workload::ArraySwap, Variant::Serialized),
+    ] {
+        let mut spec = profiled_spec(workload, variant);
+        spec.legacy_events = true;
+        let (legacy_text, legacy_json) = profile_of(&spec);
+        spec.legacy_events = false;
+        let (batched_text, batched_json) = profile_of(&spec);
+        assert_eq!(
+            legacy_text,
+            batched_text,
+            "{workload} [{}]: text profiles diverge between event loops",
+            variant.label()
+        );
+        assert_eq!(
+            legacy_json,
+            batched_json,
+            "{workload} [{}]: JSON profiles diverge between event loops",
+            variant.label()
+        );
+    }
+}
+
+#[test]
+fn chrome_export_with_counters_is_deterministic() {
+    let export = || {
+        let mut spec = profiled_spec(Workload::Queue, Variant::JanusManual);
+        spec.sample_every = Some(1000);
+        let r = run_quiet(spec);
+        assert!(!r.samples.is_empty(), "sampler produced counter samples");
+        let mut out = Vec::new();
+        janus::prof::export_chrome_with_counters(
+            &r.tracer.snapshot(),
+            &r.samples,
+            r.tracer.dropped(),
+            &mut out,
+        )
+        .expect("chrome export");
+        out
+    };
+    let a = export();
+    assert_eq!(a, export());
+    let doc = janus::trace::json::parse(std::str::from_utf8(&a).unwrap()).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let counters = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+        .count();
+    assert!(counters > 0, "counter tracks present in the merged export");
+}

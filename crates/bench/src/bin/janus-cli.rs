@@ -18,21 +18,10 @@
 //! `--profile PATH` (causal profile: text report to PATH, `-` for stdout;
 //! see the `janus-prof` binary for the full profiling workflow).
 
+use janus_bench::cli::{arg, flag};
 use janus_bench::{run_all, RunSpec, Variant};
 use janus_bmo::BmoStack;
 use janus_workloads::Workload;
-
-fn arg(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
 
 fn main() {
     janus_bench::require_known_args(

@@ -20,24 +20,13 @@
 //! byte-deterministic: same flags, same bytes, at any `--jobs` value.
 
 use janus_bench::banner;
+use janus_bench::cli::{arg, flag};
 use janus_bmo::latency::BmoLatencies;
 use janus_bmo::BmoStack;
 use janus_core::ir::{Op, PreObjId, Program};
 use janus_instrument::instrument;
 use janus_lint::{auto_place, lint_permutations, lint_program, lint_stack, LintOptions};
 use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
-
-fn arg(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
 
 /// Injects a deliberate misuse: a `PRE_BOTH` hinting the wrong value for
 /// the first store's target line, immediately before that store. The lint

@@ -19,6 +19,7 @@
 //! computes analytically. A disagreement means the profiler's causal chain
 //! reconstruction is broken, and the binary refuses to continue.
 
+use janus_bench::cli::arg;
 use janus_bench::{arg_usize, run_quiet, RunSpec, Variant};
 use janus_core::controller::MemoryController;
 use janus_core::{JanusConfig, SystemMode};
@@ -28,14 +29,6 @@ use janus_prof::Profile;
 use janus_sim::time::Cycles;
 use janus_trace::TraceConfig;
 use janus_workloads::Workload;
-
-fn arg(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 /// One cold write, parallelized paper stack: the measured BMO critical
 /// path must equal the `DepGraph` oracle (2764 cycles on the default

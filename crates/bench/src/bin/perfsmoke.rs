@@ -5,7 +5,7 @@
 //!
 //! 1. **Event-loop throughput + latency percentiles** — simulated events
 //!    retired per second of host time over a full TATP run
-//!    (`ExecutionReport::events` / wall), plus the p50/p99 per-event
+//!    (`ExecutionReport::events` / wall), plus the p50/p99/p999 per-event
 //!    latency over the timed samples via the simulator's interpolating
 //!    [`Histogram::percentile`].
 //! 2. **Raw queue throughput** — schedule/pop operations per second through
@@ -18,12 +18,13 @@
 //!
 //! Results go to stdout and, machine-readably, to `BENCH_perfsmoke.json`
 //! (`--out PATH` to override). The JSON schema is stable: the keys
-//! `events_per_sec`, `event_ns_p50`, `event_ns_p99`, `sweep_wall_ms`, and
-//! `jobs` are always present.
+//! `events_per_sec`, `event_ns_p50`, `event_ns_p99`, `event_ns_p999`,
+//! `sweep_wall_ms`, and `jobs` are always present.
 //!
 //! Knobs: `--tx N` (transactions per spec), `--samples K`, `--warmup K`,
 //! `--jobs N`, `--out PATH`.
 
+use janus_bench::cli::arg_str;
 use janus_bench::timing::{median_wall_ms, wall_samples_ms};
 use janus_bench::{arg_usize, banner, jobs, run_all_jobs, run_quiet, RunSpec, Variant};
 use janus_sim::event::{EventQueue, HeapEventQueue};
@@ -31,15 +32,6 @@ use janus_sim::stats::Histogram;
 use janus_sim::time::Cycles;
 use janus_trace::metrics::MetricsRegistry;
 use janus_workloads::Workload;
-
-fn arg_str(name: &str, default: &str) -> String {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| default.to_string())
-}
 
 fn sweep_specs(tx: usize) -> Vec<RunSpec> {
     let mut specs = Vec::new();
@@ -149,12 +141,13 @@ fn main() {
     }
     let event_ns_p50 = event_ps.percentile(0.50).map_or(0.0, |c| c.0 as f64 / 1e3);
     let event_ns_p99 = event_ps.percentile(0.99).map_or(0.0, |c| c.0 as f64 / 1e3);
+    let event_ns_p999 = event_ps.p999().map_or(0.0, |c| c.0 as f64 / 1e3);
     run_samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let run_ms = run_samples[run_samples.len() / 2];
     let events_per_sec = events as f64 / (run_ms / 1e3);
     println!(
         "event loop:   {events} events in {run_ms:.2} ms  ->  {:.2} M events/s  \
-         (per-event p50 {event_ns_p50:.1} ns, p99 {event_ns_p99:.1} ns)",
+         (per-event p50 {event_ns_p50:.1} ns, p99 {event_ns_p99:.1} ns, p999 {event_ns_p999:.1} ns)",
         events_per_sec / 1e6
     );
 
@@ -197,6 +190,7 @@ fn main() {
     m.set_f64("events_per_sec", events_per_sec);
     m.set_f64("event_ns_p50", event_ns_p50);
     m.set_f64("event_ns_p99", event_ns_p99);
+    m.set_f64("event_ns_p999", event_ns_p999);
     m.set_f64("sweep_wall_ms", sweep_wall_ms);
     m.set_u64("jobs", n_jobs as u64);
     m.set_u64("fanout_meaningful", fanout_meaningful as u64);

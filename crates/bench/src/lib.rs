@@ -7,6 +7,7 @@
 //! runs the simulation, verifies functional correctness against the
 //! workload's oracle, and returns the execution report.
 
+pub mod cli;
 pub mod pool;
 pub mod timing;
 
@@ -14,11 +15,15 @@ use std::io::Write as _;
 
 use janus_core::config::{JanusConfig, SystemMode};
 use janus_core::ir::Program;
+use janus_core::irb::IrbPolicy;
 use janus_core::system::{ExecutionReport, System};
 use janus_instrument::instrument;
 use janus_trace::metrics::MetricsRegistry;
 use janus_trace::{TraceConfig, Tracer};
+use janus_workloads::traffic::{generate_tenants, Arrival, TenantSpec};
 use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
+
+pub use cli::{arg_usize, require_known_args};
 
 /// The five evaluated system variants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -115,6 +120,29 @@ pub struct RunSpec {
     /// must produce byte-identical reports; this is the executable spec the
     /// batched loop is differentially tested against.
     pub legacy_events: bool,
+    /// How IRB capacity is apportioned across threads/tenants
+    /// ([`IrbPolicy::Shared`] = the paper's configuration; metrics are only
+    /// labeled for non-default policies or open-loop runs, so the published
+    /// closed-loop JSONL stays byte-identical).
+    pub irb_policy: IrbPolicy,
+    /// Multi-tenant open-loop mode: when set, the run ignores the
+    /// one-program-per-core model and instead drives [`RunSpec::cores`]
+    /// worker cores from `tenants` open-loop streams
+    /// ([`System::try_run_tenants`]); [`RunSpec::workload`] is unused and
+    /// the mix comes from [`OpenLoopSpec::mix`].
+    pub open_loop: Option<OpenLoopSpec>,
+}
+
+/// The open-loop half of a [`RunSpec`] (see [`RunSpec::open_loop`]).
+#[derive(Clone, Debug)]
+pub struct OpenLoopSpec {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Arrival process shared by every tenant.
+    pub arrival: Arrival,
+    /// Transaction mixes, assigned round-robin: tenant `i` runs
+    /// `mix[i % mix.len()]`.
+    pub mix: Vec<Workload>,
 }
 
 impl RunSpec {
@@ -137,6 +165,8 @@ impl RunSpec {
             sample_every: None,
             bmo_stack: None,
             legacy_events: legacy_events(),
+            irb_policy: IrbPolicy::Shared,
+            open_loop: None,
         }
     }
 
@@ -155,7 +185,31 @@ impl RunSpec {
         if let Some(stack) = &self.bmo_stack {
             c.bmo_stack = stack.clone();
         }
+        c.irb_policy = self.irb_policy;
         c
+    }
+
+    /// The per-tenant traffic specs an open-loop run resolves to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no [`RunSpec::open_loop`] half.
+    pub fn tenant_specs(&self) -> Vec<TenantSpec> {
+        let ol = self.open_loop.as_ref().expect("an open-loop RunSpec");
+        let instrumentation = match self.variant {
+            Variant::JanusManual => Instrumentation::Manual,
+            _ => Instrumentation::None,
+        };
+        (0..ol.tenants)
+            .map(|t| TenantSpec {
+                workload: ol.mix[t % ol.mix.len()],
+                transactions: self.transactions,
+                arrival: ol.arrival,
+                key_skew: self.key_skew,
+                tx_size_bytes: self.tx_size_bytes,
+                instrumentation,
+            })
+            .collect()
     }
 
     #[allow(clippy::type_complexity)]
@@ -227,6 +281,16 @@ impl RunResult {
         if let Some(stack) = &self.spec.bmo_stack {
             let ids: Vec<&str> = stack.iter().map(|id| id.as_str()).collect();
             m.set_str("spec.bmo_stack", ids.join(","));
+        }
+        // Same pattern for the multi-tenant front end: open-loop runs are
+        // fully labeled, and the only closed-loop addition is a non-default
+        // IRB policy — the published closed-loop JSONL never had either.
+        if let Some(ol) = &self.spec.open_loop {
+            m.set_u64("spec.tenants", ol.tenants as u64);
+            m.set_str("spec.arrival", ol.arrival.to_string());
+            m.set_str("spec.irb_policy", self.spec.irb_policy.to_string());
+        } else if self.spec.irb_policy != IrbPolicy::Shared {
+            m.set_str("spec.irb_policy", self.spec.irb_policy.to_string());
         }
         for (name, value) in self.report.to_metrics().iter() {
             m.set(name, value.clone());
@@ -302,28 +366,56 @@ pub fn run_quiet(spec: RunSpec) -> RunResult {
     if let Some(every) = spec.sample_every {
         sys.enable_sampling(janus_sim::time::Cycles(every));
     }
-    let mut programs = Vec::with_capacity(spec.cores);
-    let mut oracles = Vec::with_capacity(spec.cores);
-    for core in 0..spec.cores {
-        let (p, expected, resident) = spec.program_for_core(core);
-        programs.push(p);
-        // Steady-state measurement: the workload's written set and its
-        // declared resident structures start warm in the shared L2.
-        sys.warm_caches(expected.iter().map(|(a, _)| a));
-        for (first, n) in resident {
-            sys.warm_caches(first.span(n));
+    // A run request the configuration rejects is a usage error, not a bug in
+    // the harness: report it and exit with the CLI usage status.
+    let surface = |e: janus_core::system::ConfigError| -> ! {
+        eprintln!("error: invalid run configuration: {e}");
+        std::process::exit(2);
+    };
+    let (report, oracles) = if spec.open_loop.is_some() {
+        let traffic = generate_tenants(&spec.tenant_specs(), spec.seed);
+        let mut streams = Vec::with_capacity(traffic.len());
+        let mut oracles = Vec::with_capacity(traffic.len());
+        for t in traffic {
+            sys.warm_caches(t.expected.iter().map(|(a, _)| a));
+            for (first, n) in t.resident {
+                sys.warm_caches(first.span(n));
+            }
+            streams.push(t.stream);
+            oracles.push(t.expected);
         }
-        oracles.push(expected);
-    }
-    let report = sys.run(programs);
-    for (core, oracle) in oracles.iter().enumerate() {
+        let report = sys.try_run_tenants(streams).unwrap_or_else(|e| surface(e));
+        (report, oracles)
+    } else {
+        let mut programs = Vec::with_capacity(spec.cores);
+        let mut oracles = Vec::with_capacity(spec.cores);
+        for core in 0..spec.cores {
+            let (p, expected, resident) = spec.program_for_core(core);
+            programs.push(p);
+            // Steady-state measurement: the workload's written set and its
+            // declared resident structures start warm in the shared L2.
+            sys.warm_caches(expected.iter().map(|(a, _)| a));
+            for (first, n) in resident {
+                sys.warm_caches(first.span(n));
+            }
+            oracles.push(expected);
+        }
+        let report = sys.try_run(programs).unwrap_or_else(|e| surface(e));
+        (report, oracles)
+    };
+    for (unit, oracle) in oracles.iter().enumerate() {
         for (line, value) in oracle.iter() {
             assert_eq!(
                 &sys.read_value(line),
                 value,
-                "{} [{}] core {core}: line {line} diverged",
+                "{} [{}] {} {unit}: line {line} diverged",
                 spec.workload,
                 spec.variant.label(),
+                if spec.open_loop.is_some() {
+                    "tenant"
+                } else {
+                    "core"
+                },
             );
         }
     }
@@ -425,62 +517,6 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
         .map(|(c, w)| format!("{c:>w$}", w = w))
         .collect::<Vec<_>>()
         .join("  ")
-}
-
-/// Reads `--name value` from the process arguments, with a default.
-///
-/// A flag that is present but followed by a missing or unparseable value is
-/// a hard usage error: the process exits with status 2 rather than
-/// silently running the experiment with the default.
-pub fn arg_usize(name: &str, default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(i) = args.iter().position(|a| a == name) else {
-        return default;
-    };
-    match args.get(i + 1).map(|v| v.parse()) {
-        Some(Ok(v)) => v,
-        _ => {
-            eprintln!("error: {name} requires an unsigned integer value");
-            std::process::exit(2);
-        }
-    }
-}
-
-/// Strict argument validation for the figure/table binaries: every token
-/// must be a known value-taking flag (followed by its value), a known
-/// boolean flag, or the globally honoured `--jobs N`. Anything else —
-/// an unknown flag, a stray positional, a value-taking flag at the end of
-/// the line — exits with status 2 and a usage message, so a typo can never
-/// silently produce default-configured "results".
-pub fn require_known_args(value_flags: &[&str], bool_flags: &[&str]) {
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    let usage = |msg: &str| -> ! {
-        let mut flags: Vec<String> = value_flags
-            .iter()
-            .chain(["--jobs"].iter())
-            .map(|f| format!("{f} <value>"))
-            .chain(bool_flags.iter().map(|f| f.to_string()))
-            .chain(["--legacy-events".to_string()])
-            .collect();
-        flags.sort();
-        eprintln!("error: {msg}");
-        eprintln!("usage: accepted arguments: {}", flags.join(" "));
-        std::process::exit(2);
-    };
-    while i < args.len() {
-        let a = &args[i];
-        if value_flags.contains(&a.as_str()) || a == "--jobs" {
-            if i + 1 >= args.len() || args[i + 1].starts_with("--") {
-                usage(&format!("{a} requires a value"));
-            }
-            i += 2;
-        } else if bool_flags.contains(&a.as_str()) || a == "--legacy-events" {
-            i += 1;
-        } else {
-            usage(&format!("unknown argument {a:?}"));
-        }
-    }
 }
 
 /// Prints a standard experiment header.

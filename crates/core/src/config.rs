@@ -6,6 +6,8 @@ use janus_nvm::device::NvmTiming;
 use janus_sim::resource::UnitPool;
 use janus_sim::time::Cycles;
 
+use crate::irb::IrbPolicy;
+
 /// The four system designs the evaluation compares.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SystemMode {
@@ -140,6 +142,10 @@ pub struct JanusConfig {
     /// programs need no changes when BMOs change); the default is the
     /// paper's evaluated trio (encryption, integrity, dedup).
     pub bmo_stack: Vec<BmoId>,
+    /// How IRB capacity is apportioned across threads/tenants
+    /// ([`IrbPolicy::Shared`] — the paper's configuration — unless the
+    /// multi-tenant sweeps say otherwise).
+    pub irb_policy: IrbPolicy,
 }
 
 impl JanusConfig {
@@ -166,6 +172,7 @@ impl JanusConfig {
             pre_admission_backlog: Cycles::from_ns(500),
             serialized_global: false,
             bmo_stack: BmoStack::paper().members().to_vec(),
+            irb_policy: IrbPolicy::Shared,
         }
     }
 
@@ -249,6 +256,7 @@ mod tests {
         assert_eq!(c.op_queue_per_core, 64);
         assert_eq!(c.wq_capacity, 64);
         assert_eq!(c.writeback, Cycles::from_ns(15));
+        assert_eq!(c.irb_policy, IrbPolicy::Shared);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use janus_sim::time::Cycles;
 use janus_trace::{Category, TraceConfig, Tracer};
 
 use crate::config::{JanusConfig, SystemMode};
-use crate::irb::{Irb, IrbEntry, IrbKey};
+use crate::irb::{IrbEntry, IrbKey, IrbSet};
 use crate::queues::{decode_into, LineOp, PreFunc, PreRequest, RequestQueue};
 
 /// Result of processing a write at the controller.
@@ -54,7 +54,7 @@ pub struct MemoryController {
     stack: BmoStack,
     engine: BmoEngine,
     pipeline: BmoPipeline,
-    irb: Irb,
+    irb: IrbSet,
     req_queue: RequestQueue,
     wq: AdrWriteQueue,
     device: NvmDevice,
@@ -139,7 +139,7 @@ impl MemoryController {
         wq.set_coalescing(config.wq_coalescing);
         MemoryController {
             engine,
-            irb: Irb::new(config.total_irb_entries()),
+            irb: IrbSet::new(config.irb_policy, config.total_irb_entries()),
             req_queue: RequestQueue::new(config.total_req_queue()),
             wq,
             device: NvmDevice::new(config.nvm),

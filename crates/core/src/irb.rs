@@ -22,12 +22,79 @@
 //! ([`Irb::clear_thread`]), and swapped-out address ranges are cleared
 //! ([`Irb::clear_range`]).
 
+use std::collections::BTreeMap;
+
 use janus_bmo::engine::JobId;
 use janus_nvm::addr::LineAddr;
 use janus_nvm::line::Line;
 use janus_sim::time::Cycles;
 
 use crate::ir::PreObjId;
+
+/// How the controller's IRB capacity is apportioned across threads
+/// (tenants). The paper's configuration is [`IrbPolicy::Shared`] — one
+/// buffer, first-come-first-served; the other two policies isolate tenants
+/// from each other's pre-execution pressure (the multi-tenant sweeps
+/// compare all three under contention).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IrbPolicy {
+    /// One buffer shared by every thread (the paper's Table 3 default).
+    #[default]
+    Shared,
+    /// A private bank of `per_tenant` entries per thread; one tenant's
+    /// inserts can never evict or starve another's.
+    Banked {
+        /// Entries in each per-thread bank.
+        per_tenant: usize,
+    },
+    /// One shared buffer, but each thread may hold at most `quota` entries
+    /// at a time (static partitioning of a shared structure).
+    Partitioned {
+        /// Maximum simultaneous entries per thread.
+        quota: usize,
+    },
+}
+
+impl std::fmt::Display for IrbPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrbPolicy::Shared => f.write_str("shared"),
+            IrbPolicy::Banked { per_tenant } => write!(f, "banked:{per_tenant}"),
+            IrbPolicy::Partitioned { quota } => write!(f, "partitioned:{quota}"),
+        }
+    }
+}
+
+impl IrbPolicy {
+    /// Parses `shared`, `banked[:N]`, or `partitioned[:N]` (N defaults to
+    /// the paper's 64 entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed policy string.
+    pub fn parse(s: &str) -> Result<IrbPolicy, String> {
+        let (name, n) = match s.split_once(':') {
+            Some((name, n)) => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad IRB policy size in {s:?}"))?;
+                if n == 0 {
+                    return Err(format!("IRB policy size must be positive in {s:?}"));
+                }
+                (name, n)
+            }
+            None => (s, 64),
+        };
+        match name {
+            "shared" => Ok(IrbPolicy::Shared),
+            "banked" => Ok(IrbPolicy::Banked { per_tenant: n }),
+            "partitioned" => Ok(IrbPolicy::Partitioned { quota: n }),
+            _ => Err(format!(
+                "unknown IRB policy {s:?} (expected shared, banked[:N], partitioned[:N])"
+            )),
+        }
+    }
+}
 
 /// Identity of a pre-execution request stream: thread (core) + `pre_obj`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -249,6 +316,18 @@ impl Irb {
         self.capacity
     }
 
+    /// Entries currently held by `core` (scans the packed tags only).
+    pub fn occupancy(&self, core: usize) -> usize {
+        let core32 = core as u32;
+        self.tags.iter().filter(|t| t.core == core32).count()
+    }
+
+    /// Counts one rejected insert that never reached [`Irb::insert`] (the
+    /// partitioned policy's quota check happens outside the bank).
+    fn note_drop(&mut self) {
+        self.drops += 1;
+    }
+
     /// (inserted, consumed, drops, expired, stale invalidations).
     pub fn stats(&self) -> (u64, u64, u64, u64, u64) {
         (
@@ -258,6 +337,156 @@ impl Irb {
             self.expired,
             self.stale_invalidations,
         )
+    }
+}
+
+/// The controller's IRB under a configured [`IrbPolicy`]: one or more
+/// [`Irb`] banks plus the routing/quota logic. Under
+/// [`IrbPolicy::Shared`] this is a zero-cost wrapper around a single bank —
+/// byte-identical behaviour to the pre-policy controller — so the published
+/// single-tenant results are unchanged.
+#[derive(Debug)]
+pub struct IrbSet {
+    policy: IrbPolicy,
+    /// Capacity of the shared/partitioned bank (per-bank capacity under
+    /// `Banked` comes from the policy itself).
+    shared_capacity: usize,
+    /// Banks keyed by thread id (`Shared`/`Partitioned`: the single key 0).
+    /// A `BTreeMap` so cross-bank iteration (stats, expiry) is in
+    /// deterministic thread order.
+    banks: BTreeMap<usize, Irb>,
+}
+
+impl IrbSet {
+    /// Creates the bank set for a policy. `shared_capacity` is the
+    /// controller-wide entry count used by the shared and partitioned
+    /// policies.
+    pub fn new(policy: IrbPolicy, shared_capacity: usize) -> Self {
+        let mut banks = BTreeMap::new();
+        if !matches!(policy, IrbPolicy::Banked { .. }) {
+            banks.insert(0, Irb::new(shared_capacity));
+        }
+        IrbSet {
+            policy,
+            shared_capacity,
+            banks,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> IrbPolicy {
+        self.policy
+    }
+
+    fn bank_key(&self, thread: usize) -> usize {
+        match self.policy {
+            IrbPolicy::Banked { .. } => thread,
+            _ => 0,
+        }
+    }
+
+    fn bank_mut(&mut self, thread: usize) -> &mut Irb {
+        let key = self.bank_key(thread);
+        let cap = match self.policy {
+            IrbPolicy::Banked { per_tenant } => per_tenant,
+            _ => self.shared_capacity,
+        };
+        self.banks.entry(key).or_insert_with(|| Irb::new(cap))
+    }
+
+    /// Inserts an entry, enforcing the policy's placement/quota; `false`
+    /// means the entry was dropped (bank full or quota exhausted).
+    pub fn insert(&mut self, entry: IrbEntry) -> bool {
+        let thread = entry.key.core;
+        if let IrbPolicy::Partitioned { quota } = self.policy {
+            let bank = self.bank_mut(thread);
+            if bank.occupancy(thread) >= quota {
+                bank.note_drop();
+                return false;
+            }
+        }
+        self.bank_mut(thread).insert(entry)
+    }
+
+    /// Looks up and removes the entry matching a write to `line` from
+    /// `thread` (routes to the thread's bank, then scans it).
+    pub fn consume(&mut self, thread: usize, line: LineAddr) -> Option<IrbEntry> {
+        self.banks
+            .get_mut(&self.bank_key(thread))?
+            .consume(thread, line)
+    }
+
+    /// Attaches a later-arriving address to data-only entries of `key` (see
+    /// [`Irb::bind_addr`]).
+    pub fn bind_addr(&mut self, key: IrbKey, first: LineAddr, nlines: u32) -> usize {
+        let bank_key = self.bank_key(key.core);
+        match self.banks.get_mut(&bank_key) {
+            Some(bank) => bank.bind_addr(key, first, nlines),
+            None => 0,
+        }
+    }
+
+    /// Entries bound to `key`, in insertion order within its bank.
+    pub fn entries_for(&self, key: IrbKey) -> impl Iterator<Item = &IrbEntry> {
+        self.banks
+            .get(&self.bank_key(key.core))
+            .into_iter()
+            .flat_map(move |b| b.entries_for(key))
+    }
+
+    /// Marks entries predicting duplicate `slot` stale, across all banks
+    /// (dedup metadata is controller-global regardless of IRB placement).
+    pub fn invalidate_slot_refs(&mut self, slot: u64) -> usize {
+        self.banks
+            .values_mut()
+            .map(|b| b.invalidate_slot_refs(slot))
+            .sum()
+    }
+
+    /// Ages out entries older than `max_age` in every bank.
+    pub fn expire(&mut self, now: Cycles, max_age: Cycles) -> usize {
+        self.banks
+            .values_mut()
+            .map(|b| b.expire(now, max_age))
+            .sum()
+    }
+
+    /// Clears a terminating thread's entries (its whole bank under the
+    /// banked policy).
+    pub fn clear_thread(&mut self, thread: usize) -> usize {
+        self.banks
+            .values_mut()
+            .map(|b| b.clear_thread(thread))
+            .sum()
+    }
+
+    /// Clears entries in `[first, first+nlines)` across all banks.
+    pub fn clear_range(&mut self, first: LineAddr, nlines: u64) -> usize {
+        self.banks
+            .values_mut()
+            .map(|b| b.clear_range(first, nlines))
+            .sum()
+    }
+
+    /// Total live entries across banks.
+    pub fn len(&self) -> usize {
+        self.banks.values().map(Irb::len).sum()
+    }
+
+    /// Whether every bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.banks.values().all(Irb::is_empty)
+    }
+
+    /// Aggregated (inserted, consumed, drops, expired, stale invalidations)
+    /// over all banks, summed in thread order.
+    pub fn stats(&self) -> (u64, u64, u64, u64, u64) {
+        self.banks
+            .values()
+            .map(Irb::stats)
+            .fold((0, 0, 0, 0, 0), |(a, b, c, d, e), (i, co, dr, ex, st)| {
+                (a + i, b + co, c + dr, d + ex, e + st)
+            })
     }
 }
 
@@ -421,5 +650,105 @@ mod tests {
         irb.insert(entry(0, 3, None)); // unbound survives
         assert_eq!(irb.clear_range(LineAddr(100), 50), 1);
         assert_eq!(irb.len(), 2);
+    }
+
+    #[test]
+    fn policy_parse_and_display_round_trip() {
+        assert_eq!(IrbPolicy::parse("shared"), Ok(IrbPolicy::Shared));
+        assert_eq!(
+            IrbPolicy::parse("banked"),
+            Ok(IrbPolicy::Banked { per_tenant: 64 })
+        );
+        assert_eq!(
+            IrbPolicy::parse("banked:8"),
+            Ok(IrbPolicy::Banked { per_tenant: 8 })
+        );
+        assert_eq!(
+            IrbPolicy::parse("partitioned:16"),
+            Ok(IrbPolicy::Partitioned { quota: 16 })
+        );
+        assert!(IrbPolicy::parse("banked:0").is_err());
+        assert!(IrbPolicy::parse("banked:x").is_err());
+        assert!(IrbPolicy::parse("lru").is_err());
+        for p in [
+            IrbPolicy::Shared,
+            IrbPolicy::Banked { per_tenant: 8 },
+            IrbPolicy::Partitioned { quota: 16 },
+        ] {
+            assert_eq!(IrbPolicy::parse(&p.to_string()), Ok(p));
+        }
+    }
+
+    #[test]
+    fn shared_set_matches_plain_irb() {
+        // The Shared policy must be behaviourally identical to a bare Irb —
+        // this is what keeps the published single-tenant goldens intact.
+        let mut plain = Irb::new(2);
+        let mut set = IrbSet::new(IrbPolicy::Shared, 2);
+        for (core, obj, line) in [(0, 1, 10), (1, 2, 11), (0, 3, 12)] {
+            assert_eq!(
+                plain.insert(entry(core, obj, Some(line))),
+                set.insert(entry(core, obj, Some(line)))
+            );
+        }
+        assert_eq!(
+            plain.consume(0, LineAddr(10)).map(|e| e.key),
+            set.consume(0, LineAddr(10)).map(|e| e.key)
+        );
+        assert_eq!(plain.stats(), set.stats());
+        assert_eq!(plain.len(), set.len());
+    }
+
+    #[test]
+    fn banked_isolates_tenants() {
+        let mut set = IrbSet::new(IrbPolicy::Banked { per_tenant: 1 }, 1024);
+        assert!(set.insert(entry(0, 1, Some(1))));
+        // Tenant 0's bank is full; tenant 1 still has its own bank.
+        assert!(!set.insert(entry(0, 2, Some(2))));
+        assert!(set.insert(entry(1, 3, Some(3))));
+        assert_eq!(set.len(), 2);
+        assert!(set.consume(1, LineAddr(3)).is_some());
+        assert!(set.consume(0, LineAddr(1)).is_some());
+        let (inserted, consumed, drops, _, _) = set.stats();
+        assert_eq!((inserted, consumed, drops), (2, 2, 1));
+    }
+
+    #[test]
+    fn partitioned_quota_caps_one_tenant_without_starving_another() {
+        let mut set = IrbSet::new(IrbPolicy::Partitioned { quota: 2 }, 8);
+        assert!(set.insert(entry(0, 1, Some(1))));
+        assert!(set.insert(entry(0, 2, Some(2))));
+        assert!(!set.insert(entry(0, 3, Some(3))), "quota exhausted");
+        assert!(set.insert(entry(1, 4, Some(4))), "other tenant unaffected");
+        let (_, _, drops, _, _) = set.stats();
+        assert_eq!(drops, 1);
+        // Consuming frees quota.
+        assert!(set.consume(0, LineAddr(1)).is_some());
+        assert!(set.insert(entry(0, 5, Some(5))));
+    }
+
+    #[test]
+    fn set_maintenance_spans_banks() {
+        let mut set = IrbSet::new(IrbPolicy::Banked { per_tenant: 4 }, 16);
+        let mut a = entry(0, 1, Some(1));
+        a.predicted_dup_slot = Some(7);
+        set.insert(a);
+        let mut b = entry(1, 2, Some(2));
+        b.predicted_dup_slot = Some(7);
+        b.created = Cycles(1_000);
+        set.insert(b);
+        assert_eq!(set.invalidate_slot_refs(7), 2, "both banks marked");
+        assert_eq!(set.expire(Cycles(1_500), Cycles(800)), 1);
+        assert_eq!(set.clear_thread(1), 1);
+        assert!(set.is_empty());
+        // bind_addr routes to the right bank.
+        set.insert(entry(2, 9, None));
+        let key = IrbKey {
+            core: 2,
+            obj: PreObjId(9),
+        };
+        assert_eq!(set.bind_addr(key, LineAddr(100), 1), 1);
+        assert_eq!(set.entries_for(key).count(), 1);
+        assert_eq!(set.clear_range(LineAddr(100), 1), 1);
     }
 }

@@ -28,6 +28,9 @@
 //!   private L1s and a shared L2 executing [`ir::Program`]s against the
 //!   shared memory controller; produces an [`system::ExecutionReport`];
 //!   supports crash injection and recovery.
+//! * [`tenant`] — the multi-tenant open-loop front end: per-tenant
+//!   transaction streams with pre-computed arrival times that idle cores
+//!   pull from deterministically (earliest arrival, lowest tenant id).
 //! * [`overhead`] — the §5.2.7 hardware overhead accounting.
 //!
 //! # Example
@@ -57,6 +60,7 @@ pub mod irb;
 pub mod overhead;
 pub mod queues;
 pub mod system;
+pub mod tenant;
 
 pub use config::{JanusConfig, SystemMode};
 pub use ir::{Op, PreObjId, Program, ProgramBuilder};

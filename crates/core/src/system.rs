@@ -9,6 +9,12 @@
 //! may first require the write's BMOs to finish: the crux of the paper).
 //! Janus pre-execution requests travel the same path and are consumed by the
 //! controller asynchronously.
+//!
+//! Two run models share the machinery: the closed-loop model
+//! ([`System::run`]) executes one fixed [`Program`] per core, and the
+//! open-loop multi-tenant model ([`System::try_run_tenants`]) has cores act
+//! as workers pulling tenant transactions from [`TenantStream`]s as they
+//! arrive, with per-tenant latency distributions in the report.
 
 use janus_nvm::addr::LineAddr;
 use janus_nvm::cache::{Access, CacheConfig, SetAssocCache};
@@ -25,15 +31,82 @@ use crate::controller::MemoryController;
 use crate::ir::{Op, Program};
 use crate::irb::IrbKey;
 use crate::queues::{PreFunc, PreRequest};
+use crate::tenant::{FrontEnd, TenantStream};
+
+/// A run request that contradicts the system's configuration — returned by
+/// the fallible entry points ([`System::try_run`],
+/// [`System::run_until_crash`], [`System::try_run_tenants`]) so
+/// harnesses can surface a usage error (exit status 2) instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Closed-loop runs need exactly one program per configured core.
+    ProgramCount {
+        /// Programs supplied.
+        programs: usize,
+        /// Cores configured.
+        cores: usize,
+    },
+    /// An open-loop run needs at least one tenant stream.
+    NoTenants,
+    /// A tenant stream's arrival and transaction vectors differ in length.
+    StreamShape {
+        /// The offending tenant.
+        tenant: usize,
+        /// Arrival count.
+        arrivals: usize,
+        /// Transaction count.
+        txs: usize,
+    },
+    /// A tenant stream's arrivals are not sorted ascending.
+    UnsortedArrivals {
+        /// The offending tenant.
+        tenant: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ProgramCount { programs, cores } => write!(
+                f,
+                "got {programs} program(s) for {cores} configured core(s); \
+                 closed-loop runs need exactly one program per core"
+            ),
+            ConfigError::NoTenants => write!(f, "open-loop run with no tenant streams"),
+            ConfigError::StreamShape {
+                tenant,
+                arrivals,
+                txs,
+            } => write!(
+                f,
+                "tenant {tenant}: {arrivals} arrival(s) for {txs} transaction(s)"
+            ),
+            ConfigError::UnsortedArrivals { tenant } => {
+                write!(f, "tenant {tenant}: arrivals are not sorted ascending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Simulator events.
 #[derive(Clone, Debug)]
 enum Ev {
     /// Core `i` executes its next operation.
     Core(usize),
+    /// An idle worker core re-checks the open-loop front end (scheduled on
+    /// tenant completions and future arrivals). Ignored unless the core is
+    /// actually parked — a stale wake must never double-step a core that
+    /// has since picked up work.
+    CoreWake(usize),
     /// A writeback reaches the memory controller.
     WriteArrive {
         core: usize,
+        /// Logical thread identity: the tenant in open-loop runs, the core
+        /// itself in closed-loop runs. This is the IRB ThreadID and the id
+        /// carried on trace/profile events, so blame is per-tenant.
+        thread: usize,
         line: LineAddr,
         data: Line,
         commit: bool,
@@ -65,12 +138,54 @@ struct CoreState {
     tx_id: u64,
     committed: u64,
     finished_at: Option<Cycles>,
+    /// Open-loop only: the in-flight tenant transaction (tenant id and its
+    /// arrival time). `None` in closed-loop runs and between pulls.
+    tenant: Option<(usize, Cycles)>,
+    /// Open-loop only: parked waiting for the front end (the target state a
+    /// stale [`Ev::CoreWake`] is checked against).
+    idle: bool,
 }
 
 impl CoreState {
+    fn fresh(program: Program) -> Self {
+        CoreState {
+            program,
+            pc: 0,
+            outstanding: 0,
+            fence_blocked: false,
+            tx_id: 0,
+            committed: 0,
+            finished_at: None,
+            tenant: None,
+            idle: false,
+        }
+    }
+
     fn done(&self) -> bool {
         self.pc >= self.program.ops.len()
     }
+}
+
+/// Per-tenant open-loop statistics (see [`ExecutionReport::tenants`]).
+/// Latencies are arrival→persistence, so queueing delay behind the
+/// tenant's own earlier transactions and behind busy cores is included —
+/// the open-loop tail the multi-tenant sweeps measure.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantReport {
+    /// Transactions dispatched to cores.
+    pub dispatched: u64,
+    /// Transactions completed (executed to persistence).
+    pub completed: u64,
+    /// Mean latency.
+    pub mean: Cycles,
+    /// Median latency.
+    pub p50: Cycles,
+    /// 99th-percentile latency.
+    pub p99: Cycles,
+    /// 99.9th-percentile latency.
+    pub p999: Cycles,
+    /// Worst observed latency.
+    pub max: Cycles,
 }
 
 /// Execution statistics of one run.
@@ -106,6 +221,11 @@ pub struct ExecutionReport {
     /// simulated machine, and the exported result files must stay
     /// byte-identical.
     pub events: u64,
+    /// Per-tenant statistics of an open-loop run
+    /// ([`System::try_run_tenants`]); empty for closed-loop runs, which
+    /// keeps every closed-loop export byte-identical to before the
+    /// multi-tenant front end existed.
+    pub tenants: Vec<TenantReport>,
 }
 
 impl ExecutionReport {
@@ -126,6 +246,34 @@ impl ExecutionReport {
             .find(|(n, _)| *n == name)
             .map_or(0, |(_, v)| *v)
     }
+
+    /// Jain's fairness index over per-tenant service rates (the reciprocal
+    /// of each tenant's mean latency; tenants that completed nothing count
+    /// as rate 0). 1.0 = perfectly fair, 1/n = one tenant got everything.
+    /// Returns 1.0 for closed-loop runs (no tenants).
+    pub fn jain_fairness(&self) -> f64 {
+        if self.tenants.is_empty() {
+            return 1.0;
+        }
+        let xs: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                if t.completed > 0 {
+                    1.0 / (t.mean.0.max(1) as f64)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let sum: f64 = xs.iter().sum();
+        let sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sq == 0.0 {
+            1.0
+        } else {
+            (sum * sum) / (xs.len() as f64 * sq)
+        }
+    }
 }
 
 /// The simulator. Construct with a [`JanusConfig`], then [`System::run`]
@@ -138,6 +286,9 @@ pub struct System {
     /// Per-core volatile view of its own stores (captured at `clwb`).
     overlay: Vec<LineStore>,
     cores: Vec<CoreState>,
+    /// The open-loop front end; `None` for closed-loop (one fixed program
+    /// per core) runs.
+    front: Option<FrontEnd>,
     events: EventQueue<Ev>,
     events_processed: u64,
     sampler: Option<MetricsSampler>,
@@ -173,6 +324,7 @@ impl System {
             l2: SetAssocCache::new(CacheConfig::l2()),
             overlay: (0..config.cores).map(|_| LineStore::new()).collect(),
             cores: Vec::new(),
+            front: None,
             events: EventQueue::with_capacity(pending),
             events_processed: 0,
             sampler: None,
@@ -256,34 +408,87 @@ impl System {
     /// # Panics
     ///
     /// Panics if the number of programs does not match the configured core
-    /// count.
+    /// count ([`System::try_run`] is the non-panicking form).
     pub fn run(&mut self, programs: Vec<Program>) -> ExecutionReport {
-        assert_eq!(
-            programs.len(),
-            self.config.cores,
-            "one program per configured core"
-        );
+        self.try_run(programs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`System::run`]: a program-count mismatch is a
+    /// [`ConfigError`] instead of a panic, so harnesses can report a usage
+    /// error and exit cleanly.
+    pub fn try_run(&mut self, programs: Vec<Program>) -> Result<ExecutionReport, ConfigError> {
+        if programs.len() != self.config.cores {
+            return Err(ConfigError::ProgramCount {
+                programs: programs.len(),
+                cores: self.config.cores,
+            });
+        }
         self.start(programs);
-        if self.batched {
-            self.run_batched();
-        } else {
-            while self.step() {}
+        self.drain();
+        Ok(self.report())
+    }
+
+    /// Runs the multi-tenant open-loop front end to completion: cores pull
+    /// transactions from the tenant streams (earliest arrival, lowest
+    /// tenant id) instead of executing fixed per-core programs. The report
+    /// carries per-tenant latency distributions in
+    /// [`ExecutionReport::tenants`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when there are no streams, a stream's arrival and
+    /// transaction vectors disagree in length, or arrivals are unsorted.
+    pub fn try_run_tenants(
+        &mut self,
+        streams: Vec<TenantStream>,
+    ) -> Result<ExecutionReport, ConfigError> {
+        if streams.is_empty() {
+            return Err(ConfigError::NoTenants);
         }
-        if let Some(sampler) = &mut self.sampler {
-            sampler.finish(self.events.now(), self.mc.stats());
+        for (tenant, s) in streams.iter().enumerate() {
+            if s.arrivals.len() != s.txs.len() {
+                return Err(ConfigError::StreamShape {
+                    tenant,
+                    arrivals: s.arrivals.len(),
+                    txs: s.txs.len(),
+                });
+            }
+            if s.arrivals.windows(2).any(|w| w[0] > w[1]) {
+                return Err(ConfigError::UnsortedArrivals { tenant });
+            }
         }
-        self.report()
+        self.front = Some(FrontEnd::new(streams));
+        self.cores = (0..self.config.cores)
+            .map(|_| CoreState::fresh(Program::default()))
+            .collect();
+        // Every core starts with an empty program: its first Core event
+        // lands in the done-branch, which pulls from the front end.
+        for i in 0..self.cores.len() {
+            self.events.schedule(Cycles::ZERO, Ev::Core(i));
+        }
+        self.drain();
+        Ok(self.report())
     }
 
     /// Runs until simulated time exceeds `crash_at`, then abandons all
     /// volatile state and returns the persistent snapshot + secure root
     /// (power loss).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ProgramCount`] when the number of programs does not
+    /// match the configured core count.
     pub fn run_until_crash(
         &mut self,
         programs: Vec<Program>,
         crash_at: Cycles,
-    ) -> (LineStore, janus_bmo::integrity::NodeHash) {
-        assert_eq!(programs.len(), self.config.cores);
+    ) -> Result<(LineStore, janus_bmo::integrity::NodeHash), ConfigError> {
+        if programs.len() != self.config.cores {
+            return Err(ConfigError::ProgramCount {
+                programs: programs.len(),
+                cores: self.config.cores,
+            });
+        }
         self.start(programs);
         while let Some(t) = self.events.peek_time() {
             if t > crash_at {
@@ -291,24 +496,26 @@ impl System {
             }
             self.step();
         }
-        self.mc.crash()
+        Ok(self.mc.crash())
     }
 
     fn start(&mut self, programs: Vec<Program>) {
-        self.cores = programs
-            .into_iter()
-            .map(|program| CoreState {
-                program,
-                pc: 0,
-                outstanding: 0,
-                fence_blocked: false,
-                tx_id: 0,
-                committed: 0,
-                finished_at: None,
-            })
-            .collect();
+        self.cores = programs.into_iter().map(CoreState::fresh).collect();
         for i in 0..self.cores.len() {
             self.events.schedule(Cycles::ZERO, Ev::Core(i));
+        }
+    }
+
+    /// Runs the event loop dry and finalises sampling (shared by the
+    /// closed- and open-loop entry points).
+    fn drain(&mut self) {
+        if self.batched {
+            self.run_batched();
+        } else {
+            while self.step() {}
+        }
+        if let Some(sampler) = &mut self.sampler {
+            sampler.finish(self.events.now(), self.mc.stats());
         }
     }
 
@@ -347,14 +554,25 @@ impl System {
     fn dispatch(&mut self, t: Cycles, ev: Ev) {
         match ev {
             Ev::Core(i) => self.step_core(t, i),
+            Ev::CoreWake(i) => {
+                // Stale wakes (the core picked up work since the wake was
+                // scheduled) are ignored — only parked cores re-check.
+                if self.cores[i].idle {
+                    self.core_idle(t, i);
+                }
+            }
             Ev::WriteArrive {
                 core,
+                thread,
                 line,
                 data,
                 commit,
                 critical,
             } => {
-                let out = self.mc.handle_write(t, core, line, data, commit);
+                // The controller (IRB lookups, trace/profile identity) sees
+                // the logical thread; persistence notifications go back to
+                // the physical core that issued the `clwb`.
+                let out = self.mc.handle_write(t, thread, line, data, commit);
                 if critical {
                     self.events
                         .schedule(out.persist_at.max(t), Ev::Persisted { core });
@@ -368,13 +586,23 @@ impl System {
             Ev::Persisted { core } => {
                 let c = &mut self.cores[core];
                 c.outstanding -= 1;
-                if c.fence_blocked && c.outstanding == 0 {
+                let resumed = c.fence_blocked && c.outstanding == 0;
+                if resumed {
                     c.fence_blocked = false;
                     let delay = self.config.core.fence_issue;
                     self.events.schedule(t + delay, Ev::Core(core));
                 }
-                if c.done() && c.outstanding == 0 && c.finished_at.is_none() {
-                    c.finished_at = Some(t);
+                if self.cores[core].done() && self.cores[core].outstanding == 0 {
+                    if self.front.is_some() {
+                        // If the fence just resumed the core, the scheduled
+                        // Core event's done-branch will retire the
+                        // transaction — don't do it twice.
+                        if !resumed {
+                            self.core_idle(t, core);
+                        }
+                    } else if self.cores[core].finished_at.is_none() {
+                        self.cores[core].finished_at = Some(t);
+                    }
                 }
             }
         }
@@ -401,14 +629,23 @@ impl System {
         false
     }
 
+    /// Logical thread identity of whatever core `i` is executing: the
+    /// tenant in open-loop runs, the core itself in closed-loop runs. This
+    /// is the ThreadID the IRB keys on and the id the trace/profile stream
+    /// attributes work to — so in multi-tenant runs, blame is per-tenant
+    /// regardless of which core a transaction landed on.
+    fn thread_of(&self, i: usize) -> usize {
+        self.cores[i].tenant.map_or(i, |(tenant, _)| tenant)
+    }
+
     fn step_core(&mut self, t: Cycles, i: usize) {
         if self.cores[i].done() {
-            let c = &mut self.cores[i];
-            if c.outstanding == 0 && c.finished_at.is_none() {
-                c.finished_at = Some(t);
+            if self.cores[i].outstanding == 0 {
+                self.core_idle(t, i);
             }
             return;
         }
+        let thread = self.thread_of(i);
         let pc = self.cores[i].pc;
         let op = self.cores[i].program.ops[pc].clone();
         self.cores[i].pc += 1;
@@ -424,7 +661,7 @@ impl System {
             }
             Op::Store { line, value } => {
                 self.overlay[i].write(line, value);
-                self.touch_cache(i, line, true);
+                self.touch_cache(i, thread, line, true);
                 next_at = t + ct.store;
             }
             Op::Clwb(line) => {
@@ -437,6 +674,7 @@ impl System {
                     t + ct.clwb_issue + wb,
                     Ev::WriteArrive {
                         core: i,
+                        thread,
                         line,
                         data,
                         commit,
@@ -467,7 +705,7 @@ impl System {
                     t,
                     i,
                     PreRequest {
-                        key: IrbKey { core: i, obj },
+                        key: IrbKey { core: thread, obj },
                         tx_id: self.cores[i].tx_id,
                         func: PreFunc::Addr,
                         line: Some(line),
@@ -484,7 +722,7 @@ impl System {
                     t,
                     i,
                     PreRequest {
-                        key: IrbKey { core: i, obj },
+                        key: IrbKey { core: thread, obj },
                         tx_id: self.cores[i].tx_id,
                         func: PreFunc::Data,
                         line: None,
@@ -501,7 +739,7 @@ impl System {
                     t,
                     i,
                     PreRequest {
-                        key: IrbKey { core: i, obj },
+                        key: IrbKey { core: thread, obj },
                         tx_id: self.cores[i].tx_id,
                         func: PreFunc::Both,
                         line: Some(line),
@@ -517,7 +755,7 @@ impl System {
                     t,
                     i,
                     PreRequest {
-                        key: IrbKey { core: i, obj },
+                        key: IrbKey { core: thread, obj },
                         tx_id: self.cores[i].tx_id,
                         func: PreFunc::Addr,
                         line: Some(line),
@@ -534,7 +772,7 @@ impl System {
                     t,
                     i,
                     PreRequest {
-                        key: IrbKey { core: i, obj },
+                        key: IrbKey { core: thread, obj },
                         tx_id: self.cores[i].tx_id,
                         func: PreFunc::Data,
                         line: None,
@@ -551,7 +789,7 @@ impl System {
                     t,
                     i,
                     PreRequest {
-                        key: IrbKey { core: i, obj },
+                        key: IrbKey { core: thread, obj },
                         tx_id: self.cores[i].tx_id,
                         func: PreFunc::Both,
                         line: Some(line),
@@ -567,7 +805,7 @@ impl System {
                     t,
                     i,
                     PreRequest {
-                        key: IrbKey { core: i, obj },
+                        key: IrbKey { core: thread, obj },
                         tx_id: self.cores[i].tx_id,
                         func: PreFunc::Both,
                         line: None,
@@ -614,8 +852,9 @@ impl System {
     }
 
     /// Installs a line into L1/L2 for a store; dirty victims write back to
-    /// the controller off the critical path.
-    fn touch_cache(&mut self, core: usize, line: LineAddr, write: bool) {
+    /// the controller off the critical path, attributed to the logical
+    /// thread currently executing on the core.
+    fn touch_cache(&mut self, core: usize, thread: usize, line: LineAddr, write: bool) {
         if let Access::Miss { victim: Some(v) } = self.l1[core].access(line, write) {
             if v.dirty {
                 let data = self.overlay[core].read(v.addr);
@@ -624,6 +863,7 @@ impl System {
                     now + self.config.writeback,
                     Ev::WriteArrive {
                         core,
+                        thread,
                         line: v.addr,
                         data,
                         commit: false,
@@ -633,6 +873,73 @@ impl System {
             }
         }
         self.l2.access(line, write);
+    }
+
+    /// Core `i` has nothing left to execute and nothing outstanding.
+    /// Closed-loop: record the finish time. Open-loop: retire the in-flight
+    /// tenant transaction, then pull the next ready one (or park until the
+    /// next arrival / a peer's completion / the end of the run).
+    fn core_idle(&mut self, t: Cycles, i: usize) {
+        let Some(front) = self.front.as_mut() else {
+            let c = &mut self.cores[i];
+            if c.finished_at.is_none() {
+                c.finished_at = Some(t);
+            }
+            return;
+        };
+        let mut completed = false;
+        if let Some((tenant, arrival)) = self.cores[i].tenant.take() {
+            front.complete(tenant, arrival, t);
+            completed = true;
+        }
+        let front = self.front.as_mut().expect("open-loop front end");
+        if let Some((tenant, arrival, program)) = front.pull(t) {
+            let more_ready = front.ready(t);
+            let c = &mut self.cores[i];
+            c.program = program;
+            c.pc = 0;
+            c.tenant = Some((tenant, arrival));
+            c.idle = false;
+            c.finished_at = None;
+            self.events.schedule(t, Ev::Core(i));
+            // A completion frees the tenant's next transaction, and a pull
+            // may leave further arrived work behind — both are news to
+            // parked peers.
+            if completed || more_ready {
+                self.wake_idle_peers(t, i);
+            }
+        } else {
+            let next = front.next_arrival();
+            let finished = front.all_dispatched();
+            let c = &mut self.cores[i];
+            c.idle = true;
+            if let Some(at) = next {
+                // Nothing ready yet: park until the next possible arrival.
+                c.finished_at = None;
+                self.events.schedule(at.max(t), Ev::CoreWake(i));
+            } else if finished {
+                if c.finished_at.is_none() {
+                    c.finished_at = Some(t);
+                }
+            } else {
+                // Pending work is all on busy tenants; their completions
+                // wake us.
+                c.finished_at = None;
+            }
+            if completed {
+                self.wake_idle_peers(t, i);
+            }
+        }
+    }
+
+    /// Wakes every parked core (except `except`) at time `t` — cheap, and
+    /// stale wakes are ignored by the `Ev::CoreWake` handler.
+    fn wake_idle_peers(&mut self, t: Cycles, except: usize) {
+        for j in 0..self.cores.len() {
+            if j != except && self.cores[j].idle {
+                self.events.schedule(t, Ev::CoreWake(j));
+            }
+        }
     }
 
     fn report(&self) -> ExecutionReport {
@@ -653,6 +960,19 @@ impl System {
         counters.push(("nvm_device_writes", dev_writes));
         counters.push(("wq_stall_cycles", self.mc.wq_stalls().0));
         counters.push(("wq_coalesced", self.mc.wq_coalesced()));
+        let tenants = self.front.as_ref().map_or_else(Vec::new, |fe| {
+            fe.tenant_stats()
+                .map(|(dispatched, completed, h)| TenantReport {
+                    dispatched,
+                    completed,
+                    mean: h.mean().unwrap_or(Cycles::ZERO),
+                    p50: h.p50().unwrap_or(Cycles::ZERO),
+                    p99: h.p99().unwrap_or(Cycles::ZERO),
+                    p999: h.p999().unwrap_or(Cycles::ZERO),
+                    max: h.max(),
+                })
+                .collect()
+        });
         ExecutionReport {
             cycles: core_cycles.iter().copied().max().unwrap_or(Cycles::ZERO),
             core_cycles,
@@ -673,6 +993,7 @@ impl System {
                 .and_then(|h| h.mean())
                 .unwrap_or(Cycles::ZERO),
             events: self.events_processed,
+            tenants,
         }
     }
 }
@@ -728,6 +1049,22 @@ impl ExecutionReport {
             U64(self.mean_write_latency.0),
         ));
         f.push(("lat.read_mean_cycles".into(), U64(self.mean_read_latency.0)));
+        // Multi-tenant fields exist only for open-loop runs: closed-loop
+        // reports (and therefore every pre-existing golden file) are
+        // byte-identical to before the front end existed.
+        if !self.tenants.is_empty() {
+            f.push(("mt.tenants".into(), U64(self.tenants.len() as u64)));
+            f.push(("mt.jain_fairness".into(), Frac(self.jain_fairness())));
+            for (i, tr) in self.tenants.iter().enumerate() {
+                f.push((format!("tenant{i}.dispatched"), U64(tr.dispatched)));
+                f.push((format!("tenant{i}.completed"), U64(tr.completed)));
+                f.push((format!("tenant{i}.lat_mean_cycles"), U64(tr.mean.0)));
+                f.push((format!("tenant{i}.lat_p50_cycles"), U64(tr.p50.0)));
+                f.push((format!("tenant{i}.lat_p99_cycles"), U64(tr.p99.0)));
+                f.push((format!("tenant{i}.lat_p999_cycles"), U64(tr.p999.0)));
+                f.push((format!("tenant{i}.lat_max_cycles"), U64(tr.max.0)));
+            }
+        }
         for (i, c) in self.core_cycles.iter().enumerate() {
             f.push((format!("sim.core{i}_cycles"), MetricsOnlyU64(c.0)));
         }
@@ -966,7 +1303,9 @@ mod tests {
         let programs = vec![persist_program(10, false)];
         let mut sys = System::new(JanusConfig::paper(SystemMode::Serialized, 1));
         // Crash long after everything drained.
-        let (snapshot, root) = sys.run_until_crash(programs, Cycles(100_000_000));
+        let (snapshot, root) = sys
+            .run_until_crash(programs, Cycles(100_000_000))
+            .expect("one program per core");
         let rec = MemoryController::recover(
             &snapshot,
             JanusConfig::paper(SystemMode::Serialized, 1),

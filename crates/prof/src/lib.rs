@@ -41,7 +41,7 @@
 mod profile;
 mod report;
 
-pub use profile::{Attribution, Profile, ProfileError, SegKind, Segment, WriteProfile};
+pub use profile::{Attribution, Profile, ProfileError, SegKind, Segment, TenantTail, WriteProfile};
 pub use report::{validate_profile_json, PROFILE_SCHEMA};
 
 use std::io::{self, Write};

@@ -95,6 +95,24 @@ struct NodeInst {
     end: Cycles,
 }
 
+/// Write-latency tail summary for one tenant (or one core, in closed-loop
+/// runs) — see [`Profile::tenant_tails`]. All latencies in cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantTail {
+    /// Number of profiled writes the tenant issued.
+    pub writes: u64,
+    /// Mean write latency.
+    pub mean: u64,
+    /// Median write latency (nearest rank).
+    pub p50: u64,
+    /// 99th-percentile write latency (nearest rank).
+    pub p99: u64,
+    /// 99.9th-percentile write latency (nearest rank).
+    pub p999: u64,
+    /// Worst write latency.
+    pub max: u64,
+}
+
 /// One write's reconstructed causal profile.
 #[derive(Clone, Debug)]
 pub struct WriteProfile {
@@ -460,6 +478,37 @@ impl Profile {
         lat.sort_unstable();
         let rank = ((lat.len() as f64) * q).ceil().max(1.0) as usize;
         lat[rank - 1]
+    }
+
+    /// Per-tenant write tail latency: writes grouped by issuing thread
+    /// ([`WriteProfile::core`], which carries the tenant id under the
+    /// multi-tenant open-loop front end and the physical core id in
+    /// closed-loop runs). Nearest-rank quantiles over each group's sorted
+    /// latencies; groups are id-ordered, so the result is deterministic.
+    pub fn tenant_tails(&self) -> BTreeMap<u64, TenantTail> {
+        let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for w in &self.writes {
+            groups.entry(w.core).or_default().push(w.latency());
+        }
+        groups
+            .into_iter()
+            .map(|(tenant, mut lat)| {
+                lat.sort_unstable();
+                let rank = |q: f64| {
+                    let r = ((lat.len() as f64) * q).ceil().max(1.0) as usize;
+                    lat[r - 1]
+                };
+                let tail = TenantTail {
+                    writes: lat.len() as u64,
+                    mean: lat.iter().sum::<u64>() / lat.len() as u64,
+                    p50: rank(0.50),
+                    p99: rank(0.99),
+                    p999: rank(0.999),
+                    max: *lat.last().expect("group is nonempty"),
+                };
+                (tenant, tail)
+            })
+            .collect()
     }
 
     /// Tail-latency blame: total chain cycles per resource over the writes

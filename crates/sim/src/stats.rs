@@ -163,6 +163,22 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Median ([`Histogram::percentile`] at 0.5).
+    pub fn p50(&self) -> Option<Cycles> {
+        self.percentile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<Cycles> {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile — the tail-latency metric the multi-tenant sweeps
+    /// report alongside p50/p99.
+    pub fn p999(&self) -> Option<Cycles> {
+        self.percentile(0.999)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (b, c) in &other.buckets {
@@ -426,6 +442,20 @@ mod tests {
         one.record(Cycles(777));
         assert_eq!(one.percentile(0.01), Some(Cycles(777)));
         assert_eq!(one.percentile(1.0), Some(Cycles(777)));
+    }
+
+    #[test]
+    fn named_percentile_accessors_are_ordered() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(Cycles(i));
+        }
+        let (p50, p99, p999) = (h.p50().unwrap(), h.p99().unwrap(), h.p999().unwrap());
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!(p999 <= h.max());
+        // p999 must actually sit in the tail above p99's bucket midpoint.
+        assert!(p999 >= Cycles(9_000), "p999 = {p999}");
+        assert_eq!(Histogram::new().p999(), None);
     }
 
     #[test]

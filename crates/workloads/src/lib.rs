@@ -44,6 +44,7 @@ pub mod queue;
 pub mod rb_tree;
 pub mod tatp;
 pub mod tpcc;
+pub mod traffic;
 pub mod undo;
 pub mod values;
 

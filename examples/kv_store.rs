@@ -52,8 +52,9 @@ fn main() {
     let mut sys = System::new(JanusConfig::paper(SystemMode::Janus, 1));
     // Run everything, then pull the plug (all accepted writes are in the
     // persistent domain thanks to ADR).
-    let (snapshot, root) =
-        sys.run_until_crash(vec![program], janus::sim::time::Cycles(u64::MAX / 2));
+    let (snapshot, root) = sys
+        .run_until_crash(vec![program], janus::sim::time::Cycles(u64::MAX / 2))
+        .expect("one program per core");
 
     println!("power failure! recovering from the persistent domain...");
     let recovered =

@@ -27,7 +27,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BINS="fig1 fig3 fig6 fig9 fig10 fig11 fig12 fig13 fig14 table1 table4 overhead ablation endurance extended misuse skew janus-lint"
+BINS="fig1 fig3 fig6 fig9 fig10 fig11 fig12 fig13 fig14 table1 table4 overhead ablation endurance extended misuse skew janus-lint multicore"
 
 echo "==> building janus-bench (release, locked, offline)"
 cargo build --release --locked --offline -p janus-bench

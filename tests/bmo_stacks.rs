@@ -36,7 +36,9 @@ fn run_crash_recover_verify(stack: &str, w: Workload, tx: usize) {
     );
     let cfg = config_for(stack, SystemMode::Janus);
     let mut sys = System::new(cfg.clone());
-    let (snapshot, root) = sys.run_until_crash(vec![out.program], Cycles(u64::MAX / 2));
+    let (snapshot, root) = sys
+        .run_until_crash(vec![out.program], Cycles(u64::MAX / 2))
+        .expect("one program per core");
     let rec = MemoryController::recover(&snapshot, cfg, root)
         .unwrap_or_else(|e| panic!("stack [{stack}] {w}: recovery failed: {e}"));
     for (line, expected) in out.expected.iter() {

@@ -26,7 +26,9 @@ fn every_workload_survives_a_post_run_crash() {
             },
         );
         let mut sys = System::new(config());
-        let (snapshot, root) = sys.run_until_crash(vec![out.program], Cycles(u64::MAX / 2));
+        let (snapshot, root) = sys
+            .run_until_crash(vec![out.program], Cycles(u64::MAX / 2))
+            .expect("one program per core");
         let rec = MemoryController::recover(&snapshot, config(), root)
             .unwrap_or_else(|e| panic!("{w}: recovery failed: {e}"));
         for (line, expected) in out.expected.iter() {
@@ -59,7 +61,9 @@ fn mid_run_crash_recovers_to_a_consistent_prefix() {
 
     for crash_at in [50_000u64, 200_000, 400_000, 800_000] {
         let mut sys = System::new(config());
-        let (snapshot, root) = sys.run_until_crash(vec![out.program.clone()], Cycles(crash_at));
+        let (snapshot, root) = sys
+            .run_until_crash(vec![out.program.clone()], Cycles(crash_at))
+            .expect("one program per core");
         let rec = MemoryController::recover(&snapshot, config(), root)
             .unwrap_or_else(|e| panic!("crash@{crash_at}: {e}"));
         for (line, values) in &legal {
@@ -88,7 +92,9 @@ fn undo_log_rolls_back_torn_transactions() {
     let program = ctx.build();
 
     let mut sys = System::new(config());
-    let (snapshot, root) = sys.run_until_crash(vec![program], Cycles(u64::MAX / 2));
+    let (snapshot, root) = sys
+        .run_until_crash(vec![program], Cycles(u64::MAX / 2))
+        .expect("one program per core");
     let rec = MemoryController::recover(&snapshot, config(), root).expect("recovery");
     // The in-place update persisted...
     assert_eq!(rec.read_value(target), Line::splat(2));
@@ -108,7 +114,9 @@ fn tampered_snapshot_is_rejected() {
         },
     );
     let mut sys = System::new(config());
-    let (mut snapshot, root) = sys.run_until_crash(vec![out.program], Cycles(u64::MAX / 2));
+    let (mut snapshot, root) = sys
+        .run_until_crash(vec![out.program], Cycles(u64::MAX / 2))
+        .expect("one program per core");
     // Attacker rewrites chunks of some non-zero persisted line (multi-bit
     // damage: beyond SECDED correction, so it must be *detected*).
     let victim = snapshot.iter().next().map(|(a, _)| a).expect("non-empty");

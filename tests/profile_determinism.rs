@@ -11,7 +11,9 @@
 //!   same blame ranking, to the byte.
 
 use janus::prof::Profile;
-use janus_bench::{run_quiet, RunSpec, Variant};
+use janus::sim::time::Cycles;
+use janus::workloads::traffic::Arrival;
+use janus_bench::{run_quiet, OpenLoopSpec, RunSpec, Variant};
 use janus_workloads::Workload;
 
 fn profile_of(spec: &RunSpec) -> (String, String) {
@@ -65,6 +67,46 @@ fn batched_and_legacy_loops_profile_identically() {
             variant.label()
         );
     }
+}
+
+#[test]
+fn tenant_tails_group_write_latency_by_tenant_not_core() {
+    // Four tenants on two cores: the profiler's per-tenant tail summary
+    // must key on the issuing tenant (which the trace stream carries as
+    // the write's thread id), not on whichever physical core the tenant's
+    // transactions happened to land on.
+    let mut spec = profiled_spec(Workload::HashTable, Variant::JanusManual);
+    spec.cores = 2;
+    spec.transactions = 8;
+    spec.open_loop = Some(OpenLoopSpec {
+        tenants: 4,
+        arrival: Arrival::Poisson {
+            mean: Cycles(5_000),
+        },
+        mix: vec![Workload::HashTable, Workload::Queue],
+    });
+    let r = run_quiet(spec);
+    let config = r.spec.config();
+    let graph = config.stack().graph(&config.latencies);
+    let p =
+        Profile::build(&r.tracer.snapshot(), r.tracer.dropped(), &graph).expect("profile builds");
+    let tails = p.tenant_tails();
+    assert_eq!(
+        tails.keys().copied().collect::<Vec<u64>>(),
+        vec![0, 1, 2, 3],
+        "groups are the 4 tenant ids, not the 2 core ids"
+    );
+    let mut total = 0;
+    for (tenant, t) in &tails {
+        assert!(t.writes > 0, "tenant {tenant} has profiled writes");
+        assert!(
+            t.p50 <= t.p99 && t.p99 <= t.p999 && t.p999 <= t.max,
+            "tenant {tenant} quantiles ordered: {t:?}"
+        );
+        assert!(t.mean <= t.max && t.mean > 0, "tenant {tenant}: {t:?}");
+        total += t.writes;
+    }
+    assert_eq!(total as usize, p.writes().len(), "every write is grouped");
 }
 
 #[test]

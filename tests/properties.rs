@@ -138,12 +138,120 @@ fn system_crash_is_always_recoverable() {
         }
         let cfg = JanusConfig::paper(SystemMode::Serialized, 1);
         let mut sys = System::new(cfg.clone());
-        let (snapshot, root) = sys.run_until_crash(vec![b.build()], Cycles(*crash_at));
+        let (snapshot, root) = sys
+            .run_until_crash(vec![b.build()], Cycles(*crash_at))
+            .expect("one program per core");
         let rec = MemoryController::recover(&snapshot, cfg, root);
         assert!(
             rec.is_ok(),
             "crash at {crash_at} unrecoverable: {:?}",
             rec.err()
         );
+    });
+}
+
+/// Poisson traffic really has the requested rate: over many arrivals the
+/// empirical mean inter-arrival gap lands within 10% of the configured
+/// mean, whatever the seed (law of large numbers: at n = 4000 exponential
+/// gaps the sample mean's standard error is ~1.6% of the mean).
+#[test]
+fn poisson_interarrival_mean_matches_the_configured_rate() {
+    use janus::sim::rng::SimRng;
+    use janus::workloads::traffic::Arrival;
+
+    let g = gen::pair(&gen::range_u64(500..50_000), &gen::any_u64());
+    forall_cfg(&cfg(), &g, |(mean, seed)| {
+        let n = 4000;
+        let arrivals = Arrival::Poisson {
+            mean: Cycles(*mean),
+        }
+        .sample(n, &mut SimRng::new(*seed));
+        assert_eq!(arrivals.len(), n);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        // Arrival times are cumulative, so the mean gap is last/(n-1).
+        let empirical = arrivals.last().unwrap().0 as f64 / (n - 1) as f64;
+        let ratio = empirical / *mean as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "mean {mean} seed {seed}: empirical gap {empirical:.0} off by {ratio:.3}x"
+        );
+    });
+}
+
+/// The Zipfian sampler's rank-frequency curve has the requested slope:
+/// a log-log least-squares fit over the top ranks recovers θ within
+/// ±0.12 for any θ in [0.4, 0.99) and any seed.
+#[test]
+fn zipfian_rank_frequency_slope_recovers_theta() {
+    use janus::sim::rng::{SimRng, Zipf};
+
+    let g = gen::pair(&gen::range_u64(40..99), &gen::any_u64());
+    forall_cfg(&cfg(), &g, |(theta_pct, seed)| {
+        let theta = *theta_pct as f64 / 100.0;
+        let zipf = Zipf::new(10_000, theta);
+        let mut rng = SimRng::new(*seed);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..60_000 {
+            *counts.entry(zipf.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        let mut freq: Vec<u64> = counts.into_values().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        // Least-squares slope of ln(freq) on ln(rank) over the top 30
+        // ranks (the head is where the power law is cleanest at this
+        // sample size); for p(k) ∝ k^-θ the slope is -θ.
+        let pts: Vec<(f64, f64)> = freq
+            .iter()
+            .take(30)
+            .enumerate()
+            .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+            .collect();
+        let n = pts.len() as f64;
+        let (sx, sy) = pts.iter().fold((0.0, 0.0), |(a, b), p| (a + p.0, b + p.1));
+        let (sxx, sxy) = pts
+            .iter()
+            .fold((0.0, 0.0), |(a, b), p| (a + p.0 * p.0, b + p.0 * p.1));
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        assert!(
+            (slope + theta).abs() < 0.12,
+            "theta {theta} seed {seed}: fitted slope {slope:.3} (expected {:.3})",
+            -theta
+        );
+    });
+}
+
+/// A full multi-tenant open-loop run is a pure function of its seed:
+/// replaying any seed gives a byte-identical execution report.
+#[test]
+fn multi_tenant_runs_replay_deterministically_from_any_seed() {
+    use janus::core::irb::IrbPolicy;
+    use janus::workloads::traffic::{generate_tenants, Arrival, TenantSpec};
+    use janus::workloads::Workload;
+
+    forall_cfg(&Config::with_cases(8), &gen::any_u64(), |seed| {
+        let run = || {
+            let mut config = JanusConfig::paper(SystemMode::Janus, 2);
+            config.irb_policy = IrbPolicy::Banked { per_tenant: 64 };
+            let mut sys = System::new(config);
+            let specs: Vec<TenantSpec> = (0..3)
+                .map(|t| {
+                    TenantSpec::new(
+                        [Workload::HashTable, Workload::Queue, Workload::Tatp][t],
+                        3,
+                        Arrival::Poisson {
+                            mean: Cycles(8_000),
+                        },
+                    )
+                })
+                .collect();
+            let streams = generate_tenants(&specs, *seed)
+                .into_iter()
+                .map(|t| t.stream)
+                .collect();
+            let report = sys.try_run_tenants(streams).expect("valid streams");
+            let mut bytes = Vec::new();
+            report.dump(&mut bytes).unwrap();
+            bytes
+        };
+        assert_eq!(run(), run(), "seed {seed} replay diverged");
     });
 }

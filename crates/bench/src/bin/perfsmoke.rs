@@ -1,13 +1,20 @@
 //! perfsmoke — self-benchmark that pins the simulator's performance
 //! trajectory (not a paper figure).
 //!
-//! Three measurements, each median-of-k wall-clock with a warmup run:
+//! Three measurements, each k-sample wall-clock with a warmup run
+//! (best-of-k for the event-loop throughput, median-of-k elsewhere):
 //!
 //! 1. **Event-loop throughput + latency percentiles** — simulated events
-//!    retired per second of host time over a full TATP run
-//!    (`ExecutionReport::events` / wall), plus the p50/p99/p999 per-event
-//!    latency over the timed samples via the simulator's interpolating
-//!    [`Histogram::percentile`].
+//!    retired per second of host time spent in the event loop *proper*
+//!    ([`janus_bench::run_timed`]: `System::try_run` only — workload
+//!    generation, system construction, and oracle verification excluded,
+//!    so the metric matches its name), plus exact nearest-rank p50/p99/p999
+//!    per-event latency over the timed samples via [`Reservoir`] (the
+//!    log2-bucketed [`janus_sim::stats::Histogram`] put all three
+//!    percentiles in one bucket and reported them identical; nearest-rank
+//!    over raw samples cannot — though p99 and p999 still coincide at the
+//!    sample counts this tool runs, both being the observed max). The run
+//!    also publishes the engine's schedule-template cache hit/miss counts.
 //! 2. **Raw queue throughput** — schedule/pop operations per second through
 //!    the calendar [`EventQueue`] and through the reference
 //!    [`HeapEventQueue`] on the same synthetic trace, so the hot-path
@@ -19,16 +26,17 @@
 //! Results go to stdout and, machine-readably, to `BENCH_perfsmoke.json`
 //! (`--out PATH` to override). The JSON schema is stable: the keys
 //! `events_per_sec`, `event_ns_p50`, `event_ns_p99`, `event_ns_p999`,
-//! `sweep_wall_ms`, and `jobs` are always present.
+//! `sweep_wall_ms`, `jobs`, `sched_cache_hits`, and `sched_cache_misses`
+//! are always present.
 //!
 //! Knobs: `--tx N` (transactions per spec), `--samples K`, `--warmup K`,
 //! `--jobs N`, `--out PATH`.
 
 use janus_bench::cli::arg_str;
-use janus_bench::timing::{median_wall_ms, wall_samples_ms};
-use janus_bench::{arg_usize, banner, jobs, run_all_jobs, run_quiet, RunSpec, Variant};
+use janus_bench::timing::median_wall_ms;
+use janus_bench::{arg_usize, banner, jobs, run_all_jobs, run_timed, RunSpec, Variant};
 use janus_sim::event::{EventQueue, HeapEventQueue};
-use janus_sim::stats::Histogram;
+use janus_sim::stats::Reservoir;
 use janus_sim::time::Cycles;
 use janus_trace::metrics::MetricsRegistry;
 use janus_workloads::Workload;
@@ -122,33 +130,52 @@ fn main() {
     };
     banner(
         "perfsmoke — simulator self-benchmark",
-        &format!("{tx} tx per spec, median of {samples} (warmup {warmup}), host cores {host}"),
+        &format!("{tx} tx per spec, {samples} samples (warmup {warmup}), host cores {host}"),
     );
 
     // 1. Event-loop throughput and latency distribution on a full
-    // simulation. Each timed run contributes one per-event latency sample
-    // to an interpolating histogram, so the JSON carries p50/p99 event-loop
-    // latency (host jitter shows up in the spread), not just the mean rate.
+    // simulation, timing only the event loop itself. Each timed run
+    // contributes one per-event latency sample (at picosecond resolution,
+    // so sub-nanosecond per-event costs stay distinguishable) to an exact
+    // reservoir; the percentiles are nearest-rank over the raw samples, so
+    // host jitter shows up in the spread instead of collapsing into one
+    // histogram bucket.
     let mut spec = RunSpec::new(Workload::Tatp, Variant::JanusManual);
     spec.transactions = tx;
-    let events = run_quiet(spec.clone()).report.events;
-    let mut run_samples = wall_samples_ms(warmup, samples, || run_quiet(spec.clone()));
-    let mut event_ps = Histogram::new();
-    for ms in &run_samples {
-        // Picosecond resolution keeps sub-nanosecond per-event latencies
-        // distinguishable in the log-bucketed histogram.
+    let first = run_timed(spec.clone()).0;
+    let events = first.report.events;
+    let (sched_hits, sched_misses) = first.report.sched_cache;
+    for _ in 0..warmup {
+        std::hint::black_box(run_timed(spec.clone()));
+    }
+    let mut loop_ms: Vec<f64> = (0..samples)
+        .map(|_| run_timed(spec.clone()).1 * 1e3)
+        .collect();
+    let mut event_ps = Reservoir::new();
+    for ms in &loop_ms {
         event_ps.record(Cycles((ms * 1e9 / events as f64) as u64));
     }
-    let event_ns_p50 = event_ps.percentile(0.50).map_or(0.0, |c| c.0 as f64 / 1e3);
-    let event_ns_p99 = event_ps.percentile(0.99).map_or(0.0, |c| c.0 as f64 / 1e3);
+    let event_ns_p50 = event_ps.p50().map_or(0.0, |c| c.0 as f64 / 1e3);
+    let event_ns_p99 = event_ps.p99().map_or(0.0, |c| c.0 as f64 / 1e3);
     let event_ns_p999 = event_ps.p999().map_or(0.0, |c| c.0 as f64 / 1e3);
-    run_samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let run_ms = run_samples[run_samples.len() / 2];
+    loop_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Throughput uses the *fastest* sample: the loop does identical
+    // deterministic work every run, so all variance is host-scheduler
+    // interference, which only ever adds time. The minimum is the standard
+    // noise-rejecting estimator for that model (median still carries half
+    // the interference on a busy box); the percentiles above keep the full
+    // spread visible.
+    let run_ms = loop_ms[0];
     let events_per_sec = events as f64 / (run_ms / 1e3);
     println!(
         "event loop:   {events} events in {run_ms:.2} ms  ->  {:.2} M events/s  \
          (per-event p50 {event_ns_p50:.1} ns, p99 {event_ns_p99:.1} ns, p999 {event_ns_p999:.1} ns)",
         events_per_sec / 1e6
+    );
+    println!(
+        "sched cache:  {sched_hits} hits / {sched_misses} misses  \
+         ({:.1}% of submits replayed a compiled template)",
+        100.0 * sched_hits as f64 / (sched_hits + sched_misses).max(1) as f64
     );
 
     // 2. Raw queue schedule+pop throughput, calendar vs reference heap.
@@ -205,6 +232,8 @@ fn main() {
         queue_ops_per_sec / heap_ops_per_sec,
     );
     m.set_u64("events", events);
+    m.set_u64("sched_cache_hits", sched_hits);
+    m.set_u64("sched_cache_misses", sched_misses);
     m.set_u64("host_cores", host as u64);
     std::fs::write(&out_path, m.to_json() + "\n").expect("write perfsmoke json");
     println!("wrote {out_path}");

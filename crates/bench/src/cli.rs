@@ -60,7 +60,8 @@ fn parse_or_exit<T: std::str::FromStr>(name: &str, default: T, what: &str) -> T 
 
 /// Strict argument validation for the figure/table binaries: every token
 /// must be a known value-taking flag (followed by its value), a known
-/// boolean flag, or the globally honoured `--jobs N`. Anything else —
+/// boolean flag, or one of the globally honoured flags (`--jobs N`,
+/// `--shards N`, `--legacy-events`, `--interpreted-sched`). Anything else —
 /// an unknown flag, a stray positional, a value-taking flag at the end of
 /// the line — exits with status 2 and a usage message, so a typo can never
 /// silently produce default-configured "results".
@@ -70,10 +71,10 @@ pub fn require_known_args(value_flags: &[&str], bool_flags: &[&str]) {
     let usage = |msg: &str| -> ! {
         let mut flags: Vec<String> = value_flags
             .iter()
-            .chain(["--jobs"].iter())
+            .chain(["--jobs", "--shards"].iter())
             .map(|f| format!("{f} <value>"))
             .chain(bool_flags.iter().map(|f| f.to_string()))
-            .chain(["--legacy-events".to_string()])
+            .chain(["--legacy-events".to_string(), "--interpreted-sched".to_string()])
             .collect();
         flags.sort();
         eprintln!("error: {msg}");
@@ -82,12 +83,12 @@ pub fn require_known_args(value_flags: &[&str], bool_flags: &[&str]) {
     };
     while i < args.len() {
         let a = &args[i];
-        if value_flags.contains(&a.as_str()) || a == "--jobs" {
+        if value_flags.contains(&a.as_str()) || a == "--jobs" || a == "--shards" {
             if i + 1 >= args.len() || args[i + 1].starts_with("--") {
                 usage(&format!("{a} requires a value"));
             }
             i += 2;
-        } else if bool_flags.contains(&a.as_str()) || a == "--legacy-events" {
+        } else if bool_flags.contains(&a.as_str()) || a == "--legacy-events" || a == "--interpreted-sched" {
             i += 1;
         } else {
             usage(&format!("unknown argument {a:?}"));

@@ -9,6 +9,7 @@
 
 pub mod cli;
 pub mod pool;
+pub mod shard;
 pub mod timing;
 
 use std::io::Write as _;
@@ -24,6 +25,7 @@ use janus_workloads::traffic::{generate_tenants, Arrival, TenantSpec};
 use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
 
 pub use cli::{arg_usize, require_known_args};
+pub use shard::shards;
 
 /// The five evaluated system variants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -125,6 +127,11 @@ pub struct RunSpec {
     /// labeled for non-default policies or open-loop runs, so the published
     /// closed-loop JSONL stays byte-identical).
     pub irb_policy: IrbPolicy,
+    /// Force the engine's interpreted scheduler instead of compiled-template
+    /// replay (`--interpreted-sched` / `JANUS_INTERPRETED_SCHED=1`). Both
+    /// paths must produce byte-identical reports; this is the executable
+    /// spec the compiled path is differentially tested against.
+    pub interpreted_sched: bool,
     /// Multi-tenant open-loop mode: when set, the run ignores the
     /// one-program-per-core model and instead drives [`RunSpec::cores`]
     /// worker cores from `tenants` open-loop streams
@@ -166,6 +173,7 @@ impl RunSpec {
             bmo_stack: None,
             legacy_events: legacy_events(),
             irb_policy: IrbPolicy::Shared,
+            interpreted_sched: interpreted_sched(),
             open_loop: None,
         }
     }
@@ -186,6 +194,7 @@ impl RunSpec {
             c.bmo_stack = stack.clone();
         }
         c.irb_policy = self.irb_policy;
+        c.interpreted_sched = self.interpreted_sched;
         c
     }
 
@@ -303,7 +312,7 @@ impl RunResult {
 /// metrics as one JSON line to `<dir>/<binary-name>.jsonl`. Every figure
 /// binary funnels through [`run`], so exporting machine-readable results
 /// for all of them is `JANUS_RESULTS_JSON_DIR=out cargo run --release ...`.
-fn sink_results_jsonl(result: &RunResult) {
+pub(crate) fn sink_results_jsonl(result: &RunResult) {
     let Ok(dir) = std::env::var("JANUS_RESULTS_JSON_DIR") else {
         return;
     };
@@ -349,6 +358,16 @@ pub fn run(spec: RunSpec) -> RunResult {
 /// thread in spec order, keeping exported files byte-identical at any
 /// worker count.
 pub fn run_quiet(spec: RunSpec) -> RunResult {
+    run_timed(spec).0
+}
+
+/// [`run_quiet`] plus the wall-clock seconds the *event loop proper* took —
+/// `System::try_run`/`try_run_tenants` only, excluding workload generation,
+/// system construction, and oracle verification. This is `perfsmoke`'s
+/// events-per-second denominator's counterpart: the events/sec metric is
+/// honest only if the numerator's wall time covers exactly the loop that
+/// processed those events.
+pub fn run_timed(spec: RunSpec) -> (RunResult, f64) {
     let mut sys = System::new(spec.config());
     sys.set_batched(!spec.legacy_events);
     let tracer = if spec.profile {
@@ -372,7 +391,7 @@ pub fn run_quiet(spec: RunSpec) -> RunResult {
         eprintln!("error: invalid run configuration: {e}");
         std::process::exit(2);
     };
-    let (report, oracles) = if spec.open_loop.is_some() {
+    let (report, oracles, loop_secs) = if spec.open_loop.is_some() {
         let traffic = generate_tenants(&spec.tenant_specs(), spec.seed);
         let mut streams = Vec::with_capacity(traffic.len());
         let mut oracles = Vec::with_capacity(traffic.len());
@@ -384,8 +403,9 @@ pub fn run_quiet(spec: RunSpec) -> RunResult {
             streams.push(t.stream);
             oracles.push(t.expected);
         }
+        let t0 = std::time::Instant::now();
         let report = sys.try_run_tenants(streams).unwrap_or_else(|e| surface(e));
-        (report, oracles)
+        (report, oracles, t0.elapsed().as_secs_f64())
     } else {
         let mut programs = Vec::with_capacity(spec.cores);
         let mut oracles = Vec::with_capacity(spec.cores);
@@ -400,8 +420,9 @@ pub fn run_quiet(spec: RunSpec) -> RunResult {
             }
             oracles.push(expected);
         }
+        let t0 = std::time::Instant::now();
         let report = sys.try_run(programs).unwrap_or_else(|e| surface(e));
-        (report, oracles)
+        (report, oracles, t0.elapsed().as_secs_f64())
     };
     for (unit, oracle) in oracles.iter().enumerate() {
         for (line, value) in oracle.iter() {
@@ -420,12 +441,15 @@ pub fn run_quiet(spec: RunSpec) -> RunResult {
         }
     }
     let samples = sys.samples().to_vec();
-    RunResult {
-        report,
-        spec,
-        tracer,
-        samples,
-    }
+    (
+        RunResult {
+            report,
+            spec,
+            tracer,
+            samples,
+        },
+        loop_secs,
+    )
 }
 
 /// Worker count for sweep fan-out: `--jobs N` process argument, else the
@@ -457,9 +481,24 @@ pub fn legacy_events() -> bool {
         || std::env::var("JANUS_LEGACY_EVENTS").is_ok_and(|v| v == "1")
 }
 
-/// Runs a batch of independent specs fanned across [`jobs`] worker threads,
-/// returning results in spec order.
+/// Whether runs should force the engine's interpreted sub-op scheduler
+/// instead of compiled-template replay: `--interpreted-sched` process
+/// argument or `JANUS_INTERPRETED_SCHED=1`. Accepted by every figure/table
+/// binary (like `--legacy-events`) so any published result can be
+/// regenerated through the pre-compilation scheduler for comparison.
+pub fn interpreted_sched() -> bool {
+    std::env::args().any(|a| a == "--interpreted-sched")
+        || std::env::var("JANUS_INTERPRETED_SCHED").is_ok_and(|v| v == "1")
+}
+
+/// Runs a batch of independent specs fanned across [`jobs`] worker threads
+/// — and, under `--shards N` / `JANUS_SHARDS`, across N worker *processes*
+/// ([`shard::shards`]) — returning results in spec order. Output is
+/// byte-identical at any shard and worker count.
 pub fn run_all(specs: Vec<RunSpec>) -> Vec<RunResult> {
+    if let Some(results) = shard::maybe_run_sharded(&specs) {
+        return results;
+    }
     run_all_jobs(specs, jobs())
 }
 

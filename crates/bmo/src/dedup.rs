@@ -77,6 +77,15 @@ pub struct DedupStore {
     /// fingerprint → slots with that fingerprint (collision chain).
     table: janus_sim::hash::FxHashMap<u128, Vec<u64>>,
     slots: janus_sim::hash::FxHashMap<u64, SlotInfo>,
+    /// Pure-function memo of `algo.fingerprint(line)`: every write is
+    /// fingerprinted at least twice (once by the pre-execution predictor's
+    /// [`DedupStore::peek`], once by the committed write's
+    /// [`DedupStore::lookup`]) and duplicate-heavy workloads re-hash the
+    /// same values endlessly, so a content-keyed cache removes most MD5
+    /// work from the hot path without changing a single outcome. `RefCell`
+    /// because `peek` is `&self` by design (prediction must not mutate BMO
+    /// state); the store is single-threaded like the rest of the engine.
+    memo: std::cell::RefCell<janus_sim::hash::FxHashMap<Line, u128>>,
     free: Vec<u64>,
     next_slot: u64,
     hits: u64,
@@ -89,8 +98,12 @@ impl DedupStore {
     pub fn new(algo: FingerprintAlgo) -> Self {
         DedupStore {
             algo,
-            table: Default::default(),
-            slots: Default::default(),
+            table: janus_sim::hash::FxHashMap::with_capacity_and_hasher(1024, Default::default()),
+            slots: janus_sim::hash::FxHashMap::with_capacity_and_hasher(1024, Default::default()),
+            memo: std::cell::RefCell::new(janus_sim::hash::FxHashMap::with_capacity_and_hasher(
+                1024,
+                Default::default(),
+            )),
             free: Vec::new(),
             next_slot: 0,
             hits: 0,
@@ -104,12 +117,25 @@ impl DedupStore {
         self.algo
     }
 
+    /// Memoized `algo.fingerprint(data)`. The memo only ever grows — entries
+    /// for released slots stay valid (a fingerprint is a pure function of
+    /// the bytes) and the key set is bounded by the distinct values the run
+    /// ever wrote, the same bound as the slot table itself.
+    fn fingerprint(&self, data: &Line) -> u128 {
+        if let Some(&fp) = self.memo.borrow().get(data) {
+            return fp;
+        }
+        let fp = self.algo.fingerprint(data.as_bytes());
+        self.memo.borrow_mut().insert(*data, fp);
+        fp
+    }
+
     /// D1+D2: fingerprints `data` and either finds the existing copy
     /// (incrementing its refcount) or allocates a fresh slot with
     /// refcount 1. The caller is responsible for writing the data to a fresh
     /// slot and recording the mapping (D3/D4).
     pub fn lookup(&mut self, data: &Line) -> DedupOutcome {
-        let fp = self.algo.fingerprint(data.as_bytes());
+        let fp = self.fingerprint(data);
         if let Some(chain) = self.table.get(&fp) {
             let mut collided = false;
             for &slot in chain {
@@ -147,7 +173,7 @@ impl DedupStore {
     /// if any. Used by Janus to *predict* the dedup outcome during
     /// pre-execution without touching BMO metadata (requirement 1 of §3.2).
     pub fn peek(&self, data: &Line) -> Option<u64> {
-        let fp = self.algo.fingerprint(data.as_bytes());
+        let fp = self.fingerprint(data);
         self.table.get(&fp).and_then(|chain| {
             chain
                 .iter()
@@ -221,7 +247,7 @@ impl DedupStore {
     pub fn recover_slot(&mut self, slot: u64, value: Line, refcount: u64) {
         assert!(refcount > 0, "recovered slot must be referenced");
         assert!(!self.slots.contains_key(&slot), "slot recovered twice");
-        let fp = self.algo.fingerprint(value.as_bytes());
+        let fp = self.fingerprint(&value);
         self.slots.insert(
             slot,
             SlotInfo {

@@ -23,6 +23,21 @@ pub struct EncryptedWrite {
     pub mac: [u8; 20],
 }
 
+/// One slot's most recent encryption, remembered so the read path can skip
+/// the pad and MAC recomputation. A slot's counter only changes when the
+/// slot is rewritten, so between writes every read re-derives exactly the
+/// OTP (four AES blocks) and MAC (a SHA-1 compress) this entry caches; the
+/// entry is validated against the caller's `(counter, cipher)` before use,
+/// so a stale or tampered line falls back to the real computation and the
+/// observable behaviour is bit-identical.
+#[derive(Clone, Copy, Debug)]
+struct SlotCrypto {
+    counter: u64,
+    cipher: Line,
+    mac: [u8; 20],
+    plain: Line,
+}
+
 /// The engine: AES key plus the global counter allocator.
 ///
 /// # Example
@@ -40,6 +55,10 @@ pub struct EncryptedWrite {
 pub struct EncryptionEngine {
     aes: Aes128,
     next_counter: u64,
+    /// slot → last write's crypto (see [`SlotCrypto`]); `RefCell` because
+    /// the decrypt/verify side is `&self` by design. Bounded by the number
+    /// of distinct slots ever written, like the dedup slot table.
+    memo: std::cell::RefCell<janus_sim::hash::FxHashMap<u64, SlotCrypto>>,
 }
 
 impl EncryptionEngine {
@@ -48,6 +67,10 @@ impl EncryptionEngine {
         EncryptionEngine {
             aes: Aes128::new(key),
             next_counter: 1, // 0 is reserved for "never written"
+            memo: std::cell::RefCell::new(janus_sim::hash::FxHashMap::with_capacity_and_hasher(
+                1024,
+                Default::default(),
+            )),
         }
     }
 
@@ -75,6 +98,15 @@ impl EncryptionEngine {
         let otp = otp_for_line(&self.aes, counter, slot_data_addr(slot).byte());
         let cipher = Line(encrypt_line(data.as_bytes(), &otp));
         let mac = line_mac(cipher.as_bytes(), counter);
+        self.memo.borrow_mut().insert(
+            slot,
+            SlotCrypto {
+                counter,
+                cipher,
+                mac,
+                plain: *data,
+            },
+        );
         EncryptedWrite {
             counter,
             cipher,
@@ -84,8 +116,26 @@ impl EncryptionEngine {
 
     /// Decrypts a slot's ciphertext under its counter.
     pub fn decrypt_slot(&self, slot: u64, counter: u64, cipher: &Line) -> Line {
+        if let Some(m) = self.memo.borrow().get(&slot) {
+            if m.counter == counter && m.cipher == *cipher {
+                return m.plain;
+            }
+        }
         let otp = otp_for_line(&self.aes, counter, slot_data_addr(slot).byte());
         Line(decrypt_line(cipher.as_bytes(), &otp))
+    }
+
+    /// Checks the MAC a stored slot line should carry — the memoized fast
+    /// path of the read side's integrity check. Equivalent to
+    /// [`EncryptionEngine::verify_mac`] for lines this engine wrote; any
+    /// divergence (stale counter, tampered cipher) recomputes honestly.
+    pub fn stored_mac_matches(&self, slot: u64, counter: u64, cipher: &Line, mac: &[u8; 20]) -> bool {
+        if let Some(m) = self.memo.borrow().get(&slot) {
+            if m.counter == counter && m.cipher == *cipher {
+                return m.mac == *mac;
+            }
+        }
+        line_mac(cipher.as_bytes(), counter) == *mac
     }
 
     /// Checks a slot's MAC.

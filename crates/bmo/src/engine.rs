@@ -24,11 +24,14 @@
 //! are reused) and [`BmoEngine::invalidate_all`] (metadata changed under the
 //! job: everything re-runs).
 
+use std::rc::Rc;
+
 use janus_sim::hash::FxHashMap;
 use janus_sim::resource::UnitPool;
 use janus_sim::time::Cycles;
 use janus_trace::{Category, Tracer};
 
+use crate::sched::SchedTemplate;
 use crate::subop::{BmoKind, DepGraph, NodeId};
 
 /// Initiation interval of a pipelined BMO unit: a unit accepts a new
@@ -62,7 +65,7 @@ impl JobId {
 }
 
 /// The trace category a sub-operation's BMO kind maps to.
-fn category_of(kind: BmoKind) -> Category {
+pub(crate) fn category_of(kind: BmoKind) -> Category {
     match kind {
         BmoKind::Encryption => Category::Encryption,
         BmoKind::Integrity => Category::Integrity,
@@ -121,6 +124,20 @@ pub struct BmoEngine {
     /// Completion time of the last job in `SerializedGlobal` mode.
     serial_tail: Cycles,
     tracer: Tracer,
+    /// Compiled replay templates, keyed by the job's `dup` flag (the only
+    /// shape bit that varies per engine — see [`crate::sched`]). Compiled
+    /// lazily on the first full submit of each shape.
+    templates: [Option<Rc<SchedTemplate>>; 2],
+    /// Whether full submits may replay a compiled template. Off
+    /// (`set_compiled(false)`) the interpreted scheduler — the executable
+    /// spec — handles everything, as before this cache existed.
+    compiled: bool,
+    /// Template-cache statistics: warm replays / everything else
+    /// (cold compiles, contention fallbacks, staged submits).
+    sched_hits: u64,
+    sched_misses: u64,
+    /// Reused `(window, charge)` scratch for the replay validity probe.
+    replay_windows: Vec<(u64, u64)>,
 }
 
 impl BmoEngine {
@@ -143,7 +160,7 @@ impl BmoEngine {
             graph,
             mode,
             pool: UnitPool::new(units),
-            jobs: FxHashMap::default(),
+            jobs: FxHashMap::with_capacity_and_hasher(256, Default::default()),
             next_id: 0,
             topo,
             node_latencies,
@@ -152,7 +169,28 @@ impl BmoEngine {
             jobs_submitted: 0,
             serial_tail: Cycles::ZERO,
             tracer: Tracer::disabled(),
+            templates: [None, None],
+            compiled: true,
+            sched_hits: 0,
+            sched_misses: 0,
+            replay_windows: Vec::new(),
         }
+    }
+
+    /// Enables or disables compiled-template replay. Disabled, every submit
+    /// takes the interpreted scheduler (the executable specification the
+    /// compiled path is differentially tested against); cache statistics
+    /// stay zero.
+    pub fn set_compiled(&mut self, on: bool) {
+        self.compiled = on;
+    }
+
+    /// Schedule-template cache statistics: `(hits, misses)`. A hit is a
+    /// warm template replay; a miss is a cold compile, a contention
+    /// fallback to the interpreted scheduler, or a staged (partial) submit.
+    /// Both stay zero when replay is disabled.
+    pub fn sched_cache_stats(&self) -> (u64, u64) {
+        (self.sched_hits, self.sched_misses)
     }
 
     /// Attaches a tracer: every scheduled sub-operation becomes a span in
@@ -188,6 +226,13 @@ impl BmoEngine {
         let id = self.next_id;
         self.next_id += 1;
         self.jobs_submitted += 1;
+        // Periodically retire fully past unit-pool ledger windows. Every
+        // engine entry point runs at the event loop's monotone current
+        // time, so windows before this submit can never be consulted
+        // again; without this the ledger grows for the whole run.
+        if self.jobs_submitted.is_multiple_of(4096) {
+            self.pool.retire_before(submit);
+        }
         let submit = if self.mode == BmoMode::SerializedGlobal {
             // One write's BMOs at a time across the controller.
             submit.max(self.serial_tail)
@@ -222,7 +267,22 @@ impl BmoEngine {
             id,
             u64::from(addr_at.is_some()) | u64::from(data_at.is_some()) << 1 | u64::from(dup) << 2,
         );
-        self.schedule(JobId(id));
+        // A *full* submit — both inputs available at the (possibly clamped)
+        // submit cycle — is a fixed request shape: replay its compiled
+        // template, falling back to the interpreted scheduler under unit
+        // contention. Staged submits always interpret.
+        let full = addr_at.is_some_and(|t| t <= submit) && data_at.is_some_and(|t| t <= submit);
+        let replayed = full && self.compiled && self.try_replay(JobId(id), submit, dup);
+        if !replayed {
+            if self.compiled {
+                self.sched_misses += 1;
+            }
+            if self.tracer.causal() {
+                self.tracer
+                    .instant(Category::Engine, "prof_sched", submit, id, 2);
+            }
+            self.schedule(JobId(id));
+        }
         if self.mode == BmoMode::SerializedGlobal {
             if let Some(done) = self.completion(JobId(id)) {
                 self.serial_tail = self.serial_tail.max(done);
@@ -297,6 +357,61 @@ impl BmoEngine {
         self.tracer
             .instant(Category::Engine, "job_invalidate_all", now, id.0, 0);
         self.schedule(id);
+    }
+
+    /// Compiled-template replay for a full submit at `submit`. Lazily
+    /// compiles the shape's [`SchedTemplate`] (keyed by `dup`), probes the
+    /// unit pool for room in every window the template touches, and — if
+    /// everything fits — commits the whole schedule without a graph walk.
+    /// Returns `false` (emitting nothing) when a window is saturated; the
+    /// caller falls back to [`Self::schedule`], whose first-fit placement
+    /// would genuinely differ under that contention.
+    fn try_replay(&mut self, id: JobId, submit: Cycles, dup: bool) -> bool {
+        let slot = usize::from(dup);
+        let cold = self.templates[slot].is_none();
+        if cold {
+            self.templates[slot] = Some(Rc::new(SchedTemplate::compile(
+                &self.graph,
+                &self.topo,
+                self.mode,
+                dup,
+            )));
+        }
+        let tpl = self.templates[slot].as_ref().expect("just compiled").clone();
+        let mut windows = std::mem::take(&mut self.replay_windows);
+        let fits = tpl.windows_fit(submit, &self.pool, &mut windows);
+        self.replay_windows = windows;
+        if !fits {
+            return false;
+        }
+        if cold {
+            self.sched_misses += 1;
+        } else {
+            self.sched_hits += 1;
+        }
+        if self.tracer.causal() {
+            // Cache marker for janus-prof: 0 = cold compile (+ replay),
+            // 1 = warm replay; the interpreted path emits 2.
+            self.tracer
+                .instant(Category::Engine, "prof_sched", submit, id.0, u64::from(!cold));
+        }
+        let job = self.jobs.get_mut(&id.0).expect("submitting job exists");
+        for s in &tpl.slots {
+            let ready = Cycles(submit.0 + s.rel_ready);
+            let end = Cycles(submit.0 + s.rel_end);
+            self.pool.record_acquisition(s.latency);
+            self.pool
+                .charge_window((submit.0 + s.rel_ready) / UnitPool::WINDOW, s.charge);
+            if self.tracer.causal() {
+                // Same causal record the interpreted scheduler emits: every
+                // input of a full submit is available at the submit cycle.
+                self.tracer
+                    .instant_link(Category::Engine, "prof_node", submit, id.0, s.node.0 as u64, ready.0);
+            }
+            self.tracer.span(s.cat, s.name, ready, end, id.0, s.latency.0);
+            job.node_end[s.node.0] = Some(end);
+        }
+        true
     }
 
     /// Greedy list scheduling: dispatch every node whose inputs and
@@ -655,6 +770,70 @@ mod tests {
         assert_eq!(
             e.completion(j),
             Some(Cycles(1000) + e.graph().critical_path())
+        );
+    }
+
+    #[test]
+    fn schedule_cache_counts_cold_warm_and_staged() {
+        let mut e = engine(BmoMode::Parallelized, UnitPool::UNLIMITED);
+        // Cold compile for the non-dup shape, then two warm replays.
+        e.submit(Cycles(0), Some(Cycles(0)), Some(Cycles(0)), false);
+        assert_eq!(e.sched_cache_stats(), (0, 1));
+        e.submit(Cycles(10_000), Some(Cycles(0)), Some(Cycles(0)), false);
+        e.submit(Cycles(20_000), Some(Cycles(0)), Some(Cycles(0)), false);
+        assert_eq!(e.sched_cache_stats(), (2, 1));
+        // The dup shape is its own template: cold once, warm after.
+        e.submit(Cycles(30_000), Some(Cycles(0)), Some(Cycles(0)), true);
+        assert_eq!(e.sched_cache_stats(), (2, 2));
+        e.submit(Cycles(40_000), Some(Cycles(0)), Some(Cycles(0)), true);
+        assert_eq!(e.sched_cache_stats(), (3, 2));
+        // Staged submits never replay.
+        e.submit(Cycles(50_000), Some(Cycles(50_000)), None, false);
+        assert_eq!(e.sched_cache_stats(), (3, 3));
+    }
+
+    #[test]
+    fn schedule_cache_disabled_stays_zero_and_matches_compiled() {
+        let mut compiled = engine(BmoMode::Parallelized, 4);
+        let mut interpreted = engine(BmoMode::Parallelized, 4);
+        interpreted.set_compiled(false);
+        for i in 0..32u64 {
+            let t = Cycles(i * 100);
+            let jc = compiled.submit(t, Some(t), Some(t), i % 3 == 0);
+            let ji = interpreted.submit(t, Some(t), Some(t), i % 3 == 0);
+            assert_eq!(compiled.completion(jc), interpreted.completion(ji));
+        }
+        assert_eq!(interpreted.sched_cache_stats(), (0, 0));
+        let (hits, misses) = compiled.sched_cache_stats();
+        assert!(hits > 0, "back-to-back full submits should warm-replay");
+        assert_eq!(hits + misses, 32);
+    }
+
+    #[test]
+    fn contention_falls_back_to_interpreted_identically() {
+        // One unit: bursts of simultaneous submits saturate windows, forcing
+        // the replay validity probe to reject and the interpreted scheduler
+        // to take over — with identical completions to an always-interpreted
+        // engine.
+        let mut compiled = engine(BmoMode::Parallelized, 1);
+        let mut interpreted = engine(BmoMode::Parallelized, 1);
+        interpreted.set_compiled(false);
+        let mut fallbacks = 0u64;
+        for burst in 0..8u64 {
+            let t = Cycles(burst * 50_000);
+            for _ in 0..6 {
+                let before = compiled.sched_cache_stats();
+                let jc = compiled.submit(t, Some(t), Some(t), false);
+                let ji = interpreted.submit(t, Some(t), Some(t), false);
+                assert_eq!(compiled.completion(jc), interpreted.completion(ji));
+                if compiled.sched_cache_stats().1 > before.1 {
+                    fallbacks += 1;
+                }
+            }
+        }
+        assert!(
+            fallbacks > 1,
+            "a 1-unit pool under bursts must reject some replays"
         );
     }
 }

@@ -231,7 +231,7 @@ impl BmoPipeline {
             enc: caps.encrypt.then(|| EncryptionEngine::new(key)),
             next_counter: 1,
             stored: LineStore::new(),
-            aux: Default::default(),
+            aux: janus_sim::hash::FxHashMap::with_capacity_and_hasher(1024, Default::default()),
             wear: caps.wear.then(|| StartGap::new(SLOT_LINES, WEAR_INTERVAL)),
             oram: caps.oram.then(|| OramState {
                 epoch: 0,
@@ -550,7 +550,11 @@ impl BmoPipeline {
                 let stored = self.stored.read(self.frame_addr_of_slot(slot));
                 if self.caps.encrypt || self.caps.merkle {
                     let mac = self.aux.get(&slot).and_then(|a| a.mac).unwrap_or([0; 20]);
-                    if line_mac(stored.as_bytes(), counter) != mac {
+                    let ok = match &self.enc {
+                        Some(enc) => enc.stored_mac_matches(slot, counter, &stored, &mac),
+                        None => line_mac(stored.as_bytes(), counter) == mac,
+                    };
+                    if !ok {
                         return Err(IntegrityError::MacMismatch { slot });
                     }
                 }
@@ -718,7 +722,7 @@ impl BmoPipeline {
             enc: caps.encrypt.then(|| EncryptionEngine::new(key)),
             next_counter: 1,
             stored: LineStore::new(),
-            aux: Default::default(),
+            aux: janus_sim::hash::FxHashMap::with_capacity_and_hasher(1024, Default::default()),
             wear,
             oram,
             spare: Vec::new(),

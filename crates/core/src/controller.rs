@@ -129,11 +129,12 @@ impl MemoryController {
     pub fn new(config: JanusConfig) -> Self {
         let stack = config.stack();
         let graph = stack.graph(&config.latencies);
-        let engine = BmoEngine::new(
+        let mut engine = BmoEngine::new(
             graph,
             config.mode.bmo_mode_with(config.serialized_global),
             config.total_bmo_units(),
         );
+        engine.set_compiled(!config.interpreted_sched);
         let pipeline = BmoPipeline::for_stack(&stack, config.latencies.dedup_algo);
         let mut wq = AdrWriteQueue::new(config.wq_capacity);
         wq.set_coalescing(config.wq_coalescing);
@@ -207,6 +208,11 @@ impl MemoryController {
     /// Controller statistics.
     pub fn stats(&self) -> &StatSet {
         &self.stats
+    }
+
+    /// The engine's schedule-template cache statistics: `(hits, misses)`.
+    pub fn sched_cache_stats(&self) -> (u64, u64) {
+        self.engine.sched_cache_stats()
     }
 
     /// Mutable statistics access (the system layer contributes core-side

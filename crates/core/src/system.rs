@@ -221,6 +221,12 @@ pub struct ExecutionReport {
     /// simulated machine, and the exported result files must stay
     /// byte-identical.
     pub events: u64,
+    /// Schedule-template cache `(hits, misses)` of the BMO engine. Like
+    /// [`ExecutionReport::events`], this describes the simulator — not the
+    /// simulated machine — so it is excluded from
+    /// [`ExecutionReport::fields`] and the exported result files; only
+    /// `perfsmoke` publishes it.
+    pub sched_cache: (u64, u64),
     /// Per-tenant statistics of an open-loop run
     /// ([`System::try_run_tenants`]); empty for closed-loop runs, which
     /// keeps every closed-loop export byte-identical to before the
@@ -993,6 +999,7 @@ impl System {
                 .and_then(|h| h.mean())
                 .unwrap_or(Cycles::ZERO),
             events: self.events_processed,
+            sched_cache: self.mc.sched_cache_stats(),
             tenants,
         }
     }

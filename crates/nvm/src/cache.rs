@@ -121,7 +121,13 @@ struct TagEntry {
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<TagEntry>>,
+    /// Flat `nsets × ways` tag array: set `s` occupies
+    /// `entries[s*ways..s*ways + lens[s]]`. One contiguous allocation keeps
+    /// the per-access scan on a single cache line instead of chasing a
+    /// `Vec<Vec<_>>` pointer per set — `access` is the hottest function in
+    /// the whole simulator after the event loop itself.
+    entries: Vec<TagEntry>,
+    lens: Vec<u32>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -138,7 +144,15 @@ impl SetAssocCache {
         assert!(sets > 0 && config.ways > 0, "degenerate cache geometry");
         SetAssocCache {
             config,
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            entries: vec![
+                TagEntry {
+                    tag: 0,
+                    dirty: false,
+                    lru: 0,
+                };
+                sets * config.ways
+            ],
+            lens: vec![0; sets],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -146,13 +160,25 @@ impl SetAssocCache {
     }
 
     fn set_index(&self, addr: LineAddr) -> usize {
-        (addr.0 % self.sets.len() as u64) as usize
+        (addr.0 % self.lens.len() as u64) as usize
+    }
+
+    /// The live entries of set `idx`.
+    fn set(&self, idx: usize) -> &[TagEntry] {
+        let base = idx * self.config.ways;
+        &self.entries[base..base + self.lens[idx] as usize]
+    }
+
+    fn set_mut(&mut self, idx: usize) -> &mut [TagEntry] {
+        let base = idx * self.config.ways;
+        &mut self.entries[base..base + self.lens[idx] as usize]
     }
 
     /// Whether `addr` is resident (no LRU update).
     pub fn probe(&self, addr: LineAddr) -> bool {
-        let set = &self.sets[self.set_index(addr)];
-        set.iter().any(|e| e.tag == addr.0)
+        self.set(self.set_index(addr))
+            .iter()
+            .any(|e| e.tag == addr.0)
     }
 
     /// Accesses `addr`, allocating on miss (write-allocate). `write` marks
@@ -162,7 +188,9 @@ impl SetAssocCache {
         let clock = self.clock;
         let ways = self.config.ways;
         let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
+        let base = idx * ways;
+        let len = self.lens[idx] as usize;
+        let set = &mut self.entries[base..base + len];
 
         if let Some(e) = set.iter_mut().find(|e| e.tag == addr.0) {
             e.lru = clock;
@@ -172,26 +200,31 @@ impl SetAssocCache {
         }
 
         self.misses += 1;
+        let entry = TagEntry {
+            tag: addr.0,
+            dirty: write,
+            lru: clock,
+        };
         let victim = if set.len() == ways {
+            // LRU timestamps are unique (one clock tick per access), so the
+            // minimum is unambiguous; the new entry takes the victim's slot.
             let pos = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.lru)
                 .map(|(i, _)| i)
                 .expect("full set is non-empty");
-            let v = set.swap_remove(pos);
+            let v = set[pos];
+            set[pos] = entry;
             Some(Victim {
                 addr: LineAddr(v.tag),
                 dirty: v.dirty,
             })
         } else {
+            self.entries[base + len] = entry;
+            self.lens[idx] += 1;
             None
         };
-        set.push(TagEntry {
-            tag: addr.0,
-            dirty: write,
-            lru: clock,
-        });
         Access::Miss { victim }
     }
 
@@ -200,29 +233,34 @@ impl SetAssocCache {
     /// resident, `None` if not cached (nothing to do).
     pub fn flush(&mut self, addr: LineAddr) -> Option<bool> {
         let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        set.iter_mut().find(|e| e.tag == addr.0).map(|e| {
-            let was_dirty = e.dirty;
-            e.dirty = false;
-            was_dirty
-        })
+        self.set_mut(idx)
+            .iter_mut()
+            .find(|e| e.tag == addr.0)
+            .map(|e| {
+                let was_dirty = e.dirty;
+                e.dirty = false;
+                was_dirty
+            })
     }
 
     /// Drops `addr` from the cache, returning whether it was dirty.
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<bool> {
         let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        set.iter()
-            .position(|e| e.tag == addr.0)
-            .map(|pos| set.swap_remove(pos).dirty)
+        let base = idx * self.config.ways;
+        let len = self.lens[idx] as usize;
+        let set = &mut self.entries[base..base + len];
+        set.iter().position(|e| e.tag == addr.0).map(|pos| {
+            let dirty = set[pos].dirty;
+            set[pos] = set[len - 1];
+            self.lens[idx] -= 1;
+            dirty
+        })
     }
 
     /// All currently dirty lines (volatile state lost on a crash).
     pub fn dirty_lines(&self) -> Vec<LineAddr> {
-        let mut v: Vec<LineAddr> = self
-            .sets
-            .iter()
-            .flatten()
+        let mut v: Vec<LineAddr> = (0..self.lens.len())
+            .flat_map(|idx| self.set(idx))
             .filter(|e| e.dirty)
             .map(|e| LineAddr(e.tag))
             .collect();
@@ -232,9 +270,7 @@ impl SetAssocCache {
 
     /// Drops everything (power loss).
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lens.fill(0);
     }
 
     /// (hits, misses) so far.

@@ -4,7 +4,7 @@
 //! contents, used for: program-visible volatile state, the persistent NVM
 //! array (ciphertext), and metadata regions.
 
-use std::collections::BTreeMap;
+use janus_sim::hash::FxHashMap;
 
 use crate::addr::LineAddr;
 use crate::line::Line;
@@ -22,10 +22,12 @@ use crate::line::Line;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct LineStore {
-    // Ordered map: iteration order feeds cache warm-up and recovery replay,
-    // so it must be deterministic — a hashed map here made same-seed runs
-    // diverge from process to process.
-    lines: BTreeMap<LineAddr, Line>,
+    // Hashed map (deterministic FxHash, no per-process random state) for the
+    // per-access hot path; [`LineStore::iter`] sorts before yielding, because
+    // iteration order feeds cache warm-up and recovery replay and therefore
+    // must not depend on insertion order — a std HashMap here once made
+    // same-seed runs diverge from process to process.
+    lines: FxHashMap<LineAddr, Line>,
 }
 
 impl LineStore {
@@ -73,7 +75,9 @@ impl LineStore {
 
     /// Iterates over non-zero lines in ascending address order.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &Line)> {
-        self.lines.iter().map(|(a, l)| (*a, l))
+        let mut v: Vec<(LineAddr, &Line)> = self.lines.iter().map(|(a, l)| (*a, l)).collect();
+        v.sort_unstable_by_key(|(a, _)| *a);
+        v.into_iter()
     }
 
     /// Compares the non-zero contents of two stores (zero-default aware).

@@ -258,3 +258,62 @@ fn validator_rejects_a_corrupted_causal_link() {
         "rejected with a chain-integrity error, got: {err}"
     );
 }
+
+#[test]
+fn compiled_and_interpreted_schedulers_profile_identically() {
+    // The schedule-template cache must be invisible to the profiler except
+    // through its own `prof_sched` markers: with those filtered out, the
+    // compiled and interpreted runs build byte-identical profiles.
+    let run = |interpreted: bool, filter_markers: bool| {
+        let mut config = JanusConfig::paper(SystemMode::Janus, 1);
+        config.interpreted_sched = interpreted;
+        let (mut mc, tracer) = profiled_controller(config.clone());
+        let mut t = Cycles(0);
+        for i in 0..32u64 {
+            mc.handle_write(
+                t,
+                0,
+                LineAddr(i % 9),
+                Line::splat((i % 4) as u8),
+                i % 6 == 0,
+            );
+            t += Cycles(300 * (i % 3));
+        }
+        let graph = config.stack().graph(&config.latencies);
+        let mut events = tracer.snapshot();
+        if filter_markers {
+            events.retain(|e| e.name != "prof_sched");
+        }
+        Profile::build(&events, tracer.dropped(), &graph).expect("profile builds")
+    };
+
+    let compiled = run(false, true);
+    let interp = run(true, true);
+    assert_eq!(
+        compiled.render_text(),
+        interp.render_text(),
+        "sched-marker-filtered text reports are byte-identical"
+    );
+    assert_eq!(
+        compiled.to_json(),
+        interp.to_json(),
+        "sched-marker-filtered JSON is byte-identical"
+    );
+
+    // Unfiltered, the markers classify every scheduled submit — and only
+    // the classification may differ between the two runs.
+    let compiled = run(false, false);
+    let interp = run(true, false);
+    let (c, i) = (compiled.sched_cache(), interp.sched_cache());
+    assert_eq!(c.total(), i.total(), "same number of scheduled submits");
+    assert!(c.warm > 0, "steady-state submits replay the template");
+    assert_eq!(i.cold + i.warm, 0, "interpreted run never compiles");
+    assert_eq!(i.interpreted, i.total());
+    assert_eq!(compiled.accounting(), interp.accounting());
+    assert_eq!(compiled.total_cycles(), interp.total_cycles());
+    assert!(
+        compiled.accounting().contains_key("bmo.sched"),
+        "schedule compilation appears as its own accounting category"
+    );
+    janus_prof::validate_profile_json(&compiled.to_json()).expect("schema validates");
+}

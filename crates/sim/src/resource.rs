@@ -305,6 +305,58 @@ impl UnitPool {
     pub fn acquisitions(&self) -> u64 {
         self.acquisitions
     }
+
+    /// Whether the pool is the [`Self::UNLIMITED`] configuration.
+    pub fn is_unlimited(&self) -> bool {
+        self.unlimited
+    }
+
+    /// Whether `charge` additional unit-cycles fit in window `w` as-is.
+    ///
+    /// This is the validity probe of compiled-schedule replay: a template
+    /// precomputes each sub-operation's window and charge, aggregates the
+    /// charges per window, and asks this for every touched window. If all
+    /// fit, first-fit placement ([`Self::acquire_pipelined`]) provably
+    /// starts every operation exactly at its ready time, so the template
+    /// can be committed wholesale with [`Self::charge_window`].
+    pub fn window_fits(&self, w: u64, charge: u64) -> bool {
+        self.unlimited || self.used(w) + charge <= self.window_capacity()
+    }
+
+    /// Charges `charge` unit-cycles to window `w` without searching.
+    ///
+    /// Only valid after [`Self::window_fits`] approved the same `(w,
+    /// charge)` aggregate — template replay's commit half. A no-op on
+    /// unlimited pools (which keep no ledger).
+    pub fn charge_window(&mut self, w: u64, charge: u64) {
+        if !self.unlimited {
+            *self.ledger.entry(w).or_insert(0) += charge;
+        }
+    }
+
+    /// Records an acquisition that bypassed [`Self::acquire_pipelined`]
+    /// (template replay) in the utilization statistics, keeping
+    /// [`Self::total_busy`]/[`Self::acquisitions`] exact either way.
+    pub fn record_acquisition(&mut self, latency: Cycles) {
+        self.acquisitions += 1;
+        self.total_busy += latency;
+    }
+
+    /// Drops ledger entries for windows strictly before `now`'s window.
+    ///
+    /// Safe whenever the caller's clock is monotone: every placement
+    /// search, fit probe, and [`Self::free_at`] scan starts at `now /
+    /// WINDOW` and only moves forward, so fully past windows can never be
+    /// consulted again. Without pruning the ledger grows one entry per ~64
+    /// busy cycles for the whole run, and its rehashing shows up in the
+    /// event-loop profile.
+    pub fn retire_before(&mut self, now: Cycles) {
+        if self.unlimited {
+            return;
+        }
+        let w = now.0 / Self::WINDOW;
+        self.ledger.retain(|&i, _| i >= w);
+    }
 }
 
 #[cfg(test)]
@@ -449,5 +501,42 @@ mod tests {
         pool.acquire(Cycles(0), Cycles(30));
         assert_eq!(pool.total_busy(), Cycles(40));
         assert_eq!(pool.acquisitions(), 2);
+    }
+
+    #[test]
+    fn window_fit_probe_matches_acquire() {
+        // 1 unit: window capacity 64. A 40-cycle charge fits once more
+        // after a 20-cycle occupant, but 50 does not.
+        let mut pool = UnitPool::new(1);
+        pool.acquire(Cycles(0), Cycles(20));
+        assert!(pool.window_fits(0, 40));
+        assert!(!pool.window_fits(0, 50));
+        // Committing via charge_window affects subsequent placement the
+        // same way a real acquisition would.
+        pool.charge_window(0, 44);
+        assert_eq!(pool.acquire(Cycles(0), Cycles(64)).0, Cycles(64));
+        assert!(UnitPool::new(UnitPool::UNLIMITED).window_fits(0, u64::MAX));
+    }
+
+    #[test]
+    fn replay_stat_recording_matches_acquire_stats() {
+        let mut a = UnitPool::new(2);
+        a.acquire(Cycles(0), Cycles(25));
+        let mut b = UnitPool::new(2);
+        b.record_acquisition(Cycles(25));
+        assert_eq!(a.total_busy(), b.total_busy());
+        assert_eq!(a.acquisitions(), b.acquisitions());
+    }
+
+    #[test]
+    fn retire_before_drops_only_past_windows() {
+        let mut pool = UnitPool::new(1);
+        pool.acquire(Cycles(0), Cycles(64)); // window 0 full
+        pool.acquire(Cycles(640), Cycles(64)); // window 10 full
+        pool.retire_before(Cycles(640));
+        // The past window is forgotten, the current one still binds.
+        assert!(pool.window_fits(0, 64));
+        assert!(!pool.window_fits(10, 1));
+        assert_eq!(pool.free_at(Cycles(640)), Cycles(704));
     }
 }

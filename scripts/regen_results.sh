@@ -21,13 +21,15 @@
 # `scripts/regen_results.sh --tx 40` for a quick pass, or
 # `scripts/regen_results.sh --jobs 8` to fan each binary's sweep across 8
 # worker threads — results are byte-identical at any worker count; setting
-# JANUS_JOBS=8 instead works too). Hermetic: builds and runs with --locked
+# JANUS_JOBS=8 instead works too). `--shards N` fans each binary's sweep
+# across N worker *processes* (also byte-identical; composes with --jobs,
+# which then applies per worker). Hermetic: builds and runs with --locked
 # --offline only.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BINS="fig1 fig3 fig6 fig9 fig10 fig11 fig12 fig13 fig14 table1 table4 overhead ablation endurance extended misuse skew janus-lint multicore"
+BINS="fig1 fig3 fig6 fig9 fig10 fig11 fig12 fig13 fig14 table1 table4 overhead ablation endurance extended misuse skew janus-lint multicore janus-sweep"
 
 echo "==> building janus-bench (release, locked, offline)"
 cargo build --release --locked --offline -p janus-bench

@@ -7,8 +7,10 @@
 //! ```
 //!
 //! Flags: `--workload <array|queue|hash|rbtree|btree|tatp|tpcc>`,
-//! `--variant <serialized|parallelized|janus|auto|pgo|place|ideal>` (accepts a
-//! comma-separated list to sweep several variants in one invocation),
+//! `--variant <serialized|parallelized|janus|auto|pgo|place|fixed|ideal>`
+//! (accepts a comma-separated list to sweep several variants in one
+//! invocation; `fixed` = manual instrumentation with a seeded §6 misuse
+//! repaired by the `janus-lint --fix` engine),
 //! `--cores N`, `--tx N`, `--size BYTES`, `--dedup RATIO`, `--seed N`,
 //! `--crc32`, `--scale <N|unlimited>`, `--skew THETA`, `--aux FRACTION`,
 //! `--bmos <id,...|none>` (BMO stack override; see `--list-bmos`),
@@ -74,6 +76,7 @@ fn main() {
             "auto" | "compiler" => Variant::JanusAuto,
             "pgo" | "profile" => Variant::JanusAutoPgo,
             "place" | "autoplace" => Variant::JanusAutoPlace,
+            "fixed" => Variant::JanusFixed,
             "ideal" => Variant::Ideal,
             other => {
                 eprintln!("unknown variant {other:?}");

@@ -1,6 +1,7 @@
 //! The `janus-lint` driver: run the static `PRE_*` analysis over the
-//! workload suite and (optionally) the structural dependency-graph linter
-//! over every BMO stack permutation.
+//! workload suite, (optionally) apply the proven autofix engine, compute
+//! the cross-tenant IRB-contention bound, and (optionally) run the
+//! structural dependency-graph linter over every BMO stack permutation.
 //!
 //! ```text
 //! cargo run --release -p janus-bench --bin janus-lint -- \
@@ -14,55 +15,63 @@
 //! <id,...>` (BMO stack override — changes the required pre-execution
 //! window), `--stacks` (also lint the dependency graph of the configured
 //! stack and of every stack permutation), `--seeded` (inject a deliberate
-//! stale-hint misuse before linting — the CI red-path check), `--json`
-//! (one deterministic JSON object per program instead of text), `--deny`
-//! (exit 1 if any error-severity diagnostic fired). Output is
-//! byte-deterministic: same flags, same bytes, at any `--jobs` value.
+//! stale-hint misuse before linting — the CI red-path check), `--fix`
+//! (apply the autofix engine; every fix is re-lint-proven, differentially
+//! checked against the trace oracle, and a regressing fix exits 2),
+//! `--dry-run` (with `--fix`: print the unified diff of the rewrite
+//! instead of only the summary), `--tenants N` + `--irb-policy
+//! <shared|banked[:N]|partitioned[:N]>` (compute the static cross-tenant
+//! IRB no-drop bound for an N-tenant mix of the selected workloads),
+//! `--json` (one deterministic JSON object per program instead of text),
+//! `--deny` (exit 1 if any error-severity diagnostic fired; with `--fix`,
+//! post-fix diagnostics are counted). Output is byte-deterministic: same
+//! flags, same bytes, at any `--jobs` value.
 
 use janus_bench::banner;
 use janus_bench::cli::{arg, flag};
 use janus_bmo::latency::BmoLatencies;
 use janus_bmo::BmoStack;
-use janus_core::ir::{Op, PreObjId, Program};
+use janus_core::config::{JanusConfig, SystemMode};
+use janus_core::irb::IrbPolicy;
 use janus_instrument::instrument;
-use janus_lint::{auto_place, lint_permutations, lint_program, lint_stack, LintOptions};
+use janus_instrument::misuse::verify_fix_with;
+use janus_lint::{
+    auto_place, fix_program, irb_bound_for_tenants, lint_permutations, lint_program, lint_stack,
+    render_program, seed_stale_hint, unified_diff, LintOptions,
+};
+use janus_sim::time::Cycles;
+use janus_trace::json;
+use janus_workloads::traffic::{generate_tenants, Arrival, TenantSpec};
 use janus_workloads::{generate, Instrumentation, Workload, WorkloadConfig};
-
-/// Injects a deliberate misuse: a `PRE_BOTH` hinting the wrong value for
-/// the first store's target line, immediately before that store. The lint
-/// must flag the store as `modified-after-pre`.
-fn seed_misuse(program: &mut Program) {
-    let Some(idx) = program
-        .ops
-        .iter()
-        .position(|op| matches!(op, Op::Store { .. }))
-    else {
-        return;
-    };
-    let Op::Store { line, value } = program.ops[idx] else {
-        unreachable!();
-    };
-    let mut wrong = value;
-    wrong.0[0] ^= 0xFF;
-    let obj = PreObjId(u32::MAX);
-    program.ops.insert(
-        idx,
-        Op::PreBoth {
-            obj,
-            line,
-            values: vec![wrong],
-        },
-    );
-    program.ops.insert(idx, Op::PreInit(obj));
-}
 
 fn main() {
     janus_bench::require_known_args(
-        &["--workload", "--instr", "--tx", "--bmos"],
-        &["--all", "--stacks", "--seeded", "--json", "--deny"],
+        &[
+            "--workload",
+            "--instr",
+            "--tx",
+            "--bmos",
+            "--tenants",
+            "--irb-policy",
+        ],
+        &[
+            "--all",
+            "--stacks",
+            "--seeded",
+            "--json",
+            "--deny",
+            "--fix",
+            "--dry-run",
+        ],
     );
     let tx = janus_bench::arg_usize("--tx", 50);
-    let json = flag("--json");
+    let json_out = flag("--json");
+    let dry_run = flag("--dry-run");
+    let fix = flag("--fix") || dry_run;
+    // CI red-path hook: tamper with the fixed program after the engine ran,
+    // emulating a fix that regresses diagnostics. The verification gates
+    // below must catch it and exit 2.
+    let sabotage = std::env::var("JANUS_FIX_SABOTAGE").is_ok_and(|v| v == "1");
     let stack = match arg("--bmos") {
         Some(v) => match BmoStack::parse(&v) {
             Ok(s) => s,
@@ -94,7 +103,7 @@ fn main() {
         stack: stack.clone(),
         ..LintOptions::with_latencies(lat)
     };
-    if !json {
+    if !json_out {
         banner(
             "janus-lint — static analysis of the PRE_* interface",
             &format!(
@@ -106,7 +115,7 @@ fn main() {
 
     let mut total_errors = 0usize;
     let mut total_warnings = 0usize;
-    for w in workloads {
+    for w in workloads.iter().copied() {
         let cfg = WorkloadConfig {
             transactions: tx,
             instrumentation: if instr == "manual" {
@@ -123,17 +132,90 @@ fn main() {
             _ => out.program,
         };
         if flag("--seeded") {
-            seed_misuse(&mut program);
+            seed_stale_hint(&mut program);
         }
         let report = lint_program(&program, &opts);
-        total_errors += report.errors();
-        total_warnings += report.warnings();
-        if json {
-            println!(
-                "{{\"workload\":\"{}\",\"instr\":\"{instr}\",\"report\":{}}}",
-                w.slug(),
-                report.to_json()
-            );
+        let fixed = fix.then(|| {
+            let outcome = fix_program(&program, &opts);
+            let mut rewritten = outcome.program.clone();
+            if sabotage {
+                seed_stale_hint(&mut rewritten);
+            }
+            // Gate 1: re-linting the emitted program must reproduce the
+            // engine's own report — a fix that regresses diagnostics (or
+            // any tampering between engine and output) fails here.
+            let recheck = lint_program(&rewritten, &opts);
+            if recheck.diagnostics != outcome.after.diagnostics {
+                eprintln!(
+                    "janus-lint --fix: {}: re-lint of the fixed program disagrees with the \
+                     fix engine ({} vs {} diagnostics) — fix regressed, refusing to emit",
+                    w.slug(),
+                    recheck.diagnostics.len(),
+                    outcome.after.diagnostics.len()
+                );
+                std::process::exit(2);
+            }
+            // Gate 2: differential semantic check against the trace oracle
+            // (Store/Load stream preserved, oracle findings never grow).
+            let v = verify_fix_with(&program, &rewritten, &lat);
+            if !v.ok() {
+                eprintln!(
+                    "janus-lint --fix: {}: oracle verification failed \
+                     (stream_preserved={} oracle {} -> {}) — refusing to emit",
+                    w.slug(),
+                    v.stream_preserved,
+                    v.oracle_before,
+                    v.oracle_after
+                );
+                std::process::exit(2);
+            }
+            (outcome, rewritten, recheck)
+        });
+
+        match &fixed {
+            Some((_, _, recheck)) => {
+                total_errors += recheck.errors();
+                total_warnings += recheck.warnings();
+            }
+            None => {
+                total_errors += report.errors();
+                total_warnings += report.warnings();
+            }
+        }
+
+        if json_out {
+            if let Some((outcome, _, recheck)) = &fixed {
+                let mut applied = String::new();
+                for (i, f) in outcome.applied.iter().enumerate() {
+                    if i > 0 {
+                        applied.push(',');
+                    }
+                    applied.push_str(&format!(
+                        "{{\"kind\":\"{}\",\"code\":\"{}\",\"at\":{},\"detail\":",
+                        f.kind.as_str(),
+                        f.code.as_str(),
+                        f.at
+                    ));
+                    json::write_str(&mut applied, &f.detail);
+                    applied.push('}');
+                }
+                println!(
+                    "{{\"workload\":\"{}\",\"instr\":\"{instr}\",\"report\":{},\
+                     \"fix\":{{\"iterations\":{},\"refused\":{},\"applied\":[{applied}],\
+                     \"report\":{}}}}}",
+                    w.slug(),
+                    report.to_json(),
+                    outcome.iterations,
+                    outcome.refused,
+                    recheck.to_json()
+                );
+            } else {
+                println!(
+                    "{{\"workload\":\"{}\",\"instr\":\"{instr}\",\"report\":{}}}",
+                    w.slug(),
+                    report.to_json()
+                );
+            }
         } else {
             println!(
                 "{:<12} requests={:<5} well-placed={:<5} errors={} warnings={}",
@@ -146,6 +228,111 @@ fn main() {
             for d in &report.diagnostics {
                 println!("  {d}");
             }
+            if let Some((outcome, rewritten, recheck)) = &fixed {
+                for f in &outcome.applied {
+                    println!("  {f}");
+                }
+                println!(
+                    "  fixed: errors={} warnings={} applied={} iterations={} refused={}",
+                    recheck.errors(),
+                    recheck.warnings(),
+                    outcome.applied.len(),
+                    outcome.iterations,
+                    outcome.refused
+                );
+                if dry_run && !outcome.applied.is_empty() {
+                    let before = render_program(&program);
+                    let after = render_program(rewritten);
+                    print!(
+                        "{}",
+                        unified_diff(
+                            &before,
+                            &after,
+                            &format!("{}/before", w.slug()),
+                            &format!("{}/after", w.slug())
+                        )
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(tenants) = arg("--tenants") {
+        let tenants: usize = match tenants.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--tenants must be a positive integer, got {tenants:?}");
+                std::process::exit(2);
+            }
+        };
+        let policy = match arg("--irb-policy") {
+            Some(s) => match IrbPolicy::parse(&s) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("--irb-policy: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => IrbPolicy::Shared,
+        };
+        let specs: Vec<TenantSpec> = (0..tenants)
+            .map(|t| {
+                let mut s = TenantSpec::new(
+                    workloads[t % workloads.len()],
+                    tx,
+                    Arrival::Poisson {
+                        mean: Cycles(20_000),
+                    },
+                );
+                s.instrumentation = if instr == "manual" {
+                    Instrumentation::Manual
+                } else {
+                    Instrumentation::None
+                };
+                s
+            })
+            .collect();
+        let traffic = generate_tenants(&specs, 0);
+        let streams: Vec<Vec<janus_core::ir::Program>> =
+            traffic.into_iter().map(|t| t.stream.txs).collect();
+        let capacity = JanusConfig::paper(SystemMode::Janus, tenants).total_irb_entries();
+        let bound = irb_bound_for_tenants(&streams, policy, capacity);
+        if json_out {
+            let mut demands = String::new();
+            for (i, d) in bound.demands.iter().enumerate() {
+                if i > 0 {
+                    demands.push(',');
+                }
+                demands.push_str(&format!(
+                    "{{\"tenant\":{i},\"workload\":\"{}\",\"peak\":{},\"requests\":{}}}",
+                    specs[i].workload.slug(),
+                    d.peak,
+                    d.requests
+                ));
+            }
+            println!(
+                "{{\"tenants\":{tenants},\"policy\":\"{policy}\",\"capacity\":{capacity},\
+                 \"demands\":[{demands}],\"total_peak\":{},\"safe\":{}}}",
+                bound.total_peak(),
+                bound.verdict.is_safe()
+            );
+        } else {
+            println!(
+                "\ncross-tenant IRB bound: tenants={tenants} policy={policy} capacity={capacity}"
+            );
+            for (i, d) in bound.demands.iter().enumerate() {
+                println!(
+                    "  tenant {i} ({:<10}) peak={:<4} requests={}",
+                    specs[i].workload.slug(),
+                    d.peak,
+                    d.requests
+                );
+            }
+            println!(
+                "  total peak={} verdict: {}",
+                bound.total_peak(),
+                bound.verdict
+            );
         }
     }
 
@@ -162,7 +349,7 @@ fn main() {
             .chain(&sweep)
             .filter(|d| d.severity == janus_lint::Severity::Warning)
             .count();
-        if json {
+        if json_out {
             print!("{{\"stack\":\"{stack}\",\"graph\":[");
             for (i, d) in configured.iter().enumerate() {
                 if i > 0 {
@@ -203,7 +390,7 @@ fn main() {
         }
     }
 
-    if !json {
+    if !json_out {
         println!("\ntotal: {total_errors} errors, {total_warnings} warnings");
     }
     if flag("--deny") && total_errors > 0 {

@@ -10,8 +10,8 @@
 //! processes — output is byte-identical at any fan-out.
 
 use janus_bench::cli::arg_str;
-use janus_bench::{arg_usize, banner, row, run_all, RunSpec, Variant};
 use janus_bench::cli::arg_u64;
+use janus_bench::{arg_usize, banner, row, run_all, RunSpec, Variant};
 use janus_workloads::Workload;
 
 /// The sweepable variants by slug (the grid's first entry is the speedup

@@ -74,7 +74,10 @@ pub fn require_known_args(value_flags: &[&str], bool_flags: &[&str]) {
             .chain(["--jobs", "--shards"].iter())
             .map(|f| format!("{f} <value>"))
             .chain(bool_flags.iter().map(|f| f.to_string()))
-            .chain(["--legacy-events".to_string(), "--interpreted-sched".to_string()])
+            .chain([
+                "--legacy-events".to_string(),
+                "--interpreted-sched".to_string(),
+            ])
             .collect();
         flags.sort();
         eprintln!("error: {msg}");
@@ -88,7 +91,10 @@ pub fn require_known_args(value_flags: &[&str], bool_flags: &[&str]) {
                 usage(&format!("{a} requires a value"));
             }
             i += 2;
-        } else if bool_flags.contains(&a.as_str()) || a == "--legacy-events" || a == "--interpreted-sched" {
+        } else if bool_flags.contains(&a.as_str())
+            || a == "--legacy-events"
+            || a == "--interpreted-sched"
+        {
             i += 1;
         } else {
             usage(&format!("unknown argument {a:?}"));

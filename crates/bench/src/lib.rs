@@ -43,6 +43,11 @@ pub enum Variant {
     /// Janus with `janus-lint`'s dominance-based placement pass
     /// ([`janus_lint::auto_place`]).
     JanusAutoPlace,
+    /// Janus with hand-placed calls, a seeded §6 misuse, and the autofix
+    /// engine ([`janus_lint::fix_default`]) repairing it — the end-to-end
+    /// "misused, then `--fix`ed" variant; its cycles should recover the
+    /// manual variant's speedup.
+    JanusFixed,
     /// Non-blocking-writeback ideal (§5.2.2).
     Ideal,
 }
@@ -56,7 +61,8 @@ impl Variant {
             Variant::JanusManual
             | Variant::JanusAuto
             | Variant::JanusAutoPgo
-            | Variant::JanusAutoPlace => SystemMode::Janus,
+            | Variant::JanusAutoPlace
+            | Variant::JanusFixed => SystemMode::Janus,
             Variant::Ideal => SystemMode::Ideal,
         }
     }
@@ -70,6 +76,7 @@ impl Variant {
             Variant::JanusAuto => "Janus (Auto)",
             Variant::JanusAutoPgo => "Janus (PGO)",
             Variant::JanusAutoPlace => "Janus (AutoPlace)",
+            Variant::JanusFixed => "Janus (Fixed)",
             Variant::Ideal => "Non-blocking",
         }
     }
@@ -206,7 +213,7 @@ impl RunSpec {
     pub fn tenant_specs(&self) -> Vec<TenantSpec> {
         let ol = self.open_loop.as_ref().expect("an open-loop RunSpec");
         let instrumentation = match self.variant {
-            Variant::JanusManual => Instrumentation::Manual,
+            Variant::JanusManual | Variant::JanusFixed => Instrumentation::Manual,
             _ => Instrumentation::None,
         };
         (0..ol.tenants)
@@ -231,7 +238,7 @@ impl RunSpec {
         Vec<(janus_nvm::addr::LineAddr, u64)>,
     ) {
         let instrumentation = match self.variant {
-            Variant::JanusManual => Instrumentation::Manual,
+            Variant::JanusManual | Variant::JanusFixed => Instrumentation::Manual,
             _ => Instrumentation::None,
         };
         let cfg = WorkloadConfig {
@@ -248,6 +255,13 @@ impl RunSpec {
             Variant::JanusAuto => instrument(&out.program).0,
             Variant::JanusAutoPgo => janus_instrument::dynamic::instrument_dynamic(&out.program).0,
             Variant::JanusAutoPlace => janus_lint::auto_place(&out.program).0,
+            Variant::JanusFixed => {
+                // Start from the hand instrumentation, seed the canonical
+                // §6 misuse, and let the autofix engine repair it.
+                let mut seeded = out.program;
+                janus_lint::seed_stale_hint(&mut seeded);
+                janus_lint::fix_default(&seeded).program
+            }
             _ => out.program,
         };
         (program, out.expected, out.resident)

@@ -134,7 +134,10 @@ fn run_child(specs: &[RunSpec], idx: usize, count: usize, dir: &Path) -> ! {
     }
     let path = dir.join(format!("shard-{idx}.janus"));
     if let Err(e) = std::fs::write(&path, body) {
-        eprintln!("error: shard {idx}: could not write {}: {e}", path.display());
+        eprintln!(
+            "error: shard {idx}: could not write {}: {e}",
+            path.display()
+        );
         std::process::exit(1);
     }
     std::process::exit(0);
@@ -608,7 +611,10 @@ mod tests {
         let mut a = RunSpec::new(Workload::ArraySwap, Variant::Serialized);
         let b = a.clone();
         assert!(eligible(&[a.clone(), b.clone()]));
-        assert!(!eligible(&[a.clone()]), "a single spec has nothing to split");
+        assert!(
+            !eligible(&[a.clone()]),
+            "a single spec has nothing to split"
+        );
         a.trace = Some(janus_trace::TraceConfig::default());
         assert!(!eligible(&[a.clone(), b.clone()]));
         a.trace = None;

@@ -129,7 +129,13 @@ impl EncryptionEngine {
     /// path of the read side's integrity check. Equivalent to
     /// [`EncryptionEngine::verify_mac`] for lines this engine wrote; any
     /// divergence (stale counter, tampered cipher) recomputes honestly.
-    pub fn stored_mac_matches(&self, slot: u64, counter: u64, cipher: &Line, mac: &[u8; 20]) -> bool {
+    pub fn stored_mac_matches(
+        &self,
+        slot: u64,
+        counter: u64,
+        cipher: &Line,
+        mac: &[u8; 20],
+    ) -> bool {
         if let Some(m) = self.memo.borrow().get(&slot) {
             if m.counter == counter && m.cipher == *cipher {
                 return m.mac == *mac;

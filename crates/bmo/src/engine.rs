@@ -377,7 +377,10 @@ impl BmoEngine {
                 dup,
             )));
         }
-        let tpl = self.templates[slot].as_ref().expect("just compiled").clone();
+        let tpl = self.templates[slot]
+            .as_ref()
+            .expect("just compiled")
+            .clone();
         let mut windows = std::mem::take(&mut self.replay_windows);
         let fits = tpl.windows_fit(submit, &self.pool, &mut windows);
         self.replay_windows = windows;
@@ -392,8 +395,13 @@ impl BmoEngine {
         if self.tracer.causal() {
             // Cache marker for janus-prof: 0 = cold compile (+ replay),
             // 1 = warm replay; the interpreted path emits 2.
-            self.tracer
-                .instant(Category::Engine, "prof_sched", submit, id.0, u64::from(!cold));
+            self.tracer.instant(
+                Category::Engine,
+                "prof_sched",
+                submit,
+                id.0,
+                u64::from(!cold),
+            );
         }
         let job = self.jobs.get_mut(&id.0).expect("submitting job exists");
         for s in &tpl.slots {
@@ -405,10 +413,17 @@ impl BmoEngine {
             if self.tracer.causal() {
                 // Same causal record the interpreted scheduler emits: every
                 // input of a full submit is available at the submit cycle.
-                self.tracer
-                    .instant_link(Category::Engine, "prof_node", submit, id.0, s.node.0 as u64, ready.0);
+                self.tracer.instant_link(
+                    Category::Engine,
+                    "prof_node",
+                    submit,
+                    id.0,
+                    s.node.0 as u64,
+                    ready.0,
+                );
             }
-            self.tracer.span(s.cat, s.name, ready, end, id.0, s.latency.0);
+            self.tracer
+                .span(s.cat, s.name, ready, end, id.0, s.latency.0);
             job.node_end[s.node.0] = Some(end);
         }
         true

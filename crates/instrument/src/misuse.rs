@@ -189,6 +189,59 @@ fn project_lint_report(lint: &LintReport) -> MisuseReport {
     report
 }
 
+/// The result of differentially checking a `janus-lint --fix` rewrite
+/// against the trace-walking oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixVerification {
+    /// The fixed program's `Store`/`Load` stream is byte-identical to the
+    /// original's — fixes only touch `PRE_*` ops and persist primitives,
+    /// never the workload's semantics.
+    pub stream_preserved: bool,
+    /// Oracle findings on the original program.
+    pub oracle_before: usize,
+    /// Oracle findings on the fixed program.
+    pub oracle_after: usize,
+}
+
+impl FixVerification {
+    /// Whether the fix is semantics-preserving and never regresses the
+    /// oracle. (The lint's window is the *active stack's* critical path
+    /// while the oracle always charges the paper trio, so a legitimate fix
+    /// under `--bmos` can shift an oracle finding between kinds — the
+    /// total, though, must never grow.)
+    pub fn ok(&self) -> bool {
+        self.stream_preserved && self.oracle_after <= self.oracle_before
+    }
+
+    /// Whether the fixed program is oracle-clean (zero dynamic misuses) —
+    /// guaranteed by the fix engine when linting with paper-default
+    /// options, where the lint window equals the oracle window.
+    pub fn clean(&self) -> bool {
+        self.oracle_after == 0
+    }
+}
+
+/// Differentially checks a fix rewrite with the paper's default latencies.
+pub fn verify_fix(original: &Program, fixed: &Program) -> FixVerification {
+    verify_fix_with(original, fixed, &BmoLatencies::paper())
+}
+
+/// Differentially checks a fix rewrite: the `Store`/`Load` stream must be
+/// preserved exactly, and the trace oracle's finding count must not grow.
+pub fn verify_fix_with(original: &Program, fixed: &Program, lat: &BmoLatencies) -> FixVerification {
+    fn stream(p: &Program) -> Vec<&Op> {
+        p.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Store { .. } | Op::Load(_)))
+            .collect()
+    }
+    FixVerification {
+        stream_preserved: stream(original) == stream(fixed),
+        oracle_before: trace_oracle_with(original, lat).findings.len(),
+        oracle_after: trace_oracle_with(fixed, lat).findings.len(),
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Hint {
     pre_index: usize,

@@ -1,0 +1,217 @@
+//! Property tests for the `janus-lint --fix` engine, driven by the same
+//! adversarially mis-instrumented program generator the lint-differential
+//! suite uses. The engine's contract, checked on every generated program:
+//!
+//! * the strict-reduction gate holds (no lint code's count ever rises and
+//!   the total never grows);
+//! * the fixpoint terminates within its well-founded bound and leaves the
+//!   three §6 misuse patterns extinct;
+//! * `--fix` is idempotent — fixing a fixed program changes nothing;
+//! * the rewrite preserves the `Store`/`Load` stream and the fixed program
+//!   passes the dynamic trace oracle with zero misuses.
+
+use janus_check::{forall_cfg, gen, Config, Gen};
+use janus_core::ir::{Program, ProgramBuilder};
+use janus_instrument::misuse::verify_fix;
+use janus_lint::{fix_default, seed_stale_hint, LintCode};
+use janus_nvm::addr::LineAddr;
+use janus_nvm::line::Line;
+
+/// How a routine places (or misplaces) its pre-execution request.
+#[derive(Clone, Copy, Debug)]
+enum PreKind {
+    None,
+    Both,
+    Split,
+    Stale,
+    DataOnly,
+    Shadowed,
+}
+
+#[derive(Clone, Debug)]
+struct MisRoutine {
+    line: u64,
+    value: u8,
+    kind: PreKind,
+    compute: u32,
+    consume: bool,
+}
+
+fn arb_misroutine() -> Gen<MisRoutine> {
+    gen::tuple5(
+        &gen::range_u64(0..8),
+        &gen::any_u8(),
+        &gen::range_u32(0..6),
+        &gen::range_u32(0..6_000),
+        &gen::any_bool(),
+    )
+    .map(|(line, value, kind, compute, consume)| MisRoutine {
+        line: *line,
+        value: *value,
+        kind: match kind {
+            0 => PreKind::None,
+            1 => PreKind::Both,
+            2 => PreKind::Split,
+            3 => PreKind::Stale,
+            4 => PreKind::DataOnly,
+            _ => PreKind::Shadowed,
+        },
+        compute: *compute,
+        consume: *consume,
+    })
+}
+
+fn arb_misroutines() -> Gen<Vec<MisRoutine>> {
+    gen::vec_of(&arb_misroutine(), 1..10)
+}
+
+/// Builds a hand-instrumented (possibly mis-instrumented) program.
+fn build(routines: &[MisRoutine]) -> Program {
+    let mut b = ProgramBuilder::new();
+    for r in routines {
+        b.func("routine", |b| {
+            let hinted = Line::splat(r.value);
+            let stored = match r.kind {
+                PreKind::Stale => Line::splat(r.value.wrapping_add(1)),
+                _ => hinted,
+            };
+            match r.kind {
+                PreKind::None => {}
+                PreKind::Both | PreKind::Stale => {
+                    let obj = b.pre_init();
+                    b.pre_both(obj, LineAddr(r.line), vec![hinted]);
+                }
+                PreKind::Split => {
+                    let obj = b.pre_init();
+                    b.pre_addr(obj, LineAddr(r.line), 1);
+                    b.pre_data(obj, vec![hinted]);
+                }
+                PreKind::DataOnly => {
+                    let obj = b.pre_init();
+                    b.pre_data(obj, vec![hinted]);
+                }
+                PreKind::Shadowed => {
+                    let obj = b.pre_init();
+                    b.pre_both(obj, LineAddr(r.line), vec![hinted]);
+                    let obj2 = b.pre_init();
+                    b.pre_both(obj2, LineAddr(r.line), vec![hinted]);
+                }
+            }
+            b.compute(r.compute);
+            if r.consume {
+                b.store(LineAddr(r.line), stored);
+                b.clwb(LineAddr(r.line));
+                b.fence();
+            }
+        });
+    }
+    b.build()
+}
+
+/// Every lint code a program report can carry.
+const PROGRAM_CODES: [LintCode; 6] = [
+    LintCode::ModifiedAfterPre,
+    LintCode::UselessPre,
+    LintCode::InsufficientWindow,
+    LintCode::RedundantPre,
+    LintCode::IrbPressure,
+    LintCode::PersistOrdering,
+];
+
+/// The strict-reduction gate holds over the whole run, the fixpoint stays
+/// inside its well-founded bound, and no §6 misuse survives the fix.
+#[test]
+fn fix_reduces_and_clears_the_misuse_patterns() {
+    forall_cfg(&Config::with_cases(72), &arb_misroutines(), |routines| {
+        let p = build(routines);
+        let outcome = fix_default(&p);
+        assert!(
+            outcome.after.diagnostics.len() <= outcome.before.diagnostics.len(),
+            "total diagnostics grew: {routines:?}"
+        );
+        for c in PROGRAM_CODES {
+            assert!(
+                outcome.after.count(c) <= outcome.before.count(c),
+                "{c:?} regressed on {routines:?}"
+            );
+        }
+        for c in [
+            LintCode::ModifiedAfterPre,
+            LintCode::UselessPre,
+            LintCode::InsufficientWindow,
+        ] {
+            assert_eq!(
+                outcome.after.count(c),
+                0,
+                "{c:?} survived the fix on {routines:?}: {:?}",
+                outcome.after.diagnostics
+            );
+        }
+        // Termination measure: one accepted fix per iteration, each
+        // strictly decreasing the diagnostic count.
+        assert!(
+            outcome.iterations <= outcome.before.diagnostics.len() + 1,
+            "fixpoint overran its bound: {} iterations for {} diagnostics",
+            outcome.iterations,
+            outcome.before.diagnostics.len()
+        );
+    });
+}
+
+/// Fixing a fixed program is a no-op, byte for byte.
+#[test]
+fn fix_is_idempotent_on_adversarial_programs() {
+    forall_cfg(&Config::with_cases(48), &arb_misroutines(), |routines| {
+        let outcome = fix_default(&build(routines));
+        let again = fix_default(&outcome.program);
+        assert!(
+            !again.changed(),
+            "second fix pass changed the program: {:?} on {routines:?}",
+            again.applied
+        );
+        assert_eq!(again.program, outcome.program);
+    });
+}
+
+/// Differential oracle: the fixed program preserves the `Store`/`Load`
+/// stream and replays through the dynamic trace oracle with zero misuses.
+#[test]
+fn fixed_programs_pass_the_trace_oracle() {
+    forall_cfg(&Config::with_cases(48), &arb_misroutines(), |routines| {
+        let p = build(routines);
+        let outcome = fix_default(&p);
+        let v = verify_fix(&p, &outcome.program);
+        assert!(v.ok(), "stream/oracle regression on {routines:?}: {v:?}");
+        assert!(
+            v.clean(),
+            "dynamic misuses survive the fix on {routines:?}: {v:?}"
+        );
+    });
+}
+
+/// The canonical seeded misuse is always repaired, on any generated
+/// uninstrumented store stream.
+#[test]
+fn seeded_misuse_is_always_repaired() {
+    forall_cfg(&Config::with_cases(48), &arb_misroutines(), |routines| {
+        let mut b = ProgramBuilder::new();
+        for r in routines {
+            b.func("routine", |b| {
+                b.compute(r.compute);
+                b.store(LineAddr(r.line), Line::splat(r.value));
+                b.clwb(LineAddr(r.line));
+                b.fence();
+            });
+        }
+        let mut seeded = b.build();
+        seed_stale_hint(&mut seeded);
+        let outcome = fix_default(&seeded);
+        assert_eq!(
+            outcome.after.errors(),
+            0,
+            "seeded program not repaired: {routines:?}"
+        );
+        let v = verify_fix(&seeded, &outcome.program);
+        assert!(v.ok() && v.clean(), "{routines:?}: {v:?}");
+    });
+}

@@ -22,6 +22,12 @@
 //!   swept across every stack permutation.
 //! * [`place`] — [`auto_place`]: dominance-based automated `PRE_*`
 //!   placement that covers the loops the §4.5 static pass skips.
+//! * [`fix`] — [`fix_program`]: proven autofix rewrites (`--fix`) — each
+//!   diagnostic joined with a dominance-based rewrite, accepted only if
+//!   re-linting shows the diagnostic set strictly shrinking.
+//! * [`contention`] — cross-tenant IRB-pressure analysis: per-program peak
+//!   occupancy composed under an [`janus_core::irb::IrbPolicy`] into a
+//!   static no-drop bound the simulator is the oracle for.
 //! * [`report`] — typed diagnostics and a byte-deterministic JSON report.
 //!
 //! The trace-based checker in `janus-instrument` delegates to these lints
@@ -47,14 +53,24 @@
 //! ```
 
 pub mod cfg;
+pub mod contention;
 pub mod dataflow;
+pub mod fix;
 pub mod graph;
 pub mod lints;
 pub mod place;
 pub mod report;
 
 pub use cfg::{Cfg, CfgOptions};
+pub use contention::{
+    irb_bound, irb_bound_for_tenants, peak_irb_demand, tenant_irb_demand, IrbBound, IrbDemand,
+    IrbVerdict,
+};
 pub use dataflow::{analyze_writes, Defs, WriteKnowledge};
+pub use fix::{
+    fix_default, fix_program, render_program, seed_stale_hint, unified_diff, AppliedFix, FixKind,
+    FixOutcome,
+};
 pub use graph::{lint_bmo_class, lint_permutations, lint_stack};
 pub use lints::{lint_default, lint_program, LintOptions};
 pub use place::{auto_place, PlaceReport};

@@ -323,7 +323,7 @@ fn is_marker(op: &Op) -> bool {
 /// Keeps an insertion inside the writeback's conditional region (§4.5.1:
 /// the pass "conservatively inserts the pre-execution function under the
 /// same conditional statement").
-fn clamp_to_cond(cfg: &Cfg, clwb_idx: usize, at: usize) -> usize {
+pub(crate) fn clamp_to_cond(cfg: &Cfg, clwb_idx: usize, at: usize) -> usize {
     match cfg.regions[clwb_idx].cond_begin {
         Some(cb) if at <= cb => cb + 1,
         _ => at,

@@ -257,9 +257,14 @@ impl LintReport {
             .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
     }
 
-    /// Renders the report as one deterministic JSON object.
+    /// Renders the report as one deterministic JSON object. Diagnostics
+    /// are rendered through a sorted view — stable-ordered by (span, code,
+    /// context) even if the caller merged findings from several lint
+    /// passes without re-sorting — so JSON diffs are deterministic.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256 + self.diagnostics.len() * 96);
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        let mut out = String::with_capacity(256 + sorted.len() * 96);
         out.push_str(&format!(
             "{{\"requests\":{},\"well_placed\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
             self.requests,
@@ -267,7 +272,7 @@ impl LintReport {
             self.errors(),
             self.warnings()
         ));
-        for (i, d) in self.diagnostics.iter().enumerate() {
+        for (i, d) in sorted.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }

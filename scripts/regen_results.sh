@@ -17,6 +17,12 @@
 #                                     blame, utilization, folded flamegraph
 #   results/profile.json            — the same profile, janus-profile-v1
 #
+# and the autofix artifact (janus-lint --fix):
+#
+#   results/lint-fix.txt            — the seeded-misuse corpus repaired by
+#                                     the autofix engine, plus the 4-tenant
+#                                     shared-policy IRB-contention bound
+#
 # Extra arguments are forwarded to every figure binary (e.g.
 # `scripts/regen_results.sh --tx 40` for a quick pass, or
 # `scripts/regen_results.sh --jobs 8` to fan each binary's sweep across 8
@@ -43,6 +49,11 @@ for bin in $BINS; do
         cargo run --release --locked --offline -p janus-bench --bin "$bin" -- "$@" \
         > "results/$bin.txt"
 done
+
+echo "==> janus-lint --fix (seeded corpus + IRB bound)"
+cargo run --release --locked --offline -p janus-bench --bin janus-lint -- \
+    --all --seeded --fix --tenants 4 --irb-policy shared "$@" \
+    > results/lint-fix.txt
 
 echo "==> quickstart trace + metrics"
 cargo run --release --locked --offline --example quickstart -- \

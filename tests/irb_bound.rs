@@ -1,0 +1,194 @@
+//! Differential tests for the cross-tenant IRB-contention bound
+//! (`janus-lint --tenants`): whenever the static occupancy analysis says a
+//! tenant mix is safe under a policy, the open-loop multi-tenant simulator
+//! must record zero IRB drops — checked deterministically for all three
+//! policies and property-tested over randomized tenant mixes. The unsafe
+//! verdict is shown to be non-vacuous: a quota the bound rejects really
+//! does drop inserts in the simulator.
+
+use std::cell::Cell;
+
+use janus::core::config::{JanusConfig, SystemMode};
+use janus::core::irb::IrbPolicy;
+use janus::core::system::{ExecutionReport, System};
+use janus::core::tenant::TenantStream;
+use janus::lint::{irb_bound_for_tenants, IrbBound, IrbVerdict};
+use janus::sim::time::Cycles;
+use janus::workloads::traffic::{generate_tenants, Arrival, TenantSpec};
+use janus::workloads::{Instrumentation, Workload};
+use janus_check::{forall_cfg, gen, Config};
+
+const MIX: [Workload; 4] = [
+    Workload::Tatp,
+    Workload::HashTable,
+    Workload::Queue,
+    Workload::Tpcc,
+];
+
+fn manual_specs(tenants: usize, tx: usize, mean: u64) -> Vec<TenantSpec> {
+    (0..tenants)
+        .map(|t| {
+            let mut s = TenantSpec::new(
+                MIX[t % MIX.len()],
+                tx,
+                Arrival::Poisson { mean: Cycles(mean) },
+            );
+            s.instrumentation = Instrumentation::Manual;
+            s
+        })
+        .collect()
+}
+
+/// Computes the static bound and runs the simulator on the same streams.
+fn bound_and_run(
+    specs: &[TenantSpec],
+    policy: IrbPolicy,
+    cores: usize,
+    seed: u64,
+) -> (IrbBound, ExecutionReport) {
+    let mut config = JanusConfig::paper(SystemMode::Janus, cores);
+    config.irb_policy = policy;
+    let traffic = generate_tenants(specs, seed);
+    let txs: Vec<Vec<janus::core::ir::Program>> =
+        traffic.iter().map(|t| t.stream.txs.clone()).collect();
+    let bound = irb_bound_for_tenants(&txs, policy, config.total_irb_entries());
+    let streams: Vec<TenantStream> = traffic.into_iter().map(|t| t.stream).collect();
+    let mut sys = System::new(config);
+    let report = sys.try_run_tenants(streams).expect("valid streams");
+    (bound, report)
+}
+
+/// A safe verdict under each of the three policies is honoured by the
+/// simulator: zero IRB drops (`report.irb.2`).
+#[test]
+fn safe_bound_implies_no_drops_for_all_policies() {
+    let specs = manual_specs(4, 6, 20_000);
+    for policy in [
+        IrbPolicy::Shared,
+        IrbPolicy::Banked { per_tenant: 64 },
+        IrbPolicy::Partitioned { quota: 64 },
+    ] {
+        let (bound, report) = bound_and_run(&specs, policy, 2, 42);
+        assert!(
+            bound.verdict.is_safe(),
+            "{policy}: this mix must be provably safe, got {}",
+            bound.verdict
+        );
+        assert_eq!(
+            report.irb.2, 0,
+            "{policy}: bound said safe but the simulator dropped ({:?})",
+            report.irb
+        );
+        assert_eq!(bound.demands.len(), 4);
+        assert!(bound.total_peak() > 0, "demand must be non-trivial");
+    }
+}
+
+/// Non-vacuity of the unsafe verdict: a quota of one is rejected by the
+/// bound *and* really drops inserts in the simulator under pressure (the
+/// bound is conservative, so the converse — unsafe but no drops — is
+/// allowed; here we pin a case where the danger is real).
+#[test]
+fn unsafe_bound_is_not_vacuous() {
+    let specs: Vec<TenantSpec> = (0..4)
+        .map(|_| {
+            let mut s = TenantSpec::new(
+                Workload::HashTable,
+                8,
+                Arrival::Poisson { mean: Cycles(500) },
+            );
+            s.instrumentation = Instrumentation::Manual;
+            s
+        })
+        .collect();
+    let policy = IrbPolicy::Partitioned { quota: 1 };
+    let (bound, report) = bound_and_run(&specs, policy, 2, 9);
+    match bound.verdict {
+        IrbVerdict::Unsafe { demand, limit, .. } => {
+            assert!(demand > limit);
+            assert_eq!(limit, 1);
+        }
+        IrbVerdict::Safe => panic!("quota=1 must be statically unsafe here"),
+    }
+    assert!(
+        report.irb.2 > 0,
+        "quota=1 must actually drop inserts: {:?}",
+        report.irb
+    );
+}
+
+/// Banked policies ignore the aggregate and shared policies ignore
+/// per-tenant quotas — the composed verdicts disagree exactly where the
+/// model says they should.
+#[test]
+fn policy_composition_is_policy_sensitive() {
+    let specs = manual_specs(4, 6, 20_000);
+    let traffic = generate_tenants(&specs, 7);
+    let txs: Vec<Vec<janus::core::ir::Program>> =
+        traffic.iter().map(|t| t.stream.txs.clone()).collect();
+    let capacity = JanusConfig::paper(SystemMode::Janus, 2).total_irb_entries();
+
+    let shared = irb_bound_for_tenants(&txs, IrbPolicy::Shared, capacity);
+    assert!(shared.verdict.is_safe());
+
+    // A per-tenant limit of 1 trips banked and partitioned but not shared.
+    let banked = irb_bound_for_tenants(&txs, IrbPolicy::Banked { per_tenant: 1 }, capacity);
+    assert!(matches!(
+        banked.verdict,
+        IrbVerdict::Unsafe {
+            tenant: Some(_),
+            limit: 1,
+            ..
+        }
+    ));
+    let part = irb_bound_for_tenants(&txs, IrbPolicy::Partitioned { quota: 1 }, capacity);
+    assert!(!part.verdict.is_safe());
+
+    // A tiny shared capacity trips the aggregate check with tenant=None.
+    let tight = irb_bound_for_tenants(&txs, IrbPolicy::Shared, 1);
+    assert!(matches!(
+        tight.verdict,
+        IrbVerdict::Unsafe { tenant: None, .. }
+    ));
+}
+
+/// The randomized differential property: over random tenant counts,
+/// transaction counts, policies, quotas, and seeds, every safe verdict is
+/// honoured by the simulator with zero drops.
+#[test]
+fn random_mixes_never_contradict_the_bound() {
+    let arb = gen::tuple5(
+        &gen::range_usize(1..5),  // tenants
+        &gen::range_usize(1..4),  // transactions per tenant
+        &gen::range_u32(0..3),    // policy selector
+        &gen::range_usize(4..65), // quota / bank size
+        &gen::range_u64(0..1000), // traffic seed
+    );
+    let safe_cases = Cell::new(0usize);
+    forall_cfg(
+        &Config::with_cases(24),
+        &arb,
+        |&(tenants, tx, policy_sel, quota, seed)| {
+            let policy = match policy_sel {
+                0 => IrbPolicy::Shared,
+                1 => IrbPolicy::Banked { per_tenant: quota },
+                _ => IrbPolicy::Partitioned { quota },
+            };
+            let specs = manual_specs(tenants, tx, 2_000);
+            let (bound, report) = bound_and_run(&specs, policy, 2, seed);
+            if bound.verdict.is_safe() {
+                safe_cases.set(safe_cases.get() + 1);
+                assert_eq!(
+                    report.irb.2, 0,
+                    "bound said safe but the simulator dropped: tenants={tenants} tx={tx} \
+                     policy={policy} seed={seed} demands={:?} irb={:?}",
+                    bound.demands, report.irb
+                );
+            }
+        },
+    );
+    assert!(
+        safe_cases.get() > 0,
+        "the property is vacuous: no generated mix was provably safe"
+    );
+}

@@ -9,7 +9,9 @@ use janus::core::config::{JanusConfig, SystemMode};
 use janus::core::ir::ProgramBuilder;
 use janus::core::system::System;
 use janus::instrument::instrument;
-use janus::lint::{auto_place, lint_default, lint_permutations, LintCode, Severity};
+use janus::lint::{
+    auto_place, fix_default, lint_default, lint_permutations, seed_stale_hint, LintCode, Severity,
+};
 use janus::nvm::addr::LineAddr;
 use janus::nvm::line::Line;
 use janus::workloads::{generate, Instrumentation, Workload, WorkloadConfig};
@@ -271,6 +273,50 @@ fn run_cycles(program: janus::core::ir::Program, out: &janus::workloads::Workloa
         sys.warm_caches(first.span(*n));
     }
     sys.run(vec![program]).cycles.0 as f64
+}
+
+/// The acceptance bar for the fix engine: seed the canonical §6 misuse
+/// into every workload's manual instrumentation, repair it with the
+/// `--fix` engine, and the fixed program must lint clean *and* recover at
+/// least 95% of the hand instrumentation's Figure 9 speedup over the
+/// serialized baseline.
+#[test]
+fn fixed_seeded_misuse_recovers_manual_speedup() {
+    const TX: usize = 40;
+    for w in Workload::all() {
+        let bare = bare_program(w, TX);
+        let manual = generate(
+            w,
+            0,
+            &WorkloadConfig {
+                transactions: TX,
+                instrumentation: Instrumentation::Manual,
+                ..WorkloadConfig::default()
+            },
+        );
+        let mut seeded = manual.program.clone();
+        seed_stale_hint(&mut seeded);
+        assert!(
+            lint_default(&seeded).errors() > 0,
+            "{w}: the seeded misuse must trip the lint"
+        );
+        let outcome = fix_default(&seeded);
+        assert_eq!(
+            outcome.after.errors(),
+            0,
+            "{w}: fixed program must lint clean: {:?}",
+            outcome.after.diagnostics
+        );
+        let serialized = run_cycles(bare.program.clone(), &bare);
+        let manual_cycles = run_cycles(manual.program.clone(), &manual);
+        let fixed_cycles = run_cycles(outcome.program.clone(), &manual);
+        let manual_speedup = serialized / manual_cycles;
+        let fixed_speedup = serialized / fixed_cycles;
+        assert!(
+            fixed_speedup >= 0.95 * manual_speedup,
+            "{w}: fixed speedup {fixed_speedup:.2}x < 95% of manual {manual_speedup:.2}x"
+        );
+    }
 }
 
 /// The acceptance bar for the placement pass: on the Figure 9 workloads,
